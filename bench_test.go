@@ -1,0 +1,526 @@
+// Package fnpr's benchmark suite regenerates every figure of the paper's
+// evaluation (run with `go test -bench=. -benchmem`):
+//
+//	BenchmarkFigure1Offsets   — the Figure 1 start-offset analysis
+//	BenchmarkFigure2Scenario  — the Figure 2 naive-bound counter-example
+//	BenchmarkFigure4Functions — construction of the Figure 4 benchmarks
+//	BenchmarkFigure5Sweep     — the full Figure 5 Q sweep (Algorithm 1 on
+//	                            all three functions + state of the art)
+//
+// plus ablation benchmarks for the design choices DESIGN.md calls out:
+// Algorithm 1 vs Equation 4 cost at several Q, the UCB cache analysis, the
+// end-to-end CFG→fi pipeline, and the FNPR simulator. Figure-level
+// benchmarks report headline numbers (bounds at representative Q) through
+// b.ReportMetric so `go test -bench` output doubles as the experiment log.
+package fnpr
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"fnpr/internal/cache"
+	"fnpr/internal/cfg"
+	"fnpr/internal/core"
+	"fnpr/internal/delay"
+	"fnpr/internal/eval"
+	"fnpr/internal/fixednpr"
+	"fnpr/internal/npr"
+	"fnpr/internal/sched"
+	"fnpr/internal/sim"
+	"fnpr/internal/synth"
+	"fnpr/internal/system"
+	"fnpr/internal/task"
+)
+
+// BenchmarkFigure1Offsets measures the Eq 1-3 breadth-first interval
+// analysis on the paper's Figure 1 CFG and reports the resulting WCET.
+func BenchmarkFigure1Offsets(b *testing.B) {
+	g := cfg.Figure1()
+	var wcet float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		off, err := g.AnalyzeOffsets()
+		if err != nil {
+			b.Fatal(err)
+		}
+		wcet = off.WCET
+	}
+	b.ReportMetric(wcet, "WCET")
+}
+
+// BenchmarkFigure2Scenario regenerates the Figure 2 counter-example and
+// reports the three quantities the figure contrasts.
+func BenchmarkFigure2Scenario(b *testing.B) {
+	var rep *eval.Figure2Report
+	for i := 0; i < b.N; i++ {
+		r, err := eval.Figure2()
+		if err != nil {
+			b.Fatal(err)
+		}
+		rep = r
+	}
+	b.ReportMetric(rep.Naive, "naive")
+	b.ReportMetric(rep.Peak.TotalDelay, "worst-run")
+	b.ReportMetric(rep.Algorithm1, "algorithm1")
+}
+
+// BenchmarkFigure4Functions measures construction of the three synthetic
+// benchmark delay functions (Gaussian sampling into piecewise envelopes).
+func BenchmarkFigure4Functions(b *testing.B) {
+	params := delay.CalibratedParams()
+	for i := 0; i < b.N; i++ {
+		fns := params.Benchmarks()
+		if len(fns) != 3 {
+			b.Fatal("missing benchmark functions")
+		}
+	}
+}
+
+// BenchmarkFigure5Sweep regenerates the full Figure 5 data: Algorithm 1 on
+// the three benchmark functions plus the state-of-the-art bound over the
+// default Q grid. Headline values at Q=100 are reported as metrics.
+func BenchmarkFigure5Sweep(b *testing.B) {
+	for _, variant := range []struct {
+		name   string
+		params delay.BenchmarkParams
+	}{
+		{"literal", delay.LiteralParams()},
+		{"calibrated", delay.CalibratedParams()},
+	} {
+		b.Run(variant.name, func(b *testing.B) {
+			var tbl = new(struct {
+				g2At100, soaAt100 float64
+			})
+			for i := 0; i < b.N; i++ {
+				t, err := eval.Figure5(variant.params, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := eval.Figure5Checks(t, 1); err != nil {
+					b.Fatal(err)
+				}
+				for qi, q := range t.X {
+					if q == 100 {
+						for _, s := range t.Series {
+							switch s.Name {
+							case "Gaussian 2":
+								tbl.g2At100 = s.Y[qi]
+							case "State of the Art":
+								tbl.soaAt100 = s.Y[qi]
+							}
+						}
+					}
+				}
+			}
+			b.ReportMetric(tbl.g2At100, "alg1(G2,Q=100)")
+			b.ReportMetric(tbl.soaAt100, "soa(Q=100)")
+		})
+	}
+}
+
+// BenchmarkAlgorithm1 measures the core bound across Q (ablation: cost grows
+// as Q shrinks because more windows are walked).
+func BenchmarkAlgorithm1(b *testing.B) {
+	f := delay.CalibratedParams().Gaussian2()
+	for _, q := range []float64{20, 100, 500, 2000} {
+		b.Run(fmt.Sprintf("Q=%g", q), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.UpperBound(f, q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEquation4 measures the state-of-the-art fixpoint for comparison.
+func BenchmarkEquation4(b *testing.B) {
+	f := delay.CalibratedParams().Gaussian2()
+	for _, q := range []float64{20, 100, 500, 2000} {
+		b.Run(fmt.Sprintf("Q=%g", q), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.StateOfTheArt(f, q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCFGPipeline measures the end-to-end Section IV pipeline on
+// synthetic programs of increasing size: random CFG -> loop-free offsets ->
+// UCB analysis -> fi(t).
+func BenchmarkCFGPipeline(b *testing.B) {
+	cc := cache.Config{Sets: 64, Assoc: 2, LineBytes: 16, ReloadCost: 2}
+	for _, blocks := range []int{16, 64, 256} {
+		b.Run(fmt.Sprintf("blocks=%d", blocks), func(b *testing.B) {
+			r := rand.New(rand.NewSource(42))
+			g, acc, err := synth.CFG(r, synth.CFGParams{
+				Blocks: blocks, MaxFanout: 3,
+				EMinLo: 1, EMinHi: 4, ESpread: 4,
+				Lines: 128, AccessesPerBloc: 8, Reuse: 0.6,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				off, err := g.AnalyzeOffsets()
+				if err != nil {
+					b.Fatal(err)
+				}
+				ucb, err := cache.AnalyzeUCB(g, acc, cc)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := delay.FromUCB(off, ucb); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSimulatorFNPR measures the discrete-event simulator under the
+// three preemption models.
+func BenchmarkSimulatorFNPR(b *testing.B) {
+	ts := task.Set{
+		{Name: "fast", C: 1, T: 7, Q: 1},
+		{Name: "medium", C: 4, T: 23, Q: 2},
+		{Name: "victim", C: 30, T: 120, Q: 6},
+	}
+	ts.AssignRateMonotonic()
+	fns := []delay.Function{nil, delay.Constant(0.3, 4), delay.FrontLoaded(3, 0.5, 30)}
+	for _, mode := range []sim.Mode{sim.FullyPreemptive, sim.FloatingNPR, sim.NonPreemptive} {
+		b.Run(mode.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := sim.Run(sim.Config{
+					Tasks: ts, Policy: sim.FixedPriority, Mode: mode,
+					Horizon: 5000, Delay: fns,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkQAssignment measures the Q derivation analyses.
+func BenchmarkQAssignment(b *testing.B) {
+	r := rand.New(rand.NewSource(7))
+	ts, err := synth.TaskSet(r, synth.TaskSetParams{
+		N: 8, Utilization: 0.7, PeriodLo: 10, PeriodHi: 1000, RoundPeriod: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("EDF", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := npr.AssignQ(ts, npr.EDF); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("FP", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := npr.AssignQ(ts, npr.FixedPriority); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkDelayAwareRTA measures the FNPR response-time analysis with both
+// delay methods (the schedulability-level ablation of the contribution).
+func BenchmarkDelayAwareRTA(b *testing.B) {
+	ts := task.Set{
+		{Name: "hi", C: 10, T: 100, Q: 10, Prio: 0},
+		{Name: "mid", C: 20, T: 200, Q: 8, Prio: 1},
+		{Name: "lo", C: 40, T: 400, Q: 8, Prio: 2},
+	}
+	fns := []delay.Function{nil, delay.FrontLoaded(4, 0.5, 20), delay.FrontLoaded(5, 0.5, 40)}
+	for _, m := range []sched.DelayMethod{sched.Algorithm1, sched.Equation4} {
+		b.Run(m.String(), func(b *testing.B) {
+			a := sched.FNPRAnalysis{Tasks: ts, Delay: fns, Method: m}
+			for i := 0; i < b.N; i++ {
+				if _, err := a.ResponseTimesFP(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCacheSim measures the concrete LRU cache simulator on a long
+// trace (substrate sanity: the validation oracle must itself be cheap).
+func BenchmarkCacheSim(b *testing.B) {
+	cc := cache.Config{Sets: 64, Assoc: 4, LineBytes: 32, ReloadCost: 1}
+	r := rand.New(rand.NewSource(3))
+	trace := make([]cache.Line, 100_000)
+	for i := range trace {
+		trace[i] = cache.Line(r.Intn(512))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := cache.NewSim(cc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		s.AccessAll(trace)
+	}
+}
+
+// BenchmarkAcceptanceExperiment runs the extension schedulability experiment
+// (acceptance ratio vs utilization) at reduced scale and reports the
+// separation between Algorithm 1 and Equation 4 at the steepest point.
+func BenchmarkAcceptanceExperiment(b *testing.B) {
+	p := eval.DefaultAcceptanceParams()
+	p.SetsPerPoint = 40
+	var sep float64
+	for i := 0; i < b.N; i++ {
+		tbl, err := eval.Acceptance(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := eval.AcceptanceChecks(tbl); err != nil {
+			b.Fatal(err)
+		}
+		var a1, e4 []float64
+		for _, s := range tbl.Series {
+			switch s.Name {
+			case "algorithm1":
+				a1 = s.Y
+			case "equation4":
+				e4 = s.Y
+			}
+		}
+		sep = 0
+		for k := range a1 {
+			if d := a1[k] - e4[k]; d > sep {
+				sep = d
+			}
+		}
+	}
+	b.ReportMetric(sep, "max-separation")
+}
+
+// BenchmarkFixedVsFloating compares, on the same linear task, the optimal
+// fixed preemption-point selection (Bertogna et al.) with the floating
+// Algorithm 1 bound at equal maximum non-preemptive interval.
+func BenchmarkFixedVsFloating(b *testing.B) {
+	var tk fixednpr.Task
+	r := rand.New(rand.NewSource(5))
+	for i := 0; i < 12; i++ {
+		tk.Chunks = append(tk.Chunks, fixednpr.Chunk{
+			Duration: 3 + r.Float64()*6,
+			Cost:     r.Float64() * 2,
+		})
+	}
+	const qmax = 15
+	f, err := tk.DelayFunction()
+	if err != nil {
+		b.Fatal(err)
+	}
+	var fixed, floating float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sel, err := fixednpr.SelectPoints(tk, qmax)
+		if err != nil {
+			b.Fatal(err)
+		}
+		fixed = sel.TotalCost
+		fl, err := core.UpperBound(f, qmax)
+		if err != nil {
+			b.Fatal(err)
+		}
+		floating = fl
+	}
+	b.ReportMetric(fixed, "fixed-delay")
+	b.ReportMetric(floating, "floating-delay")
+}
+
+// BenchmarkLimitedRefinement measures the preemption-count-limited analysis
+// (future work (ii)) against plain Algorithm 1 at the RTA level.
+func BenchmarkLimitedRefinement(b *testing.B) {
+	ts := task.Set{
+		{Name: "hi", C: 5, T: 100, Q: 5, Prio: 0},
+		{Name: "mid", C: 9, T: 250, Q: 6, Prio: 1},
+		{Name: "lo", C: 60, T: 600, D: 400, Q: 10, Prio: 2},
+	}
+	fns := []delay.Function{nil, delay.Constant(1, 9), delay.Constant(3, 60)}
+	a := sched.FNPRAnalysis{Tasks: ts, Delay: fns, Method: sched.Algorithm1}
+	var plainR, limR float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		plain, err := a.ResponseTimesFP()
+		if err != nil {
+			b.Fatal(err)
+		}
+		lim, err := a.ResponseTimesFPLimited()
+		if err != nil {
+			b.Fatal(err)
+		}
+		plainR, limR = plain[2], lim.Response[2]
+	}
+	b.ReportMetric(plainR, "R-plain")
+	b.ReportMetric(limR, "R-limited")
+}
+
+// BenchmarkAbstractCacheAnalysis measures the must/may abstract
+// interpretation on synthetic programs.
+func BenchmarkAbstractCacheAnalysis(b *testing.B) {
+	cc := cache.Config{Sets: 64, Assoc: 4, LineBytes: 32, ReloadCost: 10}
+	r := rand.New(rand.NewSource(6))
+	g, acc, err := synth.CFG(r, synth.CFGParams{
+		Blocks: 128, MaxFanout: 3,
+		EMinLo: 1, EMinHi: 4, ESpread: 4,
+		Lines: 256, AccessesPerBloc: 10, Reuse: 0.5,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cache.AnalyzeAbstract(g, acc, cc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPreemptionCollation runs the preemption-count sweep (the paper's
+// motivation: FNPR collates arrivals into fewer preemptions) and reports the
+// per-job preemption counts at the largest Q under both models.
+func BenchmarkPreemptionCollation(b *testing.B) {
+	p := eval.DefaultPreemptionParams()
+	p.Horizon = 12000
+	var fnpr, full float64
+	for i := 0; i < b.N; i++ {
+		tbl, err := eval.Preemptions(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := eval.PreemptionChecks(tbl); err != nil {
+			b.Fatal(err)
+		}
+		last := len(tbl.X) - 1
+		fnpr = tbl.Series[0].Y[last]
+		full = tbl.Series[1].Y[last]
+	}
+	b.ReportMetric(fnpr, "preempts/job-fnpr")
+	b.ReportMetric(full, "preempts/job-fullpre")
+}
+
+// BenchmarkSystemPipeline measures the complete program-to-schedulability
+// stack of internal/system on a three-task system.
+func BenchmarkSystemPipeline(b *testing.B) {
+	mk := func(lines []cache.Line, unit float64) (*cfg.Graph, cache.AccessMap) {
+		g := cfg.New()
+		load := g.AddSimple("load", unit*2, unit*3)
+		head := g.AddSimple("head", unit/4, unit/4)
+		body := g.AddSimple("body", unit, unit*1.5)
+		store := g.AddSimple("store", unit, unit)
+		g.MustEdge(load, head)
+		g.MustEdge(head, body)
+		g.MustEdge(body, head)
+		g.MustEdge(head, store)
+		g.LoopBounds[head] = cfg.Bound{Min: 2, Max: 4}
+		return g, cache.AccessMap{load: lines, body: lines, store: lines[:1]}
+	}
+	g1, a1 := mk([]cache.Line{0, 1}, 1)
+	g2, a2 := mk([]cache.Line{8, 9, 10, 11}, 2)
+	g3, a3 := mk([]cache.Line{16, 17, 18, 19, 20, 21}, 4)
+	cfgSys := system.Config{
+		Tasks: []system.TaskProgram{
+			{Name: "a", T: 80, Prio: 0, Graph: g1, Accesses: a1},
+			{Name: "b", T: 400, Prio: 1, Q: 8, Graph: g2, Accesses: a2},
+			{Name: "c", T: 2000, Prio: 2, Q: 6, Graph: g3, Accesses: a3},
+		},
+		Cache:  cache.Config{Sets: 16, Assoc: 2, LineBytes: 16, ReloadCost: 0.8},
+		Policy: npr.FixedPriority,
+		UseECB: true,
+	}
+	var cPrime float64
+	for i := 0; i < b.N; i++ {
+		res, err := system.Analyze(cfgSys)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cPrime = res.Tasks[2].EffectiveC
+	}
+	b.ReportMetric(cPrime, "C'(lowest)")
+}
+
+// BenchmarkEnvelopeResolution is the precision-vs-speed ablation for
+// piecewise envelopes: Algorithm 1 on the Gaussian 2 benchmark sampled at
+// decreasing resolutions (Coarsen produces a conservative superset, so the
+// bound can only grow as pieces shrink).
+func BenchmarkEnvelopeResolution(b *testing.B) {
+	full := delay.CalibratedParams().Gaussian2()
+	for _, n := range []int{4000, 400, 40} {
+		b.Run(fmt.Sprintf("pieces=%d", n), func(b *testing.B) {
+			f, err := full.Coarsen(n)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var bound float64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				v, err := core.UpperBound(f, 100)
+				if err != nil {
+					b.Fatal(err)
+				}
+				bound = v
+			}
+			b.ReportMetric(bound, "bound(Q=100)")
+		})
+	}
+}
+
+// BenchmarkExactOracle measures the branch-and-bound exact worst case on the
+// tightness workload, reporting bound vs exact at Q=10.
+func BenchmarkExactOracle(b *testing.B) {
+	f, err := delay.NewPiecewise(
+		[]float64{0, 6, 9, 18, 21, 30},
+		[]float64{1, 4, 0.5, 4, 0.5},
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var exact, bound float64
+	for i := 0; i < b.N; i++ {
+		e, err := core.ExactWorstCase(f, 10, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		exact = e
+		bound, _ = core.UpperBound(f, 10)
+	}
+	b.ReportMetric(exact, "exact(Q=10)")
+	b.ReportMetric(bound, "alg1(Q=10)")
+}
+
+// BenchmarkEDFTests compares the exhaustive processor-demand test with QPA
+// on a high-utilization set where the exhaustive horizon is large.
+func BenchmarkEDFTests(b *testing.B) {
+	ts := task.Set{
+		{Name: "a", C: 7, T: 20, D: 18},
+		{Name: "b", C: 14, T: 50, D: 45},
+		{Name: "c", C: 53, T: 199, D: 180},
+		{Name: "d", C: 31, T: 311, D: 300},
+	}
+	b.Run("exhaustive", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := npr.EDFSchedulable(ts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("qpa", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := npr.QPA(ts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,76 @@
+package fnpr
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestCommandsAndExamples executes every binary and example end to end,
+// asserting success and a recognisable marker in the output — the
+// integration guard for the whole user-facing surface. Skipped with -short.
+func TestCommandsAndExamples(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end CLI runs skipped in -short mode")
+	}
+	tmp := t.TempDir()
+
+	// A task-set spec and a CFG file for the file-driven tools.
+	spec := filepath.Join(tmp, "ts.json")
+	if err := os.WriteFile(spec, []byte(`{
+	  "policy": "fp",
+	  "tasks": [
+	    {"name": "hi", "c": 5, "t": 100, "q": 5, "prio": 0},
+	    {"name": "lo", "c": 40, "t": 400, "q": 6, "prio": 1,
+	     "delay": {"kind": "frontloaded", "peak": 3, "tail": 0.5}}
+	  ]
+	}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	graph := filepath.Join(tmp, "g.txt")
+	if err := os.WriteFile(graph, []byte(
+		"block a 2 3\nblock b 4 6\nedge a b\naccess a 0 1\naccess b 0 1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"figures-1", []string{"run", "./cmd/figures", "-fig", "1"}, "WCET=205"},
+		{"figures-2", []string{"run", "./cmd/figures", "-fig", "2"}, "unsound"},
+		{"figures-3", []string{"run", "./cmd/figures", "-fig", "3"}, "delaymax"},
+		{"figures-5", []string{"run", "./cmd/figures", "-fig", "5", "-ascii=false"}, "State of the Art"},
+		{"cfgdemo", []string{"run", "./cmd/cfgdemo"}, "BCET=80"},
+		{"cfgdemo-file", []string{"run", "./cmd/cfgdemo", "-file", graph}, "Algorithm 1"},
+		{"fnprdelay", []string{"run", "./cmd/fnprdelay", "-spec", "0:10=4,10:60=0", "-q", "15", "-limit", "2"}, "Equation 4"},
+		{"simulate-fig2", []string{"run", "./cmd/simulate", "-scenario", "fig2"}, "Theorem 1"},
+		{"simulate-stats", []string{"run", "./cmd/simulate", "-scenario", "stats"}, "p99"},
+		{"schedtest", []string{"run", "./cmd/schedtest", "-spec", spec, "-margin"}, "SCHEDULABLE"},
+		{"report", []string{"run", "./cmd/report", "-dir", filepath.Join(tmp, "res"), "-quick"}, "wrote"},
+		{"ex-quickstart", []string{"run", "./examples/quickstart"}, "Algorithm 1"},
+		{"ex-cfg-crpd", []string{"run", "./examples/cfg_crpd"}, "CRPD"},
+		{"ex-edf-npr", []string{"run", "./examples/edf_npr"}, "EDF"},
+		{"ex-simulation", []string{"run", "./examples/simulation"}, "bound"},
+		{"ex-fixed-vs-floating", []string{"run", "./examples/fixed_vs_floating"}, "floating"},
+		{"ex-system", []string{"run", "./examples/system_pipeline"}, "schedulable"},
+		{"ex-kernels", []string{"run", "./examples/kernels"}, "matmul"},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			t.Parallel()
+			cmd := exec.Command("go", c.args...)
+			out, err := cmd.CombinedOutput()
+			if err != nil {
+				t.Fatalf("%v failed: %v\n%s", c.args, err, out)
+			}
+			if !strings.Contains(string(out), c.want) {
+				t.Fatalf("%v output missing %q:\n%s", c.args, c.want, out)
+			}
+		})
+	}
+}

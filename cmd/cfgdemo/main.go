@@ -1,0 +1,175 @@
+// Command cfgdemo reproduces the worked example of Figure 1: a loop-free
+// control-flow graph with per-block execution-time intervals, the
+// breadth-first earliest/latest start-offset analysis of Equations 1-3, and
+// the derived per-block execution windows. It then runs the full Section IV
+// pipeline on the same graph: synthetic per-block CRPD values produce the
+// preemption delay function f(t), on which Algorithm 1 and the
+// state-of-the-art bound are compared for a few NPR lengths Q.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"fnpr/internal/cache"
+	"fnpr/internal/cfg"
+	"fnpr/internal/core"
+	"fnpr/internal/delay"
+	"fnpr/internal/eval"
+)
+
+func main() {
+	var (
+		dot  = flag.Bool("dot", false, "print only the Graphviz rendering of the Figure 1 CFG")
+		full = flag.Bool("pipeline", true, "run the delay-function pipeline on top of the offsets")
+		file = flag.String("file", "", "analyse a CFG from a text file (see internal/cfg/text.go for the format) instead of the Figure 1 example; lines of the form 'access <block> <line>...' attach memory accesses and enable the CRPD pipeline")
+	)
+	flag.Parse()
+
+	if *file != "" {
+		analyseFile(*file)
+		return
+	}
+	if *dot {
+		fmt.Print(cfg.Figure1().DOT("figure1"))
+		return
+	}
+	rep, err := eval.Figure1Report()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(rep)
+	if !*full {
+		return
+	}
+
+	g := cfg.Figure1()
+	off, err := g.AnalyzeOffsets()
+	if err != nil {
+		fatal(err)
+	}
+	// Synthetic CRPD per block: the working-set pattern of Section III's
+	// motivating example — early blocks carry a large reloadable working
+	// set, late blocks only a small one.
+	crpd := map[cfg.BlockID]float64{
+		0: 12, 1: 12, 2: 12, 3: 10, 4: 8, 5: 6, 6: 6, 7: 4, 8: 4, 9: 2, 10: 1,
+	}
+	f, err := delay.FromCFG(off, crpd)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("\nPreemption delay function from CRPD per block:\n  f = %v\n\n", f)
+	fmt.Printf("%8s %14s %18s\n", "Q", "Algorithm 1", "state of the art")
+	for _, q := range []float64{15, 20, 30, 50, 80, 120, 180} {
+		alg, err := core.UpperBound(f, q)
+		if err != nil {
+			fatal(err)
+		}
+		soa, err := core.StateOfTheArt(f, q)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%8g %14.3f %18.3f\n", q, alg, soa)
+	}
+}
+
+// analyseFile loads a CFG in the text format (with optional
+// "access <block> <line>..." directives), collapses loops, and prints the
+// offset table; when accesses are present it continues through the CRPD
+// pipeline to the delay function and the Algorithm 1 / Equation 4 bounds.
+func analyseFile(path string) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	// Split access directives from the core format.
+	var graphLines []string
+	type accessDirective struct {
+		block string
+		lines []cache.Line
+	}
+	var accesses []accessDirective
+	for no, line := range strings.Split(string(raw), "\n") {
+		fields := strings.Fields(strings.TrimSpace(line))
+		if len(fields) == 0 || fields[0] != "access" {
+			graphLines = append(graphLines, line)
+			continue
+		}
+		if len(fields) < 3 {
+			fatal(fmt.Errorf("line %d: access needs a block and at least one line number", no+1))
+		}
+		d := accessDirective{block: fields[1]}
+		for _, tok := range fields[2:] {
+			v, err := strconv.ParseUint(tok, 10, 64)
+			if err != nil {
+				fatal(fmt.Errorf("line %d: bad cache line %q: %v", no+1, tok, err))
+			}
+			d.lines = append(d.lines, cache.Line(v))
+		}
+		accesses = append(accesses, d)
+	}
+	g, err := cfg.Parse(strings.NewReader(strings.Join(graphLines, "\n")))
+	if err != nil {
+		fatal(err)
+	}
+	col, err := g.CollapseLoops()
+	if err != nil {
+		fatal(err)
+	}
+	off, err := col.Graph.AnalyzeOffsets()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(off.Table())
+	if len(accesses) == 0 {
+		return
+	}
+	// Resolve block names against the ORIGINAL graph, then remap through
+	// the collapse provenance.
+	byName := make(map[string]cfg.BlockID)
+	for id := 0; id < g.Len(); id++ {
+		byName[g.Block(cfg.BlockID(id)).Label()] = cfg.BlockID(id)
+	}
+	acc := make(cache.AccessMap)
+	for _, d := range accesses {
+		id, ok := byName[d.block]
+		if !ok {
+			fatal(fmt.Errorf("access directive references unknown block %q", d.block))
+		}
+		acc[id] = append(acc[id], d.lines...)
+	}
+	cc := cache.Config{Sets: 64, Assoc: 2, LineBytes: 16, ReloadCost: 1}
+	ucb, err := cache.AnalyzeUCB(col.Graph, cache.RemapAccesses(col, acc), cc)
+	if err != nil {
+		fatal(err)
+	}
+	f, err := delay.FromUCB(off, ucb)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("\nf(t) = %v\n\n", f)
+	fmt.Printf("%8s %14s %18s\n", "Q", "Algorithm 1", "state of the art")
+	_, maxF := f.Max()
+	for _, q := range []float64{maxF + 1, maxF + 5, maxF * 3, off.WCET / 4, off.WCET / 2} {
+		if q <= maxF {
+			continue
+		}
+		alg, err := core.UpperBound(f, q)
+		if err != nil {
+			fatal(err)
+		}
+		soa, err := core.StateOfTheArt(f, q)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%8.2f %14.3f %18.3f\n", q, alg, soa)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cfgdemo:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,226 @@
+// Command figures regenerates the paper's figures as CSV files and ASCII
+// charts.
+//
+// Usage:
+//
+//	figures -fig 4 [-params literal|calibrated] [-out fig4.csv]
+//	figures -fig 5 [-params literal|calibrated] [-out fig5.csv] [-ascii]
+//	figures -fig 1
+//	figures -fig 2
+//	figures -fig acceptance [-out acc.csv]
+//	figures -fig all [-dir .]
+//
+// Figure 4 emits the three synthetic benchmark delay functions; Figure 5
+// emits the cumulative preemption delay of Algorithm 1 on each function and
+// the state-of-the-art bound over the Q sweep; Figures 1 and 2 print the
+// worked CFG example and the naive-bound counter-example as text.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"fnpr/internal/delay"
+	"fnpr/internal/eval"
+	"fnpr/internal/textplot"
+)
+
+func main() {
+	var (
+		fig    = flag.String("fig", "all", "figure to regenerate: 1, 2, 4, 5 or all")
+		params = flag.String("params", "calibrated", "benchmark parameters: literal (paper text) or calibrated (paper plot)")
+		out    = flag.String("out", "", "CSV output file (default stdout; figures 4 and 5 only)")
+		dir    = flag.String("dir", ".", "output directory for -fig all")
+		ascii  = flag.Bool("ascii", true, "also render an ASCII chart (figures 4 and 5)")
+		svg    = flag.String("svg", "", "also write an SVG chart to this file (figures 4, 5, acceptance, preemptions)")
+	)
+	flag.Parse()
+
+	p, err := pickParams(*params)
+	if err != nil {
+		fatal(err)
+	}
+
+	switch *fig {
+	case "1":
+		rep, err := eval.Figure1Report()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(rep)
+	case "2":
+		rep, err := eval.Figure2()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(rep.String())
+	case "3":
+		rep, err := eval.Figure3Report()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(rep)
+	case "4":
+		tb, err := eval.Figure4(p, 200)
+		if err != nil {
+			fatal(err)
+		}
+		if err := emitWithSVG(tb, *out, *svg, *ascii, false, "Figure 4 — benchmark delay functions"); err != nil {
+			fatal(err)
+		}
+	case "5":
+		tb, err := eval.Figure5(p, nil)
+		if err != nil {
+			fatal(err)
+		}
+		if err := emitWithSVG(tb, *out, *svg, *ascii, true, "Figure 5 — cumulative preemption delay vs Q"); err != nil {
+			fatal(err)
+		}
+	case "acceptance":
+		ap := eval.DefaultAcceptanceParams()
+		tb, err := eval.Acceptance(ap)
+		if err != nil {
+			fatal(err)
+		}
+		if err := eval.AcceptanceChecks(tb); err != nil {
+			fatal(err)
+		}
+		if err := emitWithSVG(tb, *out, *svg, *ascii, false, "Acceptance ratio vs utilization"); err != nil {
+			fatal(err)
+		}
+	case "tightness":
+		tp := eval.DefaultTightnessParams()
+		tb, err := eval.Tightness(tp)
+		if err != nil {
+			fatal(err)
+		}
+		if err := eval.TightnessChecks(tb); err != nil {
+			fatal(err)
+		}
+		if err := emitWithSVG(tb, *out, *svg, *ascii, false, "Bound tightness vs Q"); err != nil {
+			fatal(err)
+		}
+	case "preemptions":
+		pp := eval.DefaultPreemptionParams()
+		tb, err := eval.Preemptions(pp)
+		if err != nil {
+			fatal(err)
+		}
+		if err := eval.PreemptionChecks(tb); err != nil {
+			fatal(err)
+		}
+		if err := emitWithSVG(tb, *out, *svg, *ascii, false, "Preemption collation vs Q"); err != nil {
+			fatal(err)
+		}
+	case "all":
+		if err := all(p, *dir, *ascii); err != nil {
+			fatal(err)
+		}
+	default:
+		fatal(fmt.Errorf("unknown figure %q (want 1, 2, 3, 4, 5, acceptance, preemptions, tightness or all)", *fig))
+	}
+}
+
+func pickParams(name string) (delay.BenchmarkParams, error) {
+	switch name {
+	case "literal":
+		return delay.LiteralParams(), nil
+	case "calibrated":
+		return delay.CalibratedParams(), nil
+	default:
+		return delay.BenchmarkParams{}, fmt.Errorf("unknown params %q (want literal or calibrated)", name)
+	}
+}
+
+func emitWithSVG(tb *textplot.Table, out, svgPath string, ascii, logY bool, title string) error {
+	w := os.Stdout
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := tb.WriteCSV(w); err != nil {
+		return err
+	}
+	if ascii {
+		chart, err := tb.ASCII(textplot.ASCIIOptions{Width: 80, Height: 24, LogY: logY})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(os.Stderr)
+		fmt.Fprint(os.Stderr, chart)
+	}
+	if svgPath != "" {
+		f, err := os.Create(svgPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := tb.WriteSVG(f, textplot.SVGOptions{LogY: logY, Title: title}); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", svgPath)
+	}
+	return nil
+}
+
+func all(p delay.BenchmarkParams, dir string, ascii bool) error {
+	rep1, err := eval.Figure1Report()
+	if err != nil {
+		return err
+	}
+	fmt.Println(rep1)
+	rep2, err := eval.Figure2()
+	if err != nil {
+		return err
+	}
+	fmt.Println(rep2.String())
+	tb4, err := eval.Figure4(p, 200)
+	if err != nil {
+		return err
+	}
+	if err := writeCSVFile(tb4, filepath.Join(dir, "fig4.csv")); err != nil {
+		return err
+	}
+	tb5, err := eval.Figure5(p, nil)
+	if err != nil {
+		return err
+	}
+	if err := writeCSVFile(tb5, filepath.Join(dir, "fig5.csv")); err != nil {
+		return err
+	}
+	if ascii {
+		for _, c := range []struct {
+			tb   *textplot.Table
+			logY bool
+			name string
+		}{{tb4, false, "Figure 4"}, {tb5, true, "Figure 5"}} {
+			chart, err := c.tb.ASCII(textplot.ASCIIOptions{Width: 80, Height: 24, LogY: c.logY})
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%s:\n%s\n", c.name, chart)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s and %s\n", filepath.Join(dir, "fig4.csv"), filepath.Join(dir, "fig5.csv"))
+	return nil
+}
+
+func writeCSVFile(tb *textplot.Table, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return tb.WriteCSV(f)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "figures:", err)
+	os.Exit(1)
+}

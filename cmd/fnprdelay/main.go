@@ -1,0 +1,116 @@
+// Command fnprdelay computes preemption-delay upper bounds for a task under
+// floating non-preemptive region scheduling.
+//
+// The delay function is given either as one of the paper's named benchmarks
+// (-f gaussian1|gaussian2|twopeaks) or as an inline piecewise-constant
+// specification (-spec "0:5=2,5:20=0.5" meaning value 2 on [0,5) and 0.5 on
+// [5,20]). For each Q in the comma-separated -q list the tool prints the
+// Algorithm 1 bound, the state-of-the-art Equation 4 bound, the resulting
+// effective WCETs C', and the number of preemptions charged.
+//
+// Example:
+//
+//	fnprdelay -f gaussian2 -q 50,200,1000
+//	fnprdelay -spec "0:10=4,10:60=0" -q 5,15
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"fnpr/internal/core"
+	"fnpr/internal/delay"
+)
+
+func main() {
+	var (
+		fname  = flag.String("f", "", "named benchmark function: gaussian1, gaussian2 or twopeaks")
+		spec   = flag.String("spec", "", "inline piecewise function, e.g. 0:5=2,5:20=0.5")
+		qlist  = flag.String("q", "100", "comma-separated NPR lengths Q")
+		params = flag.String("params", "calibrated", "benchmark parameters: literal or calibrated")
+		trace  = flag.Bool("trace", false, "print the per-iteration trace of Algorithm 1")
+		limit  = flag.Int("limit", -1, "also report the preemption-count-limited bound for at most N preemptions")
+	)
+	flag.Parse()
+
+	f, err := buildFunction(*fname, *spec, *params)
+	if err != nil {
+		fatal(err)
+	}
+	_, maxF := f.Max()
+	fmt.Printf("C = %g, max f = %g\n\n", f.Domain(), maxF)
+	fmt.Printf("%10s %14s %14s %12s %12s %10s\n", "Q", "Algorithm 1", "Equation 4", "C' (Alg 1)", "C' (Eq 4)", "preempts")
+	for _, q := range qList(*qlist) {
+		res, err := core.UpperBoundTrace(f, q)
+		if err != nil {
+			fatal(err)
+		}
+		soa, err := core.StateOfTheArt(f, q)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%10g %14.3f %14.3f %12.3f %12.3f %10d\n",
+			q, res.TotalDelay, soa, res.EffectiveWCET(f.Domain()), f.Domain()+soa, res.Preemptions)
+		if *limit >= 0 {
+			lb, err := core.UpperBoundLimited(f, q, *limit)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("%10s with at most %d preemptions: %.3f\n", "", *limit, lb)
+		}
+		if *trace {
+			for k, it := range res.Iterations {
+				fmt.Printf("    iter %3d: prog=%.3f p∩=%.3f pmax=%.3f delay=%.3f pnext=%.3f total=%.3f\n",
+					k+1, it.Prog, it.PIntersect, it.PMax, it.DelayMax, it.PNext, it.Total)
+			}
+		}
+	}
+}
+
+func buildFunction(name, spec, params string) (*delay.Piecewise, error) {
+	if (name == "") == (spec == "") {
+		return nil, fmt.Errorf("specify exactly one of -f or -spec")
+	}
+	if spec != "" {
+		return delay.ParseCompact(spec)
+	}
+	var p delay.BenchmarkParams
+	switch params {
+	case "literal":
+		p = delay.LiteralParams()
+	case "calibrated":
+		p = delay.CalibratedParams()
+	default:
+		return nil, fmt.Errorf("unknown params %q", params)
+	}
+	switch name {
+	case "gaussian1":
+		return p.Gaussian1(), nil
+	case "gaussian2":
+		return p.Gaussian2(), nil
+	case "twopeaks":
+		return p.TwoLocalMax(), nil
+	default:
+		return nil, fmt.Errorf("unknown function %q (want gaussian1, gaussian2 or twopeaks)", name)
+	}
+}
+
+func qList(s string) []float64 {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			fatal(fmt.Errorf("bad Q value %q: %w", part, err))
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fnprdelay:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,210 @@
+// Command simulate runs the floating-NPR scheduler simulator on built-in
+// scenarios and prints traces, timelines and bound-vs-observed comparisons.
+//
+// Scenarios:
+//
+//	-scenario fig2     the Figure 2 counter-example (naive bound vs runs)
+//	-scenario basic    a three-task FP set under all three preemption modes
+//	-scenario bounds   randomized FNPR runs compared against Algorithm 1
+//	-scenario edf      an EDF set with Q assigned by the Bertogna-Baruah
+//	                   demand-bound analysis of package npr
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"fnpr/internal/core"
+	"fnpr/internal/delay"
+	"fnpr/internal/eval"
+	"fnpr/internal/npr"
+	"fnpr/internal/sim"
+	"fnpr/internal/synth"
+	"fnpr/internal/task"
+)
+
+func main() {
+	var (
+		scenario = flag.String("scenario", "basic", "fig2, basic, bounds, edf or stats")
+		seed     = flag.Int64("seed", 1, "random seed for the bounds scenario")
+		events   = flag.Bool("events", false, "dump the full event trace")
+		svgPath  = flag.String("svg", "", "write an SVG Gantt chart of the basic scenario's floating-NPR run")
+	)
+	flag.Parse()
+
+	var err error
+	switch *scenario {
+	case "fig2":
+		err = fig2()
+	case "basic":
+		err = basic(*events, *svgPath)
+	case "bounds":
+		err = bounds(*seed)
+	case "edf":
+		err = edf(*events)
+	case "stats":
+		err = stats(*seed)
+	default:
+		err = fmt.Errorf("unknown scenario %q", *scenario)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simulate:", err)
+		os.Exit(1)
+	}
+}
+
+func fig2() error {
+	rep, err := eval.Figure2()
+	if err != nil {
+		return err
+	}
+	fmt.Print(rep.String())
+	return nil
+}
+
+func basic(events bool, svgPath string) error {
+	ts := task.Set{
+		{Name: "hi", C: 2, T: 10, Q: 1},
+		{Name: "mid", C: 3, T: 25, Q: 2},
+		{Name: "lo", C: 14, T: 60, Q: 4},
+	}
+	ts.AssignRateMonotonic()
+	fns := []delay.Function{nil, delay.Constant(0.5, 3), delay.FrontLoaded(2, 0.2, 14)}
+	for _, mode := range []sim.Mode{sim.FullyPreemptive, sim.FloatingNPR, sim.NonPreemptive} {
+		res, err := sim.Run(sim.Config{
+			Tasks: ts, Policy: sim.FixedPriority, Mode: mode,
+			Horizon: 120, Delay: fns,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("=== %s ===\n", mode)
+		fmt.Print(res.Summary())
+		fmt.Println(res.Timeline(1.5))
+		if svgPath != "" && mode == sim.FloatingNPR {
+			f, err := os.Create(svgPath)
+			if err != nil {
+				return err
+			}
+			werr := res.WriteSVGTimeline(f, sim.SVGTimelineOptions{
+				Title: "floating-NPR schedule",
+			})
+			f.Close()
+			if werr != nil {
+				return werr
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s\n", svgPath)
+		}
+		if events {
+			for _, e := range res.Events {
+				fmt.Println(" ", e)
+			}
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+func bounds(seed int64) error {
+	r := rand.New(rand.NewSource(seed))
+	fmt.Println("Randomized FNPR runs: per-task observed worst delay vs Algorithm 1 bound")
+	fmt.Printf("%6s %-8s %10s %14s %14s %8s\n", "trial", "task", "Q", "observed", "bound", "sound")
+	for trial := 0; trial < 5; trial++ {
+		n := 3
+		ts := make(task.Set, 0, n)
+		fns := make([]delay.Function, 0, n)
+		for i := 0; i < n; i++ {
+			c := 10 + r.Float64()*30
+			maxD := 0.5 + r.Float64()*2
+			q := maxD + 2 + r.Float64()*5
+			ts = append(ts, task.Task{
+				Name: fmt.Sprintf("t%d", i), C: c,
+				T: c*2.5 + r.Float64()*120, Q: q, Prio: i,
+			})
+			fns = append(fns, synth.DelayFunction(r, c, maxD, 4))
+		}
+		res, err := sim.Run(sim.Config{
+			Tasks: ts, Policy: sim.FixedPriority, Mode: sim.FloatingNPR,
+			Horizon: 3000, Delay: fns,
+		})
+		if err != nil {
+			return err
+		}
+		for i := range ts {
+			bound, err := core.UpperBound(fns[i], ts[i].Q)
+			if err != nil {
+				return err
+			}
+			sound := "yes"
+			if res.Tasks[i].MaxDelayPerJob > bound+1e-9 {
+				sound = "VIOLATED"
+			}
+			fmt.Printf("%6d %-8s %10.3f %14.3f %14.3f %8s\n",
+				trial, ts[i].Name, ts[i].Q, res.Tasks[i].MaxDelayPerJob, bound, sound)
+		}
+	}
+	return nil
+}
+
+func stats(seed int64) error {
+	r := rand.New(rand.NewSource(seed))
+	ts := task.Set{
+		{Name: "fast", C: 1, T: 7, Q: 1},
+		{Name: "medium", C: 4, T: 23, Q: 2},
+		{Name: "victim", C: 30, T: 120, Q: 6},
+	}
+	ts.AssignRateMonotonic()
+	fns := []delay.Function{nil, delay.Constant(0.3, 4), delay.FrontLoaded(3, 0.5, 30)}
+	cfg := sim.Config{
+		Tasks: ts, Policy: sim.FixedPriority, Mode: sim.FloatingNPR,
+		Horizon: 30000, Delay: fns,
+	}
+	cfg.Releases = sim.SporadicReleases(r, cfg, 0.4)
+	res, err := sim.Run(cfg)
+	if err != nil {
+		return err
+	}
+	if err := sim.CheckInvariants(res); err != nil {
+		return fmt.Errorf("invariant violation: %w", err)
+	}
+	fmt.Println("response-time distributions under sporadic floating-NPR load:")
+	for i := range ts {
+		fmt.Printf("  %-8s %s\n", ts[i].Name, res.Stats(i))
+	}
+	return nil
+}
+
+func edf(events bool) error {
+	ts := task.Set{
+		{Name: "a", C: 1, T: 8},
+		{Name: "b", C: 3, T: 20},
+		{Name: "c", C: 6, T: 50},
+	}
+	qs, err := npr.AssignQ(ts, npr.EDF)
+	if err != nil {
+		return err
+	}
+	fmt.Println("EDF with Q from the Bertogna-Baruah demand-bound analysis:")
+	for _, tk := range qs {
+		fmt.Printf("  %s\n", tk)
+	}
+	fns := []delay.Function{nil, delay.Constant(0.4, 3), delay.FrontLoaded(1.5, 0.1, 6)}
+	res, err := sim.Run(sim.Config{
+		Tasks: qs, Policy: sim.EDF, Mode: sim.FloatingNPR,
+		Horizon: 400, Delay: fns,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Println()
+	fmt.Print(res.Summary())
+	fmt.Println(res.Timeline(5))
+	if events {
+		for _, e := range res.Events {
+			fmt.Println(" ", e)
+		}
+	}
+	return nil
+}

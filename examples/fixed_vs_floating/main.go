@@ -1,0 +1,57 @@
+// fixed_vs_floating contrasts the two limited-preemption models on the same
+// linear task: the fixed model (Bertogna et al.) selects explicit preemption
+// points off-line, minimising total cost under a maximum non-preemptive
+// interval; the floating model (this paper) lets preemptions strike anywhere
+// subject to Q spacing and bounds the damage with Algorithm 1. Neither
+// dominates: the sweep below shows the crossover as the allowed interval
+// grows.
+//
+// Run with: go run ./examples/fixed_vs_floating
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fnpr/internal/core"
+	"fnpr/internal/fixednpr"
+)
+
+func main() {
+	// A task of six chunks; boundaries alternate between expensive
+	// (working set live) and cheap (between phases).
+	task := fixednpr.Task{Chunks: []fixednpr.Chunk{
+		{Duration: 8, Cost: 4},
+		{Duration: 6, Cost: 0.5},
+		{Duration: 9, Cost: 4},
+		{Duration: 5, Cost: 0.5},
+		{Duration: 8, Cost: 4},
+		{Duration: 6, Cost: 0},
+	}}
+	fmt.Printf("task: C = %g over %d chunks\n\n", task.C(), len(task.Chunks))
+
+	f, err := task.DelayFunction()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("floating-model delay function: %v\n\n", f)
+
+	fmt.Printf("%8s %16s %20s   %s\n", "q", "fixed (optimal)", "floating (Alg 1)", "points")
+	for _, q := range []float64{9, 12, 15, 20, 25, 30, 42} {
+		sel, err := fixednpr.SelectPoints(task, q)
+		if err != nil {
+			fmt.Printf("%8g %16s\n", q, "infeasible")
+			continue
+		}
+		floating, err := core.UpperBound(f, q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%8g %16.2f %20.2f   %v\n", q, sel.TotalCost, floating, sel.Points)
+	}
+
+	fmt.Println("\nReading: with small q the fixed model must enable expensive")
+	fmt.Println("points to cover the task (floating may win); with large q it")
+	fmt.Println("enables only cheap points or none (fixed wins), while the")
+	fmt.Println("floating bound still charges the worst point of each window.")
+}

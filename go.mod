@@ -1,0 +1,3 @@
+module fnpr
+
+go 1.22

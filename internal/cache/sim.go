@@ -1,0 +1,102 @@
+package cache
+
+// Sim is a concrete set-associative LRU cache simulator. It is used by the
+// test suite to cross-validate the static CRPD bounds: replay a task's access
+// trace, inject a preempting task's accesses at a chosen point, and count the
+// additional misses the task suffers afterwards.
+type Sim struct {
+	cfg Config
+	// sets[s] holds the resident lines of set s in LRU order: index 0 is
+	// the most recently used way.
+	sets [][]Line
+
+	hits, misses uint64
+}
+
+// NewSim creates an empty cache.
+func NewSim(cfg Config) (*Sim, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	s := &Sim{cfg: cfg, sets: make([][]Line, cfg.Sets)}
+	return s, nil
+}
+
+// Config returns the simulator's cache configuration.
+func (s *Sim) Config() Config { return s.cfg }
+
+// Access touches one line, updating LRU state, and reports whether it hit.
+func (s *Sim) Access(l Line) bool {
+	idx := s.cfg.SetOf(l)
+	ways := s.sets[idx]
+	for i, w := range ways {
+		if w == l {
+			// Hit: move to front.
+			copy(ways[1:i+1], ways[:i])
+			ways[0] = l
+			s.hits++
+			return true
+		}
+	}
+	// Miss: insert at front, evicting the LRU way when full.
+	if len(ways) < s.cfg.Assoc {
+		ways = append(ways, 0)
+	}
+	copy(ways[1:], ways)
+	ways[0] = l
+	s.sets[idx] = ways
+	s.misses++
+	return false
+}
+
+// AccessAll replays a trace and returns the number of misses it produced.
+func (s *Sim) AccessAll(trace []Line) uint64 {
+	before := s.misses
+	for _, l := range trace {
+		s.Access(l)
+	}
+	return s.misses - before
+}
+
+// Contains reports whether a line is currently resident, without touching
+// LRU state.
+func (s *Sim) Contains(l Line) bool {
+	for _, w := range s.sets[s.cfg.SetOf(l)] {
+		if w == l {
+			return true
+		}
+	}
+	return false
+}
+
+// Resident returns the set of all currently cached lines.
+func (s *Sim) Resident() LineSet {
+	out := make(LineSet)
+	for _, ways := range s.sets {
+		for _, w := range ways {
+			out.Add(w)
+		}
+	}
+	return out
+}
+
+// Hits and Misses return the accumulated counters.
+func (s *Sim) Hits() uint64   { return s.hits }
+func (s *Sim) Misses() uint64 { return s.misses }
+
+// Flush empties the cache but keeps the counters.
+func (s *Sim) Flush() {
+	for i := range s.sets {
+		s.sets[i] = nil
+	}
+}
+
+// Snapshot returns a deep copy of the simulator, useful for exploring
+// preemption scenarios from a common warm state.
+func (s *Sim) Snapshot() *Sim {
+	c := &Sim{cfg: s.cfg, sets: make([][]Line, len(s.sets)), hits: s.hits, misses: s.misses}
+	for i, ways := range s.sets {
+		c.sets[i] = append([]Line(nil), ways...)
+	}
+	return c
+}

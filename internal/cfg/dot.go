@@ -1,0 +1,52 @@
+package cfg
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// DOT renders the graph in Graphviz dot syntax, labelling each block with its
+// name and execution interval. Useful for debugging and documentation.
+func (g *Graph) DOT(title string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", title)
+	b.WriteString("  node [shape=box];\n")
+	for id := 0; id < g.Len(); id++ {
+		blk := g.Block(BlockID(id))
+		label := fmt.Sprintf("%s\\n[%g,%g]", blk.Label(), blk.EMin, blk.EMax)
+		if blk.Call != "" {
+			label += fmt.Sprintf("\\ncall %s", blk.Call)
+		}
+		attrs := ""
+		if BlockID(id) == g.entry {
+			attrs = ", style=bold"
+		}
+		fmt.Fprintf(&b, "  n%d [label=\"%s\"%s];\n", id, label, attrs)
+	}
+	for from := 0; from < g.Len(); from++ {
+		succs := append([]BlockID(nil), g.Succs(BlockID(from))...)
+		sort.Slice(succs, func(i, j int) bool { return succs[i] < succs[j] })
+		for _, to := range succs {
+			fmt.Fprintf(&b, "  n%d -> n%d;\n", from, to)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// OffsetsTable renders a per-block table of execution intervals, start
+// offsets and live windows — the textual equivalent of Figure 1 of the paper.
+func (o *Offsets) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %12s %12s %12s %12s %14s\n",
+		"block", "emin", "emax", "smin", "smax", "window")
+	for id := 0; id < o.g.Len(); id++ {
+		blk := o.g.Block(BlockID(id))
+		lo, hi := o.Window(BlockID(id))
+		fmt.Fprintf(&b, "%-12s %12g %12g %12g %12g [%6g,%6g]\n",
+			blk.Label(), blk.EMin, blk.EMax, o.SMin[id], o.SMax[id], lo, hi)
+	}
+	fmt.Fprintf(&b, "BCET=%g WCET=%g\n", o.BCET, o.WCET)
+	return b.String()
+}

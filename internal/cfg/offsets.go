@@ -1,0 +1,135 @@
+package cfg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Offsets holds the result of the execution-interval analysis of Section IV:
+// per basic block, its earliest and latest start offsets and the derived
+// window of instants during which the block may be executing, relative to the
+// start of the task's (isolated) execution.
+type Offsets struct {
+	g *Graph
+
+	// SMin and SMax map block ID to its earliest and latest start offset
+	// (Equations 1-3 of the paper).
+	SMin, SMax []float64
+
+	// BCET and WCET bound the whole task's isolated execution time: the
+	// min over exits of (smin + emin) and max over exits of (smax + emax).
+	BCET, WCET float64
+}
+
+// AnalyzeOffsets runs the breadth-first interval analysis of the paper
+// (Equations 1-3) on an acyclic graph:
+//
+//	smin_entry = smax_entry = 0
+//	smin_b = min over predecessors x of (smin_x + emin_x)
+//	smax_b = max over predecessors x of (smax_x + emax_x)
+//
+// Graphs with natural loops must be collapsed first (CollapseLoops); calling
+// this on a cyclic graph returns an error.
+func (g *Graph) AnalyzeOffsets() (*Offsets, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	order, err := g.TopoOrder()
+	if err != nil {
+		return nil, errors.New("cfg: offset analysis requires an acyclic graph; collapse loops first")
+	}
+	o := &Offsets{
+		g:    g,
+		SMin: make([]float64, g.Len()),
+		SMax: make([]float64, g.Len()),
+	}
+	for i := range o.SMin {
+		o.SMin[i] = math.Inf(1)
+		o.SMax[i] = math.Inf(-1)
+	}
+	o.SMin[g.entry] = 0
+	o.SMax[g.entry] = 0
+	for _, b := range order {
+		if b != g.entry && len(g.pred[b]) == 0 {
+			// Unreachable would have failed Validate; a second
+			// source would be a structural error.
+			return nil, fmt.Errorf("cfg: block %s has no predecessor and is not the entry", g.blocks[b].Label())
+		}
+		for _, x := range g.pred[b] {
+			bx := g.blocks[x]
+			if v := o.SMin[x] + bx.EMin; v < o.SMin[b] {
+				o.SMin[b] = v
+			}
+			if v := o.SMax[x] + bx.EMax; v > o.SMax[b] {
+				o.SMax[b] = v
+			}
+		}
+	}
+	o.BCET = math.Inf(1)
+	o.WCET = 0
+	for _, e := range g.Exits() {
+		be := g.blocks[e]
+		if v := o.SMin[e] + be.EMin; v < o.BCET {
+			o.BCET = v
+		}
+		if v := o.SMax[e] + be.EMax; v > o.WCET {
+			o.WCET = v
+		}
+	}
+	return o, nil
+}
+
+// Window returns the interval of instants [lo, hi] during which block b may
+// be executing: it can start no earlier than smin_b and, starting as late as
+// smax_b and running for up to emax_b, can still be live until smax_b+emax_b.
+//
+// Note: the paper's prose states the window as [smin_b, smin_b + emax_b];
+// that under-approximates the live range of blocks whose start time varies
+// (smax_b > smin_b). We use the sound superset [smin_b, smax_b + emax_b] —
+// a larger BB(t) only makes the resulting delay function more conservative,
+// never unsound.
+func (o *Offsets) Window(b BlockID) (lo, hi float64) {
+	return o.SMin[b], o.SMax[b] + o.g.blocks[b].EMax
+}
+
+// Live reports whether block b may be executing at instant t.
+func (o *Offsets) Live(b BlockID, t float64) bool {
+	lo, hi := o.Window(b)
+	return t >= lo && t <= hi
+}
+
+// BB returns the set of blocks that might be executing at instant t, in
+// ascending ID order. For t within [0, BCET) the set is never empty.
+func (o *Offsets) BB(t float64) []BlockID {
+	var out []BlockID
+	for id := range o.SMin {
+		if o.Live(BlockID(id), t) {
+			out = append(out, BlockID(id))
+		}
+	}
+	return out
+}
+
+// Boundaries returns the sorted distinct window endpoints of all blocks.
+// Between two consecutive boundaries the set BB(t) is constant, so any
+// function of BB(t) — in particular the delay function fi — is piecewise
+// constant with breakpoints drawn from this list.
+func (o *Offsets) Boundaries() []float64 {
+	set := make(map[float64]struct{}, 2*len(o.SMin))
+	for id := range o.SMin {
+		lo, hi := o.Window(BlockID(id))
+		set[lo] = struct{}{}
+		set[hi] = struct{}{}
+	}
+	out := make([]float64, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Float64s(out)
+	return out
+}
+
+// Graph returns the graph the offsets were computed on.
+func (o *Offsets) Graph() *Graph { return o.g }

@@ -1,0 +1,313 @@
+// Package core implements the paper's contribution: Algorithm 1, an upper
+// bound on the cumulative preemption delay suffered by a task scheduled with
+// floating non-preemptive regions (Section V), together with the
+// state-of-the-art baseline it is compared against (Equation 4) and the
+// naive point-selection bound shown unsound by Figure 2.
+//
+// # Model
+//
+// A task with isolated WCET C executes under floating non-preemptive region
+// (FNPR) scheduling with region length Q: once a higher-priority job arrives,
+// the task keeps the processor for at most Q more time units, so consecutive
+// preemptions are at least Q apart in the task's execution time. A preemption
+// occurring when the task has progressed t units into its operations costs at
+// most f(t) additional execution time (the preemption delay function built by
+// package delay).
+//
+// # Algorithm 1
+//
+// The bound walks through the task's execution window by window. With the
+// current progression prog, it considers the descending line D(x) = prog+Q-x
+// and finds p∩, the first point in [prog, prog+Q] where f reaches D; a
+// preemption past p∩ would leave the progression short of that point, so it
+// will be reconsidered by a later iteration and can be ignored now. The worst
+// delay in [prog, p∩] is charged, and the guaranteed progression over the Q
+// window is Q - delaymax. Theorem 1 of the paper proves the result is an
+// upper bound for every feasible preemption scenario.
+//
+// Divergence: when the charged delay consumes the entire window
+// (delaymax >= Q), no progression can be guaranteed and the bound diverges;
+// UpperBound then returns +Inf, exactly as Equation 4's fixpoint does when
+// max f >= Q.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"fnpr/internal/delay"
+)
+
+// Epsilon guards the progression loop: a guaranteed progression per window
+// below this threshold is treated as divergence.
+const epsilon = 1e-9
+
+// maxIterations caps the iteration count of both Algorithm 1 and the
+// Equation 4 fixpoint as a defence against pathological inputs; the bounds
+// are reported as +Inf when exceeded.
+const maxIterations = 50_000_000
+
+// Iteration records one step of Algorithm 1 for inspection and plotting.
+type Iteration struct {
+	// Prog is the progression at the start of the iteration (the value
+	// assigned from pnext on line 6 of Algorithm 1).
+	Prog float64
+	// PIntersect is p∩, the first point in [Prog, Prog+Q] where f
+	// reaches the descending line; Prog+Q when there is no crossing.
+	PIntersect float64
+	// PMax is the earliest point of [Prog, PIntersect] attaining the
+	// window's maximum delay.
+	PMax float64
+	// DelayMax is f(PMax), the delay charged by this iteration.
+	DelayMax float64
+	// PNext is the next progression point, Prog + Q - DelayMax.
+	PNext float64
+	// Total is the cumulative delay accounted after this iteration.
+	Total float64
+}
+
+// Result carries the bound plus its per-iteration trace.
+type Result struct {
+	// TotalDelay is the upper bound on cumulative preemption delay
+	// (+Inf when the analysis diverges because Q <= the local delay).
+	TotalDelay float64
+	// Preemptions is the number of preemptions charged (iterations).
+	Preemptions int
+	// Iterations is the step-by-step trace.
+	Iterations []Iteration
+	// Diverged reports whether the analysis hit a zero-progress window.
+	Diverged bool
+}
+
+// EffectiveWCET returns C' = C + TotalDelay (Equation 5 of the paper); +Inf
+// when the analysis diverged.
+func (r Result) EffectiveWCET(c float64) float64 {
+	return c + r.TotalDelay
+}
+
+// UpperBound runs Algorithm 1 on the preemption delay function f with
+// non-preemptive region length Q and returns the bound on the cumulative
+// preemption delay over one job whose isolated WCET is f.Domain().
+func UpperBound(f delay.Function, q float64) (float64, error) {
+	r, err := UpperBoundTrace(f, q)
+	if err != nil {
+		return 0, err
+	}
+	return r.TotalDelay, nil
+}
+
+// UpperBoundTrace is UpperBound with the full iteration trace.
+func UpperBoundTrace(f delay.Function, q float64) (Result, error) {
+	// Lines 1-4 of Algorithm 1: the first Q units of execution are
+	// preemption-free, so the first candidate preemption point is Q.
+	return upperBoundFrom(f, q, q)
+}
+
+// upperBoundFrom runs the Algorithm 1 loop with an explicit first candidate
+// preemption point, used by UpperBoundTrace (first = Q) and by
+// RemainingBound (first = Q - pending payback).
+func upperBoundFrom(f delay.Function, q, first float64) (Result, error) {
+	if f == nil {
+		return Result{}, errors.New("core: nil delay function")
+	}
+	if q <= 0 || math.IsNaN(q) || math.IsInf(q, 0) {
+		return Result{}, fmt.Errorf("core: Q must be positive and finite, got %g", q)
+	}
+	c := f.Domain()
+	if c <= 0 {
+		return Result{}, fmt.Errorf("core: delay function has empty domain %g", c)
+	}
+
+	var res Result
+	if first <= 0 {
+		// The pending payback consumes the whole protected window:
+		// a preemption can strike before any further progression and
+		// the bound diverges.
+		res.TotalDelay = math.Inf(1)
+		res.Diverged = true
+		return res, nil
+	}
+	prog := 0.0
+	pnext := first
+
+	for pnext < c {
+		prog = pnext
+
+		// p∩: first crossing of f with D(x) = prog + Q - x on
+		// [prog, prog+Q]; prog+Q when f stays below the line.
+		pIntersect, ok := f.FirstReachDescending(prog, prog+q, prog+q)
+		if !ok {
+			pIntersect = prog + q
+		}
+
+		pmax, delayMax := f.MaxOn(prog, pIntersect)
+		pnext = prog + q - delayMax
+		res.TotalDelay += delayMax
+		res.Preemptions++
+		res.Iterations = append(res.Iterations, Iteration{
+			Prog:       prog,
+			PIntersect: pIntersect,
+			PMax:       pmax,
+			DelayMax:   delayMax,
+			PNext:      pnext,
+			Total:      res.TotalDelay,
+		})
+
+		if q-delayMax <= epsilon {
+			// The whole window can be consumed by delay: no
+			// guaranteed progression, the bound diverges.
+			res.TotalDelay = math.Inf(1)
+			res.Diverged = true
+			return res, nil
+		}
+		if res.Preemptions >= maxIterations {
+			res.TotalDelay = math.Inf(1)
+			res.Diverged = true
+			return res, nil
+		}
+	}
+	return res, nil
+}
+
+// StateOfTheArt computes the baseline bound of Equation 4: every possible
+// preemption is charged the global maximum of f, and the preemption count is
+// the fixpoint of
+//
+//	C'(0) = C;  C'(k) = C + ceil(C'(k-1)/Q) * max_t f(t)
+//
+// The returned value is the cumulative delay C' - C (so it is directly
+// comparable with UpperBound); +Inf when the fixpoint diverges (max f >= Q).
+func StateOfTheArt(f delay.Function, q float64) (float64, error) {
+	if f == nil {
+		return 0, errors.New("core: nil delay function")
+	}
+	if q <= 0 || math.IsNaN(q) || math.IsInf(q, 0) {
+		return 0, fmt.Errorf("core: Q must be positive and finite, got %g", q)
+	}
+	c := f.Domain()
+	_, maxF := f.MaxOn(0, c)
+	return StateOfTheArtRaw(c, q, maxF)
+}
+
+// StateOfTheArtRaw is StateOfTheArt for callers that already know C and the
+// maximum preemption delay.
+func StateOfTheArtRaw(c, q, maxDelay float64) (float64, error) {
+	if c <= 0 || q <= 0 || maxDelay < 0 {
+		return 0, fmt.Errorf("core: invalid parameters C=%g Q=%g max=%g", c, q, maxDelay)
+	}
+	if maxDelay == 0 {
+		return 0, nil
+	}
+	if maxDelay >= q {
+		// Each iteration adds at least one extra preemption's worth of
+		// delay per window: the fixpoint diverges.
+		return math.Inf(1), nil
+	}
+	cur := c
+	for i := 0; i < maxIterations; i++ {
+		next := c + math.Ceil(cur/q)*maxDelay
+		if next <= cur {
+			return cur - c, nil
+		}
+		cur = next
+	}
+	return math.Inf(1), nil
+}
+
+// NaivePointSelection computes the (unsound!) bound discussed at the top of
+// Section V and refuted by Figure 2: select preemption points at least Q
+// apart in *progression* maximising the sum of f. It underestimates the real
+// worst case because time spent repaying delay lets the adversary fit more
+// preemptions than progression-spacing suggests. It is retained only to
+// reproduce the paper's counter-example; never use it for analysis.
+//
+// The maximisation is performed by dynamic programming over a candidate grid
+// containing every breakpoint of f plus shifted copies at multiples of Q, so
+// for piecewise-constant f the result is exact.
+func NaivePointSelection(f *delay.Piecewise, q float64) (float64, error) {
+	if f == nil {
+		return 0, errors.New("core: nil delay function")
+	}
+	if q <= 0 || math.IsNaN(q) || math.IsInf(q, 0) {
+		return 0, fmt.Errorf("core: Q must be positive and finite, got %g", q)
+	}
+	c := f.Domain()
+	// Candidate points: piece starts shifted by k*Q, clipped to [Q, C).
+	// An optimal selection can always be normalised so each point is
+	// either a piece start or exactly Q after the previous point, whose
+	// chain bottoms out at a piece start or at Q.
+	var candidates []float64
+	seen := map[float64]bool{}
+	add := func(x float64) {
+		if x >= q && x < c && !seen[x] {
+			seen[x] = true
+			candidates = append(candidates, x)
+		}
+	}
+	for _, s := range f.Breakpoints() {
+		for x := s; x < c; x += q {
+			add(x)
+		}
+	}
+	for x := q; x < c; x += q {
+		add(x)
+	}
+	const maxCandidates = 20000
+	if len(candidates) > maxCandidates {
+		return 0, fmt.Errorf("core: naive selection grid too large (%d candidates); this demonstration-only bound is meant for small functions", len(candidates))
+	}
+	sort.Float64s(candidates)
+	n := len(candidates)
+	if n == 0 {
+		return 0, nil
+	}
+	// best[i] = max sum selecting candidate i last.
+	best := make([]float64, n)
+	ans := 0.0
+	for i := 0; i < n; i++ {
+		best[i] = f.Eval(candidates[i])
+		for j := 0; j < i; j++ {
+			if candidates[i]-candidates[j] >= q-1e-12 && best[j]+f.Eval(candidates[i]) > best[i] {
+				best[i] = best[j] + f.Eval(candidates[i])
+			}
+		}
+		if best[i] > ans {
+			ans = best[i]
+		}
+	}
+	return ans, nil
+}
+
+// RemainingBound bounds the delay still ahead of a job that was just
+// preempted at progression p: the current preemption's cost f(p) plus the
+// cumulative cost of further preemptions over the remaining execution.
+// The next preemption can strike Q execution-time units after the current
+// one, of which f(p) are consumed repaying the current delay, so the first
+// protected window of the suffix analysis shrinks to Q - f(p); when the
+// payback swallows the whole window (f(p) >= Q) the bound diverges, exactly
+// like the whole-job analysis with delay >= Q.
+//
+// This is the run-time refinement hook the paper's model enables: a
+// scheduler that knows the observed preemption progression can re-bound the
+// job's remaining WCET online.
+func RemainingBound(f *delay.Piecewise, q, p float64) (float64, error) {
+	if f == nil {
+		return 0, errors.New("core: nil delay function")
+	}
+	c := f.Domain()
+	if p < 0 || p >= c {
+		return 0, fmt.Errorf("core: progression %g outside [0, %g)", p, c)
+	}
+	current := f.Eval(p)
+	suffix, err := f.Suffix(p)
+	if err != nil {
+		return 0, err
+	}
+	res, err := upperBoundFrom(suffix, q, q-current)
+	if err != nil {
+		return 0, err
+	}
+	return current + res.TotalDelay, nil
+}

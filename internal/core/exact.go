@@ -1,0 +1,91 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"fnpr/internal/delay"
+)
+
+// ExactWorstCase computes the exact worst-case cumulative preemption delay
+// of a job under FNPR semantics by exhaustive search over normalised
+// scenarios — an oracle for measuring how tight Algorithm 1's bound is on
+// small instances (it is exponential in the worst case and guarded by a
+// node budget).
+//
+// Normalisation: for piecewise-constant f, any scenario can be transformed,
+// without reducing its total delay, so that every preemption strikes either
+// (a) as early as the spacing constraint allows (execution time exactly Q
+// after the previous preemption), or (b) at the first instant its
+// progression enters some later piece of f. Proof sketch: moving a
+// preemption earlier within the same piece preserves its charge f(prog) and
+// only relaxes the spacing constraint on all later preemptions; therefore a
+// worst-case scenario exists in which each preemption is left-aligned either
+// to the spacing boundary or to a piece start. The search branches over
+// exactly these candidates.
+func ExactWorstCase(f *delay.Piecewise, q float64, maxNodes int) (float64, error) {
+	if f == nil {
+		return 0, errors.New("core: nil delay function")
+	}
+	if q <= 0 || math.IsNaN(q) || math.IsInf(q, 0) {
+		return 0, fmt.Errorf("core: Q must be positive and finite, got %g", q)
+	}
+	if maxNodes <= 0 {
+		maxNodes = 1_000_000
+	}
+	c := f.Domain()
+	_, maxF := f.Max()
+	if maxF >= q {
+		// The adversary can stall progression forever: unbounded.
+		return math.Inf(1), nil
+	}
+	starts := f.Breakpoints()
+	nodes := 0
+	var best float64
+
+	// search explores scenarios from the state "last preemption at
+	// execution time e with total paid delay d" and returns the best
+	// additional delay obtainable. earliestProg is the progression at the
+	// earliest admissible next strike.
+	var search func(earliestProg, paid float64) (float64, error)
+	search = func(earliestProg, paid float64) (float64, error) {
+		nodes++
+		if nodes > maxNodes {
+			return 0, fmt.Errorf("core: exact search exceeded %d nodes", maxNodes)
+		}
+		var bestHere float64 // stopping (no further preemption) = 0
+		try := func(prog float64) error {
+			if prog >= c-completionTol(c, prog+paid) {
+				return nil // job finishes before this strike
+			}
+			d := f.Eval(prog)
+			rest, err := search(prog+q-d, paid+d)
+			if err != nil {
+				return err
+			}
+			if d+rest > bestHere {
+				bestHere = d + rest
+			}
+			return nil
+		}
+		if err := try(earliestProg); err != nil {
+			return 0, err
+		}
+		for _, s := range starts {
+			if s > earliestProg && s < c {
+				if err := try(s); err != nil {
+					return 0, err
+				}
+			}
+		}
+		return bestHere, nil
+	}
+	// First preemption: progression >= Q (no delay paid yet).
+	v, err := search(q, 0)
+	if err != nil {
+		return 0, err
+	}
+	best = v
+	return best, nil
+}

@@ -1,0 +1,52 @@
+package core_test
+
+import (
+	"fmt"
+
+	"fnpr/internal/core"
+	"fnpr/internal/delay"
+)
+
+// The motivating example of Section III: a task that loads a working set
+// (expensive to preempt), processes it, then computes on a small subset
+// (cheap to preempt).
+func ExampleUpperBound() {
+	f, _ := delay.NewPiecewise(
+		[]float64{0, 20, 35, 100}, // C = 100
+		[]float64{12, 6, 1},
+	)
+	bound, _ := core.UpperBound(f, 25) // Q = 25
+	soa, _ := core.StateOfTheArt(f, 25)
+	fmt.Printf("Algorithm 1: %.0f\n", bound)
+	fmt.Printf("Equation 4:  %.0f\n", soa)
+	// Output:
+	// Algorithm 1: 9
+	// Equation 4:  96
+}
+
+func ExampleUpperBoundTrace() {
+	f := delay.Constant(2, 50)
+	res, _ := core.UpperBoundTrace(f, 10)
+	fmt.Printf("%d preemptions charged, total %.0f, C' = %.0f\n",
+		res.Preemptions, res.TotalDelay, res.EffectiveWCET(50))
+	// Output:
+	// 5 preemptions charged, total 10, C' = 60
+}
+
+func ExampleUpperBoundLimited() {
+	f := delay.Constant(2, 100)
+	full, _ := core.UpperBound(f, 10)
+	limited, _ := core.UpperBoundLimited(f, 10, 3) // at most 3 preemptions
+	fmt.Printf("unlimited: %.0f, at most 3 preemptions: %.0f\n", full, limited)
+	// Output:
+	// unlimited: 24, at most 3 preemptions: 6
+}
+
+func ExampleGreedyScenario() {
+	f := delay.Constant(2, 50)
+	_, run := core.GreedyScenario(f, 10)
+	bound, _ := core.UpperBound(f, 10)
+	fmt.Printf("simulated %.0f <= bound %.0f\n", run.TotalDelay, bound)
+	// Output:
+	// simulated 10 <= bound 10
+}

@@ -1,0 +1,73 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"fnpr/internal/delay"
+)
+
+// String renders the result with its iteration trace as a table, the
+// programmatic counterpart of walking Figure 3 of the paper step by step.
+func (r Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "total delay %.4f over %d preemptions", r.TotalDelay, r.Preemptions)
+	if r.Diverged {
+		b.WriteString(" (DIVERGED)")
+	}
+	b.WriteString("\n")
+	if len(r.Iterations) == 0 {
+		return b.String()
+	}
+	fmt.Fprintf(&b, "%5s %12s %12s %12s %12s %12s %12s\n",
+		"iter", "prog", "p∩", "pmax", "delaymax", "pnext", "total")
+	for i, it := range r.Iterations {
+		fmt.Fprintf(&b, "%5d %12.4f %12.4f %12.4f %12.4f %12.4f %12.4f\n",
+			i+1, it.Prog, it.PIntersect, it.PMax, it.DelayMax, it.PNext, it.Total)
+	}
+	return b.String()
+}
+
+// QSweep holds the outcome of sweeping Algorithm 1 and Equation 4 over a
+// set of NPR lengths — the computation behind one curve pair of Figure 5.
+type QSweep struct {
+	Q          []float64
+	Algorithm1 []float64
+	Equation4  []float64
+}
+
+// SweepQ evaluates both bounds for every Q in qs.
+func SweepQ(f delay.Function, qs []float64) (*QSweep, error) {
+	out := &QSweep{Q: append([]float64(nil), qs...)}
+	for _, q := range qs {
+		alg, err := UpperBound(f, q)
+		if err != nil {
+			return nil, err
+		}
+		soa, err := StateOfTheArt(f, q)
+		if err != nil {
+			return nil, err
+		}
+		out.Algorithm1 = append(out.Algorithm1, alg)
+		out.Equation4 = append(out.Equation4, soa)
+	}
+	return out, nil
+}
+
+// MaxGain returns the largest Equation4/Algorithm1 ratio across the sweep
+// and the Q at which it occurs (ignoring points where either diverged or
+// the Algorithm 1 bound is zero).
+func (s *QSweep) MaxGain() (q, gain float64) {
+	for i := range s.Q {
+		a, e := s.Algorithm1[i], s.Equation4[i]
+		if a <= 0 || e <= 0 || isInf(a) || isInf(e) {
+			continue
+		}
+		if g := e / a; g > gain {
+			gain, q = g, s.Q[i]
+		}
+	}
+	return q, gain
+}
+
+func isInf(v float64) bool { return v > 1e308 }

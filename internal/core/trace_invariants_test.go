@@ -1,0 +1,77 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestTraceInvariants pins the per-iteration guarantees of Algorithm 1's
+// trace (the quantities the proof of Theorem 1 manipulates):
+//
+//  1. prog of iteration k+1 equals pnext of iteration k; prog(1) = Q.
+//  2. p∩ lies in [prog, prog+Q], and when it is an interior crossing the
+//     function actually reaches the descending line there.
+//  3. delaymax is the maximum of f over [prog, p∩] (validated by sampling)
+//     and is attained at pmax.
+//  4. pnext = prog + Q - delaymax, and the per-window progression
+//     Q - delaymax is strictly positive for non-divergent runs.
+//  5. Total equals the running sum of the charges.
+func TestTraceInvariants(t *testing.T) {
+	r := rand.New(rand.NewSource(31337))
+	for trial := 0; trial < 150; trial++ {
+		c := 50 + r.Float64()*400
+		maxV := 1 + r.Float64()*8
+		q := maxV + 0.5 + r.Float64()*50
+		f := randomPiecewise(r, c, maxV)
+		res, err := UpperBoundTrace(f, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Diverged {
+			continue
+		}
+		var total float64
+		prev := q
+		for k, it := range res.Iterations {
+			if it.Prog != prev {
+				t.Fatalf("trial %d iter %d: prog %g != previous pnext %g", trial, k, it.Prog, prev)
+			}
+			if it.PIntersect < it.Prog-1e-9 || it.PIntersect > it.Prog+q+1e-9 {
+				t.Fatalf("trial %d iter %d: p∩ %g outside [prog, prog+Q]", trial, k, it.PIntersect)
+			}
+			if it.PIntersect < it.Prog+q-1e-9 {
+				// Interior crossing: f reaches the line D(x) = prog+Q-x.
+				d := it.Prog + q - it.PIntersect
+				if f.Eval(it.PIntersect) < d-1e-6 {
+					t.Fatalf("trial %d iter %d: f(p∩)=%g below line %g",
+						trial, k, f.Eval(it.PIntersect), d)
+				}
+			}
+			if f.Eval(it.PMax) != it.DelayMax {
+				t.Fatalf("trial %d iter %d: f(pmax) %g != delaymax %g",
+					trial, k, f.Eval(it.PMax), it.DelayMax)
+			}
+			for i := 0; i < 25; i++ {
+				x := it.Prog + r.Float64()*(it.PIntersect-it.Prog)
+				if f.Eval(x) > it.DelayMax+1e-9 {
+					t.Fatalf("trial %d iter %d: f(%g)=%g exceeds delaymax %g",
+						trial, k, x, f.Eval(x), it.DelayMax)
+				}
+			}
+			if want := it.Prog + q - it.DelayMax; it.PNext != want {
+				t.Fatalf("trial %d iter %d: pnext %g != %g", trial, k, it.PNext, want)
+			}
+			if q-it.DelayMax <= 0 {
+				t.Fatalf("trial %d iter %d: non-divergent run with zero window progression", trial, k)
+			}
+			total += it.DelayMax
+			if it.Total != total {
+				t.Fatalf("trial %d iter %d: running total %g != %g", trial, k, it.Total, total)
+			}
+			prev = it.PNext
+		}
+		if total != res.TotalDelay {
+			t.Fatalf("trial %d: trace sum %g != result %g", trial, total, res.TotalDelay)
+		}
+	}
+}

@@ -1,0 +1,64 @@
+package delay_test
+
+import (
+	"fmt"
+
+	"fnpr/internal/cache"
+	"fnpr/internal/cfg"
+	"fnpr/internal/delay"
+)
+
+func ExampleNewPiecewise() {
+	f, _ := delay.NewPiecewise(
+		[]float64{0, 10, 30},
+		[]float64{5, 1},
+	)
+	fmt.Println(f.Eval(4), f.Eval(20))
+	tmax, fmax := f.Max()
+	fmt.Println(tmax, fmax)
+	// Output:
+	// 5 1
+	// 0 5
+}
+
+// The complete Section IV pipeline: control-flow graph with memory accesses
+// to a per-task preemption delay function.
+func ExampleFromUCB() {
+	g := cfg.New()
+	load := g.AddSimple("load", 10, 10)
+	compute := g.AddSimple("compute", 50, 60)
+	reuse := g.AddSimple("reuse", 10, 15)
+	g.MustEdge(load, compute)
+	g.MustEdge(compute, reuse)
+
+	cc := cache.Config{Sets: 8, Assoc: 2, LineBytes: 16, ReloadCost: 2}
+	acc := cache.AccessMap{
+		load:  {0, 1, 2, 3}, // load four lines
+		reuse: {2, 3},       // reuse two of them at the end
+	}
+	ucb, _ := cache.AnalyzeUCB(g, acc, cc)
+	off, _ := g.AnalyzeOffsets()
+	f, _ := delay.FromUCB(off, ucb)
+
+	// During the long compute phase only the two reused lines are
+	// useful: a preemption there costs at most 2 lines x 2 time units.
+	fmt.Println(f.Eval(30))
+	// Output:
+	// 4
+}
+
+func ExamplePiecewise_FirstReachDescending() {
+	f := delay.Constant(3, 20)
+	// First point x in [0, 10] where f(x) >= 10 - x: 3 >= 10-x at x = 7.
+	x, ok := f.FirstReachDescending(0, 10, 10)
+	fmt.Println(x, ok)
+	// Output:
+	// 7 true
+}
+
+func ExampleParseCompact() {
+	f, _ := delay.ParseCompact("0:10=4,10:60=0.5")
+	fmt.Println(f.Domain(), f.Eval(5), f.Eval(30))
+	// Output:
+	// 60 4 0.5
+}

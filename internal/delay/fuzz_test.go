@@ -1,0 +1,123 @@
+package delay
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzFirstReachDescending cross-checks the analytic first-crossing query
+// against dense sampling on fuzzer-chosen functions and query lines.
+func FuzzFirstReachDescending(f *testing.F) {
+	f.Add(10.0, 3.0, 7.0, 0.3, 15.0)
+	f.Add(100.0, 0.0, 9.0, 0.8, 50.0)
+	f.Add(42.0, 5.0, 5.0, 0.5, 30.0)
+	f.Fuzz(func(t *testing.T, c, vLo, vHi, split, line float64) {
+		if math.IsNaN(c) || math.IsInf(c, 0) || c < 1 || c > 1e6 {
+			t.Skip()
+		}
+		clampV := func(v float64) float64 {
+			if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+				return 0
+			}
+			if v > 1e6 {
+				return 1e6
+			}
+			return v
+		}
+		vLo, vHi = clampV(vLo), clampV(vHi)
+		if math.IsNaN(split) || split <= 0.01 || split >= 0.99 {
+			t.Skip()
+		}
+		if math.IsNaN(line) || math.IsInf(line, 0) || math.Abs(line) > 1e7 {
+			t.Skip()
+		}
+		p, err := NewPiecewise([]float64{0, c * split, c}, []float64{vLo, vHi})
+		if err != nil {
+			t.Skip()
+		}
+		x, ok := p.FirstReachDescending(0, c, line)
+		if ok {
+			if p.Eval(x) < line-x-1e-6 {
+				t.Fatalf("returned %g does not satisfy f >= c-x: f=%g, line-x=%g", x, p.Eval(x), line-x)
+			}
+			// No sampled earlier point satisfies it strictly.
+			for i := 0; i < 200; i++ {
+				y := x * float64(i) / 200
+				if y < x-1e-9 && p.Eval(y) >= line-y+1e-6 {
+					t.Fatalf("earlier point %g satisfies f >= line-x before %g", y, x)
+				}
+			}
+		} else {
+			for i := 0; i <= 200; i++ {
+				y := c * float64(i) / 200
+				if p.Eval(y) >= line-y+1e-6 {
+					t.Fatalf("missed satisfying point %g (f=%g, line-x=%g)", y, p.Eval(y), line-y)
+				}
+			}
+		}
+	})
+}
+
+// FuzzMaxOn cross-checks the interval maximum against dense sampling.
+func FuzzMaxOn(f *testing.F) {
+	f.Add(10.0, 3.0, 7.0, 0.3, 2.0, 8.0)
+	f.Add(55.0, 1.0, 0.0, 0.6, 0.0, 55.0)
+	f.Fuzz(func(t *testing.T, c, vLo, vHi, split, a, b float64) {
+		if math.IsNaN(c) || math.IsInf(c, 0) || c < 1 || c > 1e6 {
+			t.Skip()
+		}
+		for _, v := range []float64{vLo, vHi, a, b} {
+			if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 || v > 1e6 {
+				t.Skip()
+			}
+		}
+		if split <= 0.01 || split >= 0.99 || math.IsNaN(split) {
+			t.Skip()
+		}
+		p, err := NewPiecewise([]float64{0, c * split, c}, []float64{vLo, vHi})
+		if err != nil {
+			t.Skip()
+		}
+		if b < a {
+			a, b = b, a
+		}
+		tm, fm := p.MaxOn(a, b)
+		if p.Eval(tm) != fm {
+			t.Fatalf("argmax %g does not achieve reported max %g", tm, fm)
+		}
+		lo, hi := a, b
+		if hi > c {
+			hi = c
+		}
+		if lo > hi {
+			lo = hi
+		}
+		for i := 0; i <= 100; i++ {
+			y := lo + (hi-lo)*float64(i)/100
+			if p.Eval(y) > fm+1e-9 {
+				t.Fatalf("MaxOn(%g,%g)=%g below f(%g)=%g", a, b, fm, y, p.Eval(y))
+			}
+		}
+	})
+}
+
+// FuzzParseCompact asserts the compact-spec parser never panics and anything
+// it accepts is a valid function.
+func FuzzParseCompact(f *testing.F) {
+	f.Add("0:5=2,5:20=0.5")
+	f.Add("0:1=0")
+	f.Add("0:5")
+	f.Add("x")
+	f.Fuzz(func(t *testing.T, in string) {
+		p, err := ParseCompact(in)
+		if err != nil {
+			return
+		}
+		if p.Domain() <= 0 {
+			t.Fatalf("accepted function with bad domain %g", p.Domain())
+		}
+		if v := p.Eval(p.Domain() / 2); v < 0 {
+			t.Fatalf("accepted negative value %g", v)
+		}
+	})
+}

@@ -1,0 +1,163 @@
+package delay
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// PiecewiseLinear is a continuous piecewise-linear function on [0, C]:
+// value ys[i] at breakpoint xs[i], linearly interpolated between
+// breakpoints. It implements Function exactly (no sampling error), for
+// delay models that are naturally linear — e.g. working sets loaded or
+// drained at constant rate — where a piecewise-constant envelope would
+// round every slope up to its maximum.
+type PiecewiseLinear struct {
+	xs, ys []float64 // both length n+1
+}
+
+// NewPiecewiseLinear builds the function. Requirements: len(xs) == len(ys)
+// >= 2, xs strictly increasing starting at 0, ys non-negative and finite.
+func NewPiecewiseLinear(xs, ys []float64) (*PiecewiseLinear, error) {
+	if len(xs) != len(ys) {
+		return nil, fmt.Errorf("delay: %d breakpoints for %d values", len(xs), len(ys))
+	}
+	if len(xs) < 2 {
+		return nil, errors.New("delay: need at least two points")
+	}
+	if xs[0] != 0 {
+		return nil, fmt.Errorf("delay: domain must start at 0, got %g", xs[0])
+	}
+	for i := 1; i < len(xs); i++ {
+		if !(xs[i] > xs[i-1]) {
+			return nil, fmt.Errorf("delay: breakpoints not strictly increasing at %d", i)
+		}
+	}
+	for i, v := range ys {
+		if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("delay: point %d has invalid value %g", i, v)
+		}
+	}
+	return &PiecewiseLinear{
+		xs: append([]float64(nil), xs...),
+		ys: append([]float64(nil), ys...),
+	}, nil
+}
+
+// Domain implements Function.
+func (p *PiecewiseLinear) Domain() float64 { return p.xs[len(p.xs)-1] }
+
+// segmentAt returns the index i of the segment [xs[i], xs[i+1]] containing t
+// (clamped).
+func (p *PiecewiseLinear) segmentAt(t float64) int {
+	if t <= 0 {
+		return 0
+	}
+	n := len(p.xs) - 1
+	if t >= p.xs[n] {
+		return n - 1
+	}
+	lo, hi := 0, n-1
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if p.xs[mid] <= t {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return lo
+}
+
+// Eval implements Function (clamping outside the domain).
+func (p *PiecewiseLinear) Eval(t float64) float64 {
+	if t <= 0 {
+		return p.ys[0]
+	}
+	if d := p.Domain(); t >= d {
+		return p.ys[len(p.ys)-1]
+	}
+	i := p.segmentAt(t)
+	x0, x1 := p.xs[i], p.xs[i+1]
+	y0, y1 := p.ys[i], p.ys[i+1]
+	return y0 + (y1-y0)*(t-x0)/(x1-x0)
+}
+
+// MaxOn implements Function: a linear segment attains its maximum at an
+// endpoint, so the candidates are the clipped range ends plus the interior
+// breakpoints.
+func (p *PiecewiseLinear) MaxOn(a, b float64) (tmax, fmax float64) {
+	d := p.Domain()
+	a = math.Max(0, math.Min(a, d))
+	b = math.Max(a, math.Min(b, d))
+	tmax, fmax = a, p.Eval(a)
+	for i, x := range p.xs {
+		if x > a && x < b && p.ys[i] > fmax {
+			tmax, fmax = x, p.ys[i]
+		}
+	}
+	if v := p.Eval(b); v > fmax {
+		tmax, fmax = b, v
+	}
+	return tmax, fmax
+}
+
+// FirstReachDescending implements Function: the smallest x in [a, b] with
+// f(x) >= c - x, i.e. g(x) = f(x) + x >= c. g is piecewise linear and its
+// crossings are solvable in closed form per segment.
+func (p *PiecewiseLinear) FirstReachDescending(a, b, c float64) (float64, bool) {
+	d := p.Domain()
+	a = math.Max(0, math.Min(a, d))
+	b = math.Max(a, math.Min(b, d))
+	g := func(x float64) float64 { return p.Eval(x) + x }
+	if g(a) >= c {
+		return a, true
+	}
+	i := p.segmentAt(a)
+	for ; i < len(p.xs)-1; i++ {
+		lo := math.Max(p.xs[i], a)
+		hi := math.Min(p.xs[i+1], b)
+		if lo >= hi {
+			if p.xs[i] > b {
+				break
+			}
+			continue
+		}
+		g0, g1 := g(lo), g(hi)
+		if g0 >= c {
+			return lo, true
+		}
+		if g1 >= c {
+			// Linear crossing inside (lo, hi].
+			x := lo + (c-g0)*(hi-lo)/(g1-g0)
+			if x < lo {
+				x = lo
+			}
+			if x > hi {
+				x = hi
+			}
+			return x, true
+		}
+		if hi == b {
+			break
+		}
+	}
+	return 0, false
+}
+
+// ToPiecewise returns the exact piecewise-constant upper envelope with one
+// piece per segment (a linear segment's maximum is at an endpoint, so the
+// per-piece max is exact, not sampled). Useful to feed PWL models into
+// consumers that require *Piecewise.
+func (p *PiecewiseLinear) ToPiecewise() *Piecewise {
+	n := len(p.xs) - 1
+	vs := make([]float64, n)
+	for i := 0; i < n; i++ {
+		vs[i] = math.Max(p.ys[i], p.ys[i+1])
+	}
+	out, err := NewPiecewise(p.xs, vs)
+	if err != nil {
+		panic(err) // inputs validated at construction
+	}
+	return out
+}

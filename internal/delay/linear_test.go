@@ -1,0 +1,171 @@
+package delay
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func mustPWL(t *testing.T, xs, ys []float64) *PiecewiseLinear {
+	t.Helper()
+	p, err := NewPiecewiseLinear(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestNewPiecewiseLinearValidation(t *testing.T) {
+	cases := []struct {
+		name   string
+		xs, ys []float64
+	}{
+		{"length mismatch", []float64{0, 1}, []float64{1}},
+		{"single point", []float64{0}, []float64{1}},
+		{"not at zero", []float64{1, 2}, []float64{1, 1}},
+		{"not increasing", []float64{0, 2, 2}, []float64{1, 1, 1}},
+		{"negative value", []float64{0, 1}, []float64{-1, 0}},
+		{"NaN value", []float64{0, 1}, []float64{math.NaN(), 0}},
+	}
+	for _, c := range cases {
+		if _, err := NewPiecewiseLinear(c.xs, c.ys); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+func TestPiecewiseLinearEval(t *testing.T) {
+	p := mustPWL(t, []float64{0, 10, 20}, []float64{0, 10, 0})
+	cases := []struct{ t, want float64 }{
+		{-1, 0}, {0, 0}, {5, 5}, {10, 10}, {15, 5}, {20, 0}, {25, 0},
+	}
+	for _, c := range cases {
+		if got := p.Eval(c.t); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Eval(%g) = %g, want %g", c.t, got, c.want)
+		}
+	}
+	if p.Domain() != 20 {
+		t.Fatalf("domain = %g", p.Domain())
+	}
+}
+
+func TestPiecewiseLinearMaxOn(t *testing.T) {
+	p := mustPWL(t, []float64{0, 10, 20}, []float64{0, 10, 0})
+	tm, fm := p.MaxOn(0, 20)
+	if tm != 10 || fm != 10 {
+		t.Fatalf("MaxOn = (%g,%g), want (10,10)", tm, fm)
+	}
+	// Within one rising segment the max is at the right end.
+	tm, fm = p.MaxOn(2, 6)
+	if tm != 6 || fm != 6 {
+		t.Fatalf("MaxOn(2,6) = (%g,%g), want (6,6)", tm, fm)
+	}
+	// Falling segment: max at the left end.
+	tm, fm = p.MaxOn(12, 18)
+	if tm != 12 || fm != 8 {
+		t.Fatalf("MaxOn(12,18) = (%g,%g), want (12,8)", tm, fm)
+	}
+}
+
+func TestPiecewiseLinearFirstReach(t *testing.T) {
+	// f rises 0->10 over [0,10]: g(x) = f(x)+x = 2x. First x with
+	// g >= 12 is 6.
+	p := mustPWL(t, []float64{0, 10, 20}, []float64{0, 10, 10})
+	x, ok := p.FirstReachDescending(0, 20, 12)
+	if !ok || math.Abs(x-6) > 1e-12 {
+		t.Fatalf("FirstReach = (%g,%v), want (6,true)", x, ok)
+	}
+	// Unreachable line.
+	if _, ok := p.FirstReachDescending(0, 5, 100); ok {
+		t.Fatal("found nonexistent crossing")
+	}
+	// Start already above the line.
+	x, ok = p.FirstReachDescending(8, 20, 10)
+	if !ok || x != 8 {
+		t.Fatalf("FirstReach = (%g,%v), want (8,true)", x, ok)
+	}
+}
+
+func TestPiecewiseLinearFirstReachSteepDescent(t *testing.T) {
+	// f falls faster than the line rises: g decreasing within the
+	// segment; no crossing inside it, but the flat tail catches up.
+	p := mustPWL(t, []float64{0, 5, 40}, []float64{20, 0, 0})
+	// g on [0,5] falls 20 -> 5; g on [5,40] = x. First g >= 18: at
+	// x where x = 18 on the tail... but g(0)=20 >= 18 already.
+	x, ok := p.FirstReachDescending(0, 40, 18)
+	if !ok || x != 0 {
+		t.Fatalf("FirstReach = (%g,%v), want (0,true)", x, ok)
+	}
+	// Exclude the early region: query from 1. g(1)=17 < 18; crossing
+	// within [0,5]? g decreasing -> no; tail: x = 18.
+	x, ok = p.FirstReachDescending(1, 40, 18)
+	if !ok || math.Abs(x-18) > 1e-12 {
+		t.Fatalf("FirstReach = (%g,%v), want (18,true)", x, ok)
+	}
+}
+
+func TestToPiecewiseEnvelope(t *testing.T) {
+	p := mustPWL(t, []float64{0, 10, 20}, []float64{0, 10, 0})
+	pc := p.ToPiecewise()
+	r := rand.New(rand.NewSource(4))
+	for i := 0; i < 200; i++ {
+		x := r.Float64() * 20
+		if pc.Eval(x) < p.Eval(x)-1e-12 {
+			t.Fatalf("envelope below function at %g: %g < %g", x, pc.Eval(x), p.Eval(x))
+		}
+	}
+	if pc.Pieces() != 2 {
+		t.Fatalf("pieces = %d, want 2", pc.Pieces())
+	}
+}
+
+// Property: random PWL functions agree with dense sampling on MaxOn and
+// FirstReachDescending semantics.
+func TestPiecewiseLinearQueriesAgainstSampling(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 150; trial++ {
+		n := 2 + r.Intn(6)
+		xs := make([]float64, n+1)
+		ys := make([]float64, n+1)
+		for i := 1; i <= n; i++ {
+			xs[i] = xs[i-1] + 1 + r.Float64()*20
+		}
+		for i := range ys {
+			ys[i] = r.Float64() * 12
+		}
+		p, err := NewPiecewiseLinear(xs, ys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := p.Domain()
+		a := r.Float64() * d * 0.8
+		b := a + r.Float64()*(d-a)
+		_, fm := p.MaxOn(a, b)
+		for i := 0; i < 40; i++ {
+			x := a + r.Float64()*(b-a)
+			if p.Eval(x) > fm+1e-9 {
+				t.Fatalf("trial %d: MaxOn %g below f(%g)=%g", trial, fm, x, p.Eval(x))
+			}
+		}
+		c := a + r.Float64()*30
+		x, ok := p.FirstReachDescending(a, b, c)
+		if ok {
+			if p.Eval(x) < c-x-1e-9 {
+				t.Fatalf("trial %d: returned %g violates f >= c-x", trial, x)
+			}
+			for i := 0; i < 40; i++ {
+				y := a + r.Float64()*(x-a)
+				if y < x-1e-9 && p.Eval(y) >= c-y+1e-9 {
+					t.Fatalf("trial %d: earlier point %g satisfies before %g", trial, y, x)
+				}
+			}
+		} else {
+			for i := 0; i < 40; i++ {
+				y := a + r.Float64()*(b-a)
+				if p.Eval(y) >= c-y+1e-9 {
+					t.Fatalf("trial %d: missed satisfying point %g", trial, y)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,163 @@
+package delay
+
+import (
+	"math"
+	"testing"
+)
+
+func TestGaussianShape(t *testing.T) {
+	g := Gaussian(10, 100, 50, 2)
+	if got := g(100); math.Abs(got-12) > 1e-12 {
+		t.Fatalf("peak = %g, want 12", got)
+	}
+	if g(0) < 2 || g(0) > 2.01 {
+		t.Fatalf("far tail = %g, want ~2", g(0))
+	}
+	if g(90) >= g(100) || g(110) >= g(100) {
+		t.Fatal("Gaussian not peaked at mu")
+	}
+	if math.Abs(g(90)-g(110)) > 1e-12 {
+		t.Fatal("Gaussian not symmetric")
+	}
+}
+
+func TestGaussianMixClamp(t *testing.T) {
+	m := GaussianMix(10,
+		Gaussian(8, 50, 100, 0),
+		Gaussian(8, 55, 100, 0),
+	)
+	if m(52) > 10 {
+		t.Fatalf("mix exceeds cap: %g", m(52))
+	}
+	un := GaussianMix(0, Gaussian(8, 50, 100, 0), Gaussian(8, 55, 100, 0))
+	if un(52) <= 10 {
+		t.Fatalf("uncapped mix should exceed 10, got %g", un(52))
+	}
+}
+
+func TestUpperEnvelopeDominates(t *testing.T) {
+	fn := Gaussian(10, 2000, 30000, 0)
+	env, err := UpperEnvelope(fn, 4000, 4000, []float64{2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for x := 0.0; x <= 4000; x += 7.3 {
+		if env.Eval(x) < fn(x)-1e-9 {
+			t.Fatalf("envelope below function at %g: %g < %g", x, env.Eval(x), fn(x))
+		}
+	}
+	// The peak is captured exactly because the mode is supplied.
+	if _, fm := env.Max(); math.Abs(fm-10) > 1e-9 {
+		t.Fatalf("envelope max = %g, want 10", fm)
+	}
+}
+
+func TestUpperEnvelopeValidation(t *testing.T) {
+	fn := func(float64) float64 { return 1 }
+	if _, err := UpperEnvelope(fn, 0, 10, nil); err == nil {
+		t.Fatal("accepted zero domain")
+	}
+	if _, err := UpperEnvelope(fn, math.NaN(), 10, nil); err == nil {
+		t.Fatal("accepted NaN domain")
+	}
+	if _, err := UpperEnvelope(fn, 10, 0, nil); err == nil {
+		t.Fatal("accepted zero pieces")
+	}
+}
+
+func TestUpperEnvelopeClampsNegative(t *testing.T) {
+	fn := func(float64) float64 { return -5 }
+	env, err := UpperEnvelope(fn, 10, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.Eval(5) != 0 {
+		t.Fatalf("negative function not clamped to 0: %g", env.Eval(5))
+	}
+}
+
+func TestLiteralParams(t *testing.T) {
+	p := LiteralParams()
+	if p.C != 4000 || p.Mu != 2000 || p.Sigma2A != 300 || p.Sigma2B != 3000 {
+		t.Fatalf("literal params wrong: %+v", p)
+	}
+}
+
+func TestCalibratedParams(t *testing.T) {
+	p := CalibratedParams()
+	if p.Sigma2A != 30000 || p.Sigma2B != 300000 {
+		t.Fatalf("calibrated params wrong: %+v", p)
+	}
+}
+
+func TestPaperBenchmarkShapes(t *testing.T) {
+	for _, params := range []BenchmarkParams{LiteralParams(), CalibratedParams()} {
+		g1 := params.Gaussian1()
+		g2 := params.TwoLocalMax()
+		gb := params.Gaussian2()
+
+		// All defined on [0, 4000].
+		for _, f := range []*Piecewise{g1, g2, gb} {
+			if f.Domain() != 4000 {
+				t.Fatalf("domain = %g, want 4000", f.Domain())
+			}
+		}
+		// Gaussian 1 floor is the offset; peak is offset+amp at mu.
+		if v := g1.Eval(0); math.Abs(v-params.Offset1) > 0.01 {
+			t.Fatalf("Gaussian1 floor = %g, want ~%g", v, params.Offset1)
+		}
+		if _, fm := g1.Max(); math.Abs(fm-(params.Offset1+params.Amp1)) > 1e-6 {
+			t.Fatalf("Gaussian1 peak = %g, want %g", fm, params.Offset1+params.Amp1)
+		}
+		// Gaussian 2 peaks at 10 at mu and decays to ~0 at the borders.
+		if _, fm := gb.Max(); math.Abs(fm-params.Amp) > 1e-6 {
+			t.Fatalf("Gaussian2 peak = %g, want %g", fm, params.Amp)
+		}
+		// Two local maxima: high near C/4 and 3C/4, low at centre
+		// relative to the peaks.
+		p1 := g2.Eval(params.C / 4)
+		mid := g2.Eval(params.C / 2)
+		p2 := g2.Eval(3 * params.C / 4)
+		if p1 < 9.9 || p2 < 9.9 {
+			t.Fatalf("two-peak maxima = %g, %g; want ~10", p1, p2)
+		}
+		if mid >= p1 || mid >= p2 {
+			t.Fatalf("two-peak centre %g not below peaks %g/%g", mid, p1, p2)
+		}
+	}
+}
+
+func TestBenchmarksMapComplete(t *testing.T) {
+	b := LiteralParams().Benchmarks()
+	for _, name := range BenchmarkOrder() {
+		if _, ok := b[name]; !ok {
+			t.Fatalf("benchmark %q missing", name)
+		}
+	}
+	if len(b) != len(BenchmarkOrder()) {
+		t.Fatalf("benchmarks = %d, want %d", len(b), len(BenchmarkOrder()))
+	}
+}
+
+func TestStepFunction(t *testing.T) {
+	p := Step(1, 9, 100, 4)
+	if p.Pieces() != 4 || p.Domain() != 100 {
+		t.Fatalf("Step shape wrong: %v", p)
+	}
+	if p.Eval(10) != 9 || p.Eval(30) != 1 || p.Eval(60) != 9 || p.Eval(90) != 1 {
+		t.Fatalf("Step values wrong: %v", p)
+	}
+}
+
+func TestFrontLoaded(t *testing.T) {
+	p := FrontLoaded(20, 2, 1000)
+	if p.Eval(50) != 20 {
+		t.Fatalf("front value = %g, want 20", p.Eval(50))
+	}
+	if p.Eval(900) != 2 {
+		t.Fatalf("tail value = %g, want 2", p.Eval(900))
+	}
+	if p.Eval(250) != 11 {
+		t.Fatalf("middle value = %g, want 11", p.Eval(250))
+	}
+}

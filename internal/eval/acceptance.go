@@ -1,0 +1,178 @@
+package eval
+
+import (
+	"fmt"
+	"math/rand"
+
+	"fnpr/internal/delay"
+	"fnpr/internal/npr"
+	"fnpr/internal/sched"
+	"fnpr/internal/synth"
+	"fnpr/internal/textplot"
+)
+
+// AcceptanceParams configures the schedulability acceptance-ratio
+// experiment — an extension beyond the paper's own evaluation, in the style
+// its venue uses to compare schedulability tests: sweep total utilization,
+// draw random task sets, and measure the fraction each analysis admits.
+type AcceptanceParams struct {
+	// Seed makes the experiment reproducible.
+	Seed int64
+	// SetsPerPoint is the number of random task sets per utilization.
+	SetsPerPoint int
+	// Tasks per set.
+	Tasks int
+	// UStart, UEnd, UStep define the utilization sweep.
+	UStart, UEnd, UStep float64
+	// DelayScale sets the peak preemption delay as a fraction of each
+	// task's C (front-loaded pattern).
+	DelayScale float64
+	// QFraction sets Q as a fraction of C (clamped to C).
+	QFraction float64
+}
+
+// DefaultAcceptanceParams returns the configuration used by the figures
+// binary and the benchmark suite.
+func DefaultAcceptanceParams() AcceptanceParams {
+	return AcceptanceParams{
+		Seed:         1,
+		SetsPerPoint: 200,
+		Tasks:        5,
+		UStart:       0.40,
+		UEnd:         0.95,
+		UStep:        0.05,
+		DelayScale:   0.10,
+		QFraction:    0.25,
+	}
+}
+
+// Acceptance runs the experiment and returns the acceptance ratio of each
+// analysis per utilization point:
+//
+//	algorithm1          — FNPR RTA with the paper's Algorithm 1 C'
+//	algorithm1-limited  — plus the preemption-count refinement
+//	equation4           — FNPR RTA with the state-of-the-art Equation 4 C'
+//	no-delay            — FNPR RTA ignoring preemption delay (optimistic
+//	                      upper envelope on what any sound test can admit)
+func Acceptance(p AcceptanceParams) (*textplot.Table, error) {
+	if p.SetsPerPoint <= 0 || p.Tasks <= 0 || p.UStep <= 0 || p.UStart <= 0 || p.UEnd < p.UStart {
+		return nil, fmt.Errorf("eval: invalid acceptance parameters %+v", p)
+	}
+	r := rand.New(rand.NewSource(p.Seed))
+	tbl := &textplot.Table{
+		XLabel: "utilization",
+		YLabel: "acceptance ratio",
+		Series: []textplot.Series{
+			{Name: "algorithm1"},
+			{Name: "algorithm1-limited"},
+			{Name: "equation4"},
+			{Name: "no-delay"},
+		},
+	}
+	for u := p.UStart; u <= p.UEnd+1e-9; u += p.UStep {
+		var admit [4]int
+		for s := 0; s < p.SetsPerPoint; s++ {
+			ts, err := synth.TaskSet(r, synth.TaskSetParams{
+				N: p.Tasks, Utilization: u,
+				PeriodLo: 20, PeriodHi: 2000, RoundPeriod: true,
+				QFraction: p.QFraction, MinQ: 0.1,
+			})
+			if err != nil {
+				return nil, err
+			}
+			// Clamp each Q by the blocking tolerance of the
+			// higher-priority tasks (the paper assumes Q comes from
+			// such an analysis); sets that are infeasible even
+			// fully preemptively count as rejections everywhere.
+			if qs, err := npr.AssignQ(ts, npr.FixedPriority); err == nil {
+				for i := range ts {
+					if qs[i].Q < ts[i].Q {
+						ts[i].Q = qs[i].Q
+					}
+					if ts[i].Q <= 0 {
+						ts[i].Q = 1e-3
+					}
+				}
+			} else {
+				continue
+			}
+			fns := make([]delay.Function, len(ts))
+			for i, tk := range ts {
+				if i == 0 {
+					continue // highest priority: never preempted
+				}
+				peak := p.DelayScale * tk.C
+				// Keep the analysis well-defined: the NPR must
+				// exceed the peak delay or every bound diverges.
+				if peak >= tk.Q {
+					peak = tk.Q * 0.8
+				}
+				fns[i] = delay.FrontLoaded(peak, peak/5, tk.C)
+			}
+			a := sched.FNPRAnalysis{Tasks: ts, Delay: fns, Method: sched.Algorithm1}
+			if rts, err := a.ResponseTimesFP(); err == nil && sched.Schedulable(ts, rts) {
+				admit[0]++
+			}
+			if lim, err := a.ResponseTimesFPLimited(); err == nil && sched.Schedulable(ts, lim.Response) {
+				admit[1]++
+			}
+			a4 := a
+			a4.Method = sched.Equation4
+			if rts, err := a4.ResponseTimesFP(); err == nil && sched.Schedulable(ts, rts) {
+				admit[2]++
+			}
+			none := sched.FNPRAnalysis{Tasks: ts, Delay: make([]delay.Function, len(ts)), Method: sched.Algorithm1}
+			if rts, err := none.ResponseTimesFP(); err == nil && sched.Schedulable(ts, rts) {
+				admit[3]++
+			}
+		}
+		tbl.X = append(tbl.X, u)
+		for k := 0; k < 4; k++ {
+			tbl.Series[k].Y = append(tbl.Series[k].Y, float64(admit[k])/float64(p.SetsPerPoint))
+		}
+	}
+	if err := tbl.Validate(); err != nil {
+		return nil, err
+	}
+	return tbl, nil
+}
+
+// AcceptanceChecks verifies the structural guarantees the experiment must
+// exhibit: ratios in [0,1]; equation4 never admits a set algorithm1 rejects
+// in aggregate (soundness of the dominance claim at population level:
+// ratio(eq4) <= ratio(alg1)); the limited refinement at least matches
+// algorithm1; nothing exceeds the no-delay envelope.
+func AcceptanceChecks(tbl *textplot.Table) error {
+	col := func(name string) []float64 {
+		for _, s := range tbl.Series {
+			if s.Name == name {
+				return s.Y
+			}
+		}
+		return nil
+	}
+	a1 := col("algorithm1")
+	a1l := col("algorithm1-limited")
+	e4 := col("equation4")
+	nd := col("no-delay")
+	if a1 == nil || a1l == nil || e4 == nil || nd == nil {
+		return fmt.Errorf("eval: acceptance table incomplete")
+	}
+	for i := range tbl.X {
+		for _, v := range []float64{a1[i], a1l[i], e4[i], nd[i]} {
+			if v < 0 || v > 1 {
+				return fmt.Errorf("eval: ratio %g outside [0,1] at U=%g", v, tbl.X[i])
+			}
+		}
+		if e4[i] > a1[i]+1e-12 {
+			return fmt.Errorf("eval: equation4 (%g) above algorithm1 (%g) at U=%g", e4[i], a1[i], tbl.X[i])
+		}
+		if a1[i] > a1l[i]+1e-12 {
+			return fmt.Errorf("eval: algorithm1 (%g) above limited refinement (%g) at U=%g", a1[i], a1l[i], tbl.X[i])
+		}
+		if a1l[i] > nd[i]+1e-12 {
+			return fmt.Errorf("eval: limited (%g) above no-delay envelope (%g) at U=%g", a1l[i], nd[i], tbl.X[i])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,81 @@
+package eval
+
+import (
+	"testing"
+)
+
+func TestAcceptanceValidation(t *testing.T) {
+	bad := DefaultAcceptanceParams()
+	bad.SetsPerPoint = 0
+	if _, err := Acceptance(bad); err == nil {
+		t.Fatal("accepted SetsPerPoint=0")
+	}
+	bad = DefaultAcceptanceParams()
+	bad.UStep = 0
+	if _, err := Acceptance(bad); err == nil {
+		t.Fatal("accepted UStep=0")
+	}
+	bad = DefaultAcceptanceParams()
+	bad.UEnd = 0.1
+	if _, err := Acceptance(bad); err == nil {
+		t.Fatal("accepted UEnd < UStart")
+	}
+}
+
+func TestAcceptanceExperiment(t *testing.T) {
+	p := DefaultAcceptanceParams()
+	p.SetsPerPoint = 40 // keep the test fast; the binary uses 200
+	tbl, err := Acceptance(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := AcceptanceChecks(tbl); err != nil {
+		t.Fatal(err)
+	}
+	// The headline claim: at some utilization, Algorithm 1 admits
+	// strictly more sets than Equation 4.
+	var a1, e4 []float64
+	for _, s := range tbl.Series {
+		switch s.Name {
+		case "algorithm1":
+			a1 = s.Y
+		case "equation4":
+			e4 = s.Y
+		}
+	}
+	separated := false
+	for i := range a1 {
+		if a1[i] > e4[i] {
+			separated = true
+			break
+		}
+	}
+	if !separated {
+		t.Fatal("Algorithm 1 never separated from Equation 4 — experiment lost its point")
+	}
+	// Low utilization admits more than high utilization for every test.
+	for _, s := range tbl.Series {
+		if s.Y[0] < s.Y[len(s.Y)-1] {
+			t.Fatalf("%s: acceptance increases with utilization (%g -> %g)",
+				s.Name, s.Y[0], s.Y[len(s.Y)-1])
+		}
+	}
+}
+
+func TestAcceptanceChecksDetectCorruption(t *testing.T) {
+	p := DefaultAcceptanceParams()
+	p.SetsPerPoint = 10
+	p.UEnd = p.UStart
+	tbl, err := Acceptance(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range tbl.Series {
+		if tbl.Series[i].Name == "equation4" {
+			tbl.Series[i].Y[0] = 2 // out of range and above algorithm1
+		}
+	}
+	if err := AcceptanceChecks(tbl); err == nil {
+		t.Fatal("corrupted table passed checks")
+	}
+}

@@ -1,0 +1,51 @@
+package eval
+
+import (
+	"testing"
+)
+
+func TestPreemptionsExperiment(t *testing.T) {
+	p := DefaultPreemptionParams()
+	p.Horizon = 12000 // shorter for the test; the binary uses 60000
+	tbl, err := Preemptions(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := PreemptionChecks(tbl); err != nil {
+		t.Fatal(err)
+	}
+	// The collation effect is material: at the largest Q the victim
+	// suffers strictly fewer preemptions than fully preemptive.
+	last := len(tbl.X) - 1
+	if tbl.Series[0].Y[last] >= tbl.Series[1].Y[last] {
+		t.Fatalf("no collation at Q=%g: FNPR %g vs FP %g",
+			tbl.X[last], tbl.Series[0].Y[last], tbl.Series[1].Y[last])
+	}
+	// Delay follows the same direction at large Q.
+	if tbl.Series[2].Y[last] > tbl.Series[3].Y[last]+1e-9 {
+		t.Fatalf("FNPR delay above fully-preemptive at Q=%g", tbl.X[last])
+	}
+}
+
+func TestPreemptionsValidation(t *testing.T) {
+	if _, err := Preemptions(PreemptionParams{}); err == nil {
+		t.Fatal("accepted empty parameters")
+	}
+	if _, err := Preemptions(PreemptionParams{Qs: []float64{1}, Horizon: 0}); err == nil {
+		t.Fatal("accepted zero horizon")
+	}
+}
+
+func TestPreemptionChecksDetectCorruption(t *testing.T) {
+	p := DefaultPreemptionParams()
+	p.Horizon = 6000
+	p.Qs = p.Qs[:3]
+	tbl, err := Preemptions(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl.Series[0].Y[0] = 1e9
+	if err := PreemptionChecks(tbl); err == nil {
+		t.Fatal("corrupted table passed checks")
+	}
+}

@@ -1,0 +1,132 @@
+package eval
+
+import (
+	"fmt"
+	"math"
+
+	"fnpr/internal/core"
+	"fnpr/internal/delay"
+	"fnpr/internal/sim"
+	"fnpr/internal/task"
+	"fnpr/internal/textplot"
+)
+
+// TightnessParams configures the bound-tightness experiment — an extension
+// asking the question every upper bound invites: how far above reality is
+// it? For a victim task with a two-peak delay pattern, sweep Q, compute
+// Algorithm 1's bound, and compare with the worst per-job delay observed in
+// long floating-NPR simulations and with the strongest analytic adversary
+// (the peak-seeking scenario).
+type TightnessParams struct {
+	Qs      []float64
+	Horizon float64
+}
+
+// DefaultTightnessParams returns the configuration used by the binary and
+// the benchmarks.
+func DefaultTightnessParams() TightnessParams {
+	return TightnessParams{
+		Qs:      []float64{5, 6, 8, 10, 12, 15, 20, 25, 30},
+		Horizon: 60000,
+	}
+}
+
+// Tightness runs the sweep. Series: the Algorithm 1 bound, the adversarial
+// peak-seeking scenario's delay (the best lower bound on the true worst
+// case the library can construct), and the worst delay observed in the
+// simulated schedule (whose release pattern is synchronous-periodic, hence
+// generally milder than the adversary).
+func Tightness(p TightnessParams) (*textplot.Table, error) {
+	if len(p.Qs) == 0 || p.Horizon <= 0 {
+		return nil, fmt.Errorf("eval: invalid tightness parameters %+v", p)
+	}
+	tbl := &textplot.Table{
+		XLabel: "Q (victim)",
+		YLabel: "per-job cumulative delay",
+		X:      append([]float64(nil), p.Qs...),
+		Series: []textplot.Series{
+			{Name: "Algorithm 1 bound"},
+			{Name: "adversarial scenario"},
+			{Name: "observed worst (simulation)"},
+			{Name: "exact worst case"},
+		},
+	}
+	// Victim delay pattern: two expensive regions separated by cheap
+	// computation (the flavour of the paper's third benchmark).
+	mkVictim := func() *delay.Piecewise {
+		f, err := delay.NewPiecewise(
+			[]float64{0, 6, 9, 18, 21, 30},
+			[]float64{1, 4, 0.5, 4, 0.5},
+		)
+		if err != nil {
+			panic(err) // static fixture
+		}
+		return f
+	}
+	for _, q := range p.Qs {
+		f := mkVictim()
+		bound, err := core.UpperBound(f, q)
+		if err != nil {
+			return nil, err
+		}
+		_, peak := core.PeakSeekingScenario(f, q)
+		ts := task.Set{
+			{Name: "fast", C: 1, T: 7, Q: 1, Prio: 0},
+			{Name: "medium", C: 4, T: 23, Q: 2, Prio: 1},
+			{Name: "victim", C: 30, T: 120, Q: q, Prio: 2},
+		}
+		fns := []delay.Function{nil, delay.Constant(0.3, 4), f}
+		res, err := sim.Run(sim.Config{
+			Tasks: ts, Policy: sim.FixedPriority, Mode: sim.FloatingNPR,
+			Horizon: p.Horizon, Delay: fns,
+		})
+		if err != nil {
+			return nil, err
+		}
+		tbl.Series[0].Y = append(tbl.Series[0].Y, bound)
+		tbl.Series[1].Y = append(tbl.Series[1].Y, peak.TotalDelay)
+		tbl.Series[2].Y = append(tbl.Series[2].Y, res.Tasks[2].MaxDelayPerJob)
+		// The exact oracle is exponential; where the node budget trips
+		// (very small Q) the point is omitted (NaN renders as a gap).
+		exact, err := core.ExactWorstCase(f, q, 3_000_000)
+		if err != nil {
+			exact = math.NaN()
+		}
+		tbl.Series[3].Y = append(tbl.Series[3].Y, exact)
+	}
+	if err := tbl.Validate(); err != nil {
+		return nil, err
+	}
+	return tbl, nil
+}
+
+// TightnessChecks enforces the soundness ordering: both the adversarial
+// scenario and the observed schedule stay at or below the bound at every Q.
+// Note the adversary does NOT necessarily dominate the simulation — the
+// peak-seeker is myopic (best point within one window), and a concrete
+// schedule's arrival pattern can extract more delay over a whole job; the
+// best lower bound on the true worst case is the max of the two.
+func TightnessChecks(tbl *textplot.Table) error {
+	if len(tbl.Series) != 4 {
+		return fmt.Errorf("eval: tightness table incomplete")
+	}
+	bound, adv, obs, exact := tbl.Series[0].Y, tbl.Series[1].Y, tbl.Series[2].Y, tbl.Series[3].Y
+	for i := range tbl.X {
+		if obs[i] > bound[i]+1e-9 {
+			return fmt.Errorf("eval: observed %g above bound %g at Q=%g — Theorem 1 violated", obs[i], bound[i], tbl.X[i])
+		}
+		if adv[i] > bound[i]+1e-9 {
+			return fmt.Errorf("eval: adversarial %g above bound %g at Q=%g — Theorem 1 violated", adv[i], bound[i], tbl.X[i])
+		}
+		if math.IsNaN(exact[i]) {
+			continue // oracle budget tripped at this Q
+		}
+		if exact[i] > bound[i]+1e-9 {
+			return fmt.Errorf("eval: exact %g above bound %g at Q=%g — Theorem 1 violated", exact[i], bound[i], tbl.X[i])
+		}
+		if adv[i] > exact[i]+1e-9 || obs[i] > exact[i]+1e-9 {
+			return fmt.Errorf("eval: exact %g below a constructive scenario (adv %g, obs %g) at Q=%g", exact[i], adv[i], obs[i], tbl.X[i])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,56 @@
+package eval
+
+import (
+	"testing"
+)
+
+func TestTightnessExperiment(t *testing.T) {
+	p := DefaultTightnessParams()
+	p.Horizon = 12000 // shorter for the test; the binary uses 60000
+	tbl, err := Tightness(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := TightnessChecks(tbl); err != nil {
+		t.Fatal(err)
+	}
+	// The experiment must be informative: the lower bound (max of
+	// adversarial and observed) reaches at least a third of the bound
+	// somewhere — the bound is tight to a small constant, not vacuous.
+	informative := false
+	for i := range tbl.X {
+		lower := tbl.Series[1].Y[i]
+		if tbl.Series[2].Y[i] > lower {
+			lower = tbl.Series[2].Y[i]
+		}
+		if lower >= tbl.Series[0].Y[i]/3 {
+			informative = true
+		}
+	}
+	if !informative {
+		t.Fatal("bound never within 3x of any lower bound; experiment uninformative")
+	}
+}
+
+func TestTightnessValidation(t *testing.T) {
+	if _, err := Tightness(TightnessParams{}); err == nil {
+		t.Fatal("accepted empty parameters")
+	}
+	if _, err := Tightness(TightnessParams{Qs: []float64{5}, Horizon: 0}); err == nil {
+		t.Fatal("accepted zero horizon")
+	}
+}
+
+func TestTightnessChecksDetectViolation(t *testing.T) {
+	p := DefaultTightnessParams()
+	p.Qs = p.Qs[:2]
+	p.Horizon = 4000
+	tbl, err := Tightness(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl.Series[2].Y[0] = 1e9
+	if err := TightnessChecks(tbl); err == nil {
+		t.Fatal("corrupted table passed checks")
+	}
+}

@@ -1,0 +1,36 @@
+package npr_test
+
+import (
+	"fmt"
+
+	"fnpr/internal/npr"
+	"fnpr/internal/task"
+)
+
+// Deriving floating non-preemptive region lengths from the EDF demand-bound
+// slack (Bertogna & Baruah) — the analysis Section III of the paper assumes.
+func ExampleAssignQ() {
+	ts := task.Set{
+		{Name: "a", C: 1, T: 4},
+		{Name: "b", C: 2, T: 8},
+		{Name: "c", C: 4, T: 16},
+	}
+	qs, _ := npr.AssignQ(ts, npr.EDF)
+	for _, tk := range qs {
+		fmt.Printf("%s: Q = %g\n", tk.Name, tk.Q)
+	}
+	// Output:
+	// a: Q = 1
+	// b: Q = 2
+	// c: Q = 3
+}
+
+func ExampleDemandBound() {
+	ts := task.Set{
+		{Name: "a", C: 1, T: 4},
+		{Name: "b", C: 2, T: 8},
+	}
+	fmt.Println(npr.DemandBound(ts, 8))
+	// Output:
+	// 4
+}

@@ -1,0 +1,118 @@
+package npr
+
+import (
+	"math/rand"
+	"testing"
+
+	"fnpr/internal/task"
+)
+
+func TestQPASchedulableSet(t *testing.T) {
+	ok, err := QPA(implicitSet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("QPA rejected a schedulable set")
+	}
+}
+
+func TestQPAOverloadedSet(t *testing.T) {
+	ts := task.Set{
+		{Name: "a", C: 3, T: 4},
+		{Name: "b", C: 2, T: 6},
+	}
+	ok, err := QPA(ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("QPA accepted an overloaded set")
+	}
+}
+
+func TestQPAConstrainedDeadlineMiss(t *testing.T) {
+	// U < 1 but a tight constrained deadline fails the demand test.
+	ts := task.Set{
+		{Name: "a", C: 2, T: 10, D: 3},
+		{Name: "b", C: 2, T: 10, D: 3.5},
+	}
+	ok, err := QPA(ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("QPA accepted a set with infeasible constrained deadlines")
+	}
+	ref, err := EDFSchedulable(ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref {
+		t.Fatal("reference test disagrees")
+	}
+}
+
+func TestQPAValidation(t *testing.T) {
+	if _, err := QPA(task.Set{}); err == nil {
+		t.Fatal("accepted empty set")
+	}
+	if _, err := EDFSchedulable(task.Set{{Name: "", C: 1, T: 2}}); err == nil {
+		t.Fatal("reference accepted invalid task")
+	}
+}
+
+func TestLastDeadlineBefore(t *testing.T) {
+	ts := task.Set{{Name: "a", C: 1, T: 10, D: 4}} // deadlines 4, 14, 24, ...
+	if got := lastDeadlineBefore(ts, 25); got != 24 {
+		t.Fatalf("lastDeadlineBefore(25) = %g, want 24", got)
+	}
+	if got := lastDeadlineBefore(ts, 24); got != 14 {
+		t.Fatalf("lastDeadlineBefore(24) = %g, want 14", got)
+	}
+	if got := lastDeadlineBefore(ts, 4); got != -1 {
+		t.Fatalf("lastDeadlineBefore(4) = %g, want -1", got)
+	}
+}
+
+// Property: QPA agrees with the exhaustive processor-demand test on random
+// constrained-deadline sets.
+func TestQPAMatchesExhaustive(t *testing.T) {
+	r := rand.New(rand.NewSource(2718))
+	agreeSched, agreeUnsched := 0, 0
+	for trial := 0; trial < 300; trial++ {
+		n := 2 + r.Intn(4)
+		ts := make(task.Set, 0, n)
+		for i := 0; i < n; i++ {
+			period := float64(5 * (1 + r.Intn(40)))
+			c := 1 + r.Float64()*(period/float64(n))
+			d := c + r.Float64()*(period-c)
+			ts = append(ts, task.Task{
+				Name: string(rune('a' + i)),
+				C:    c, T: period, D: d,
+			})
+		}
+		if ts.Utilization() > 0.999 {
+			continue
+		}
+		ref, err := EDFSchedulable(ts)
+		if err != nil {
+			continue // horizon budget tripped; QPA may still work but skip comparison
+		}
+		got, err := QPA(ts)
+		if err != nil {
+			t.Fatalf("trial %d: QPA error: %v", trial, err)
+		}
+		if got != ref {
+			t.Fatalf("trial %d: QPA=%v, exhaustive=%v for %v", trial, got, ref, ts)
+		}
+		if ref {
+			agreeSched++
+		} else {
+			agreeUnsched++
+		}
+	}
+	if agreeSched < 20 || agreeUnsched < 20 {
+		t.Fatalf("weak coverage: %d schedulable, %d unschedulable agreements", agreeSched, agreeUnsched)
+	}
+}

@@ -1,0 +1,49 @@
+package sched_test
+
+import (
+	"fmt"
+
+	"fnpr/internal/delay"
+	"fnpr/internal/sched"
+	"fnpr/internal/task"
+)
+
+// Delay-aware response-time analysis under floating non-preemptive regions:
+// the same set analysed with the paper's Algorithm 1 and with the Equation 4
+// state of the art.
+func ExampleFNPRAnalysis_ResponseTimesFP() {
+	ts := task.Set{
+		{Name: "hi", C: 10, T: 100, Q: 10, Prio: 0},
+		{Name: "lo", C: 40, T: 200, Q: 8, Prio: 1},
+	}
+	fns := []delay.Function{nil, delay.Constant(2, 40)}
+
+	a := sched.FNPRAnalysis{Tasks: ts, Delay: fns, Method: sched.Algorithm1}
+	r1, _ := a.ResponseTimesFP()
+
+	a.Method = sched.Equation4
+	r4, _ := a.ResponseTimesFP()
+
+	fmt.Printf("lo with Algorithm 1: R = %.0f\n", r1[1])
+	fmt.Printf("lo with Equation 4:  R = %.0f\n", r4[1])
+	// Output:
+	// lo with Algorithm 1: R = 62
+	// lo with Equation 4:  R = 64
+}
+
+// The preemption-count refinement (the paper's future work (ii)) recovers
+// finite bounds even when the per-window delay equals Q.
+func ExampleFNPRAnalysis_ResponseTimesFPLimited() {
+	ts := task.Set{
+		{Name: "hi", C: 5, T: 100, Q: 5, Prio: 0},
+		{Name: "lo", C: 40, T: 400, D: 300, Q: 4, Prio: 1},
+	}
+	fns := []delay.Function{nil, delay.Constant(4, 40)} // delay == Q!
+	a := sched.FNPRAnalysis{Tasks: ts, Delay: fns, Method: sched.Algorithm1}
+
+	lim, _ := a.ResponseTimesFPLimited()
+	fmt.Printf("lo: at most %d preemption(s), C' = %.0f, R = %.0f\n",
+		lim.PreemptionLimit[1], lim.EffectiveC[1], lim.Response[1])
+	// Output:
+	// lo: at most 1 preemption(s), C' = 44, R = 49
+}

@@ -1,0 +1,156 @@
+package sched
+
+import (
+	"fmt"
+	"math"
+
+	"fnpr/internal/core"
+)
+
+// LimitedResult carries the outcome of the preemption-count-refined FNPR
+// response-time analysis (the paper's future work (ii), implemented via
+// core.UpperBoundLimited).
+type LimitedResult struct {
+	// Response holds the per-task response times (+Inf = unschedulable).
+	Response []float64
+	// EffectiveC holds the refined C' values used at the fixpoint.
+	EffectiveC []float64
+	// PreemptionLimit holds the per-task preemption-count bounds at the
+	// fixpoint (-1 where no delay function applies).
+	PreemptionLimit []int
+}
+
+// ResponseTimesFPLimited runs the fixed-priority FNPR response-time analysis
+// with the cumulative delay of each task refined by the number of
+// higher-priority releases within its response time: at most that many
+// preemptions can occur, so the delay is bounded by the sum of the largest
+// per-window charges of Algorithm 1 (core.UpperBoundLimited).
+//
+// The analysis iterates a decreasing fixpoint from the unlimited bound:
+// response times yield preemption-count limits, limits yield tighter C',
+// tighter C' yield smaller response times, until stable. When a task's
+// response exceeds its deadline the count is computed at the deadline (a
+// job that misses is not analysed beyond it), keeping the test sound for
+// all tasks it declares schedulable.
+func (a FNPRAnalysis) ResponseTimesFPLimited() (*LimitedResult, error) {
+	n := len(a.Tasks)
+	if len(a.Delay) != n {
+		return nil, fmt.Errorf("sched: %d delay functions for %d tasks", len(a.Delay), n)
+	}
+	if a.Method != Algorithm1 {
+		return nil, fmt.Errorf("sched: preemption-count refinement requires Algorithm1, got %v", a.Method)
+	}
+	// Initial C': the unlimited Algorithm 1 bound, or (for divergent
+	// bounds) the count-limited bound at the deadline — the refinement
+	// is precisely what makes such tasks analysable.
+	cp := make([]float64, n)
+	limits := make([]int, n)
+	for i, tk := range a.Tasks {
+		limits[i] = -1
+		if a.Delay[i] == nil {
+			cp[i] = tk.C
+			continue
+		}
+		if d := a.Delay[i].Domain(); math.Abs(d-tk.C) > 1e-9 {
+			return nil, fmt.Errorf("sched: task %s has C=%g but delay function domain %g", tk.Name, tk.C, d)
+		}
+		if tk.Q <= 0 {
+			return nil, fmt.Errorf("sched: task %s has no NPR length Q", tk.Name)
+		}
+		lim, err := a.deadlineCount(i)
+		if err != nil {
+			return nil, err
+		}
+		b, err := core.UpperBoundLimited(a.Delay[i], tk.Q, lim)
+		if err != nil {
+			return nil, err
+		}
+		limits[i] = lim
+		cp[i] = tk.C + b
+	}
+
+	var rts []float64
+	for iter := 0; iter < 64; iter++ {
+		r, err := a.rtaWith(cp)
+		if err != nil {
+			return nil, err
+		}
+		rts = r
+		changed := false
+		for i, tk := range a.Tasks {
+			if a.Delay[i] == nil {
+				continue
+			}
+			horizon := rts[i]
+			if math.IsInf(horizon, 1) || horizon > tk.Deadline() {
+				horizon = tk.Deadline()
+			}
+			lim, err := a.countAt(i, horizon)
+			if err != nil {
+				return nil, err
+			}
+			if lim != limits[i] {
+				limits[i] = lim
+				b, err := core.UpperBoundLimited(a.Delay[i], tk.Q, lim)
+				if err != nil {
+					return nil, err
+				}
+				next := tk.C + b
+				if next != cp[i] {
+					cp[i] = next
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return &LimitedResult{Response: rts, EffectiveC: cp, PreemptionLimit: limits}, nil
+}
+
+// deadlineCount bounds task i's preemptions by the higher-priority releases
+// within its deadline.
+func (a FNPRAnalysis) deadlineCount(i int) (int, error) {
+	return a.countAt(i, a.Tasks[i].Deadline())
+}
+
+func (a FNPRAnalysis) countAt(i int, horizon float64) (int, error) {
+	var periods, jitters []float64
+	for j := 0; j < i; j++ {
+		periods = append(periods, a.Tasks[j].T)
+		jitters = append(jitters, a.Tasks[j].Jitter)
+	}
+	return core.PreemptionCount(horizon, periods, jitters)
+}
+
+// rtaWith runs the blocking-aware RTA with the given effective WCETs.
+func (a FNPRAnalysis) rtaWith(cp []float64) ([]float64, error) {
+	inflated := a.Tasks.Clone()
+	for i := range inflated {
+		if math.IsInf(cp[i], 1) {
+			return nil, fmt.Errorf("sched: task %s has divergent delay bound", inflated[i].Name)
+		}
+		inflated[i].C = cp[i]
+	}
+	for _, tk := range inflated {
+		if tk.C > tk.Deadline() {
+			rts := make([]float64, len(inflated))
+			for i := range rts {
+				rts[i] = math.Inf(1)
+			}
+			return rts, nil
+		}
+	}
+	blocking := func(i int) float64 {
+		var b float64
+		for k := i + 1; k < len(inflated); k++ {
+			q := math.Min(inflated[k].Q, cp[k])
+			if q > b {
+				b = q
+			}
+		}
+		return b
+	}
+	return responseTimes(inflated, nil, blocking)
+}

@@ -1,0 +1,77 @@
+package sched
+
+import (
+	"fmt"
+	"math"
+
+	"fnpr/internal/delay"
+)
+
+// DelayMargin computes the system's criticality margin with respect to
+// preemption delay: the largest factor k (within [0, maxScale]) such that
+// the task set remains FP-schedulable when every task's delay function is
+// scaled by k. A margin above 1 means the system tolerates worse caches
+// than modelled; below 1 means the model already over-commits.
+//
+// Schedulability is monotone in the scale (larger delays only inflate C'
+// and blocking), so the margin is found by binary search to the given
+// precision.
+func (a FNPRAnalysis) DelayMargin(maxScale, precision float64) (float64, error) {
+	if maxScale <= 0 || precision <= 0 || math.IsNaN(maxScale) || math.IsNaN(precision) {
+		return 0, fmt.Errorf("sched: invalid margin search parameters maxScale=%g precision=%g", maxScale, precision)
+	}
+	if len(a.Delay) != len(a.Tasks) {
+		return 0, fmt.Errorf("sched: %d delay functions for %d tasks", len(a.Delay), len(a.Tasks))
+	}
+	check := func(k float64) (bool, error) {
+		scaled := make([]delay.Function, len(a.Delay))
+		for i, f := range a.Delay {
+			if f == nil {
+				continue
+			}
+			pw, ok := f.(*delay.Piecewise)
+			if !ok {
+				return false, fmt.Errorf("sched: margin search needs piecewise delay functions")
+			}
+			s, err := pw.Scale(k)
+			if err != nil {
+				return false, err
+			}
+			scaled[i] = s
+		}
+		b := FNPRAnalysis{Tasks: a.Tasks, Delay: scaled, Method: a.Method}
+		rts, err := b.ResponseTimesFP()
+		if err != nil {
+			// Divergent delay bounds mean unschedulable at this
+			// scale, not a caller error.
+			return false, nil
+		}
+		return Schedulable(a.Tasks, rts), nil
+	}
+	ok, err := check(0)
+	if err != nil {
+		return 0, err
+	}
+	if !ok {
+		return 0, nil // not schedulable even with free preemptions
+	}
+	lo, hi := 0.0, maxScale
+	if ok, err := check(maxScale); err != nil {
+		return 0, err
+	} else if ok {
+		return maxScale, nil
+	}
+	for hi-lo > precision {
+		mid := (lo + hi) / 2
+		ok, err := check(mid)
+		if err != nil {
+			return 0, err
+		}
+		if ok {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo, nil
+}

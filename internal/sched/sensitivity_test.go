@@ -1,0 +1,84 @@
+package sched
+
+import (
+	"math"
+	"testing"
+
+	"fnpr/internal/delay"
+	"fnpr/internal/task"
+)
+
+func TestDelayMarginBasic(t *testing.T) {
+	ts := task.Set{
+		{Name: "hi", C: 10, T: 100, Q: 10, Prio: 0},
+		{Name: "lo", C: 40, T: 200, Q: 8, Prio: 1},
+	}
+	a := FNPRAnalysis{
+		Tasks:  ts,
+		Delay:  []delay.Function{nil, delay.Constant(2, 40)},
+		Method: Algorithm1,
+	}
+	m, err := a.DelayMargin(10, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m <= 1 {
+		t.Fatalf("margin = %g, want > 1 (set is comfortably schedulable)", m)
+	}
+	// Consistency: scaling at the found margin stays schedulable,
+	// slightly above it does not (unless capped).
+	if m < 10 {
+		scaled, _ := delay.Constant(2, 40).Scale(m + 0.05)
+		b := FNPRAnalysis{Tasks: ts, Delay: []delay.Function{nil, scaled}, Method: Algorithm1}
+		rts, err := b.ResponseTimesFP()
+		if err == nil && Schedulable(ts, rts) {
+			t.Fatalf("margin %g not maximal: %g still schedulable", m, m+0.05)
+		}
+	}
+}
+
+func TestDelayMarginCapped(t *testing.T) {
+	// No delay at all: any scale works, so the search caps at maxScale.
+	ts := task.Set{{Name: "a", C: 1, T: 100, Q: 1, Prio: 0}}
+	a := FNPRAnalysis{Tasks: ts, Delay: []delay.Function{nil}, Method: Algorithm1}
+	m, err := a.DelayMargin(7, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != 7 {
+		t.Fatalf("margin = %g, want cap 7", m)
+	}
+}
+
+func TestDelayMarginZeroWhenOverloaded(t *testing.T) {
+	ts := task.Set{
+		{Name: "a", C: 60, T: 100, Q: 5, Prio: 0},
+		{Name: "b", C: 60, T: 100, Q: 5, Prio: 1},
+	}
+	a := FNPRAnalysis{Tasks: ts, Delay: []delay.Function{nil, nil}, Method: Algorithm1}
+	m, err := a.DelayMargin(10, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != 0 {
+		t.Fatalf("margin = %g, want 0 for an overloaded set", m)
+	}
+}
+
+func TestDelayMarginValidation(t *testing.T) {
+	ts := task.Set{{Name: "a", C: 1, T: 10, Q: 1, Prio: 0}}
+	a := FNPRAnalysis{Tasks: ts, Delay: []delay.Function{nil}, Method: Algorithm1}
+	if _, err := a.DelayMargin(0, 0.1); err == nil {
+		t.Fatal("accepted maxScale=0")
+	}
+	if _, err := a.DelayMargin(10, 0); err == nil {
+		t.Fatal("accepted precision=0")
+	}
+	if _, err := a.DelayMargin(math.NaN(), 0.1); err == nil {
+		t.Fatal("accepted NaN maxScale")
+	}
+	b := FNPRAnalysis{Tasks: ts, Delay: nil, Method: Algorithm1}
+	if _, err := b.DelayMargin(10, 0.1); err == nil {
+		t.Fatal("accepted mismatched delay slice")
+	}
+}

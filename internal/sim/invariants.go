@@ -1,0 +1,115 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// CheckInvariants verifies structural properties every correct schedule must
+// satisfy; the test suite and the simulate binary run it on simulator
+// output. Checked invariants:
+//
+//  1. Event times are non-decreasing.
+//  2. At most one job occupies the processor at any time (start/resume and
+//     preempt/finish events alternate correctly).
+//  3. Under FloatingNPR, consecutive preemptions of one job are at least Q
+//     apart on the job's execution-time clock, and the first preemption
+//     happens no earlier than Q execution time.
+//  4. Under NonPreemptive, there are no preemptions at all.
+//  5. Jobs never start before their release.
+//  6. Preemption delay paid per job is non-negative and finite.
+//  7. The schedule is work-conserving: the processor never idles for a
+//     measurable interval while a job is pending.
+func CheckInvariants(r *Result) error {
+	prev := math.Inf(-1)
+	running := -1 // index into r.Jobs-style key space; -1 = idle
+	pending := 0  // released but not finished
+	key := func(task, job int) int { return task*1_000_000 + job }
+	for i, e := range r.Events {
+		if e.Time < prev-timeEps {
+			return fmt.Errorf("sim: event %d time %g before previous %g", i, e.Time, prev)
+		}
+		// Work conservation: a measurable gap since the previous event
+		// with an idle processor is only legal when nothing is pending.
+		if running == -1 && pending > 0 && e.Time > prev+1e-6 {
+			return fmt.Errorf("sim: processor idle in (%g, %g) with %d pending jobs", prev, e.Time, pending)
+		}
+		prev = e.Time
+		switch e.Kind {
+		case EvRelease:
+			pending++
+		case EvStart, EvResume:
+			if running != -1 {
+				return fmt.Errorf("sim: event %d (%v) dispatches while job %d runs", i, e, running)
+			}
+			running = key(e.Task, e.Job)
+		case EvPreempt:
+			if running != key(e.Task, e.Job) {
+				return fmt.Errorf("sim: event %d (%v) stops a job that is not running", i, e)
+			}
+			running = -1
+		case EvFinish:
+			if running != key(e.Task, e.Job) {
+				return fmt.Errorf("sim: event %d (%v) stops a job that is not running", i, e)
+			}
+			running = -1
+			pending--
+		}
+	}
+	byKey := make(map[int]JobStat, len(r.Jobs))
+	for _, j := range r.Jobs {
+		byKey[key(j.Task, j.Job)] = j
+	}
+	for _, e := range r.Events {
+		if e.Kind == EvStart {
+			j, ok := byKey[key(e.Task, e.Job)]
+			if !ok {
+				return fmt.Errorf("sim: start event for unknown job %d/%d", e.Task, e.Job)
+			}
+			if e.Time < j.Release-timeEps {
+				return fmt.Errorf("sim: job %d/%d started at %g before release %g", e.Task, e.Job, e.Time, j.Release)
+			}
+		}
+	}
+	for _, j := range r.Jobs {
+		if j.DelayPaid < 0 || math.IsNaN(j.DelayPaid) || math.IsInf(j.DelayPaid, 0) {
+			return fmt.Errorf("sim: job %d/%d paid invalid delay %g", j.Task, j.Job, j.DelayPaid)
+		}
+		switch r.Config.Mode {
+		case NonPreemptive:
+			if j.Preemptions != 0 {
+				return fmt.Errorf("sim: job %d/%d preempted under non-preemptive mode", j.Task, j.Job)
+			}
+		case FloatingNPR:
+			q := r.Config.Tasks[j.Task].Q
+			for k, e := range j.PreemptExecs {
+				lo := q
+				if k > 0 {
+					lo = j.PreemptExecs[k-1] + q
+				}
+				if e < lo-1e-6 {
+					return fmt.Errorf("sim: job %d/%d preemption %d at exec %g violates Q=%g spacing",
+						j.Task, j.Job, k, e, q)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// SporadicReleases draws, per task, a release sequence over the horizon with
+// inter-arrival times T * (1 + U(0, jitterFrac)) — the sporadic counterpart
+// of the default synchronous periodic pattern. The result plugs directly
+// into Config.Releases.
+func SporadicReleases(r *rand.Rand, cfg Config, jitterFrac float64) [][]float64 {
+	out := make([][]float64, len(cfg.Tasks))
+	for i, tk := range cfg.Tasks {
+		t := r.Float64() * tk.T * jitterFrac // random initial phase
+		for t < cfg.Horizon {
+			out[i] = append(out[i], t)
+			t += tk.T * (1 + r.Float64()*jitterFrac)
+		}
+	}
+	return out
+}

@@ -1,0 +1,96 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ResponseTimes returns the response times of every finished job of one
+// task, in job order. Unfinished jobs are excluded.
+func (r *Result) ResponseTimes(taskIdx int) []float64 {
+	var out []float64
+	for _, j := range r.Jobs {
+		if j.Task == taskIdx && !math.IsInf(j.Finish, 1) {
+			out = append(out, j.ResponseTime())
+		}
+	}
+	return out
+}
+
+// Percentile returns the p-quantile (0 <= p <= 1) of the values using the
+// nearest-rank method; NaN for an empty slice.
+func Percentile(values []float64, p float64) float64 {
+	if len(values) == 0 {
+		return math.NaN()
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	rank := int(math.Ceil(p*float64(len(sorted)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}
+
+// ResponseStats summarises the response-time distribution of one task.
+type ResponseStats struct {
+	Count            int
+	Min, Mean, Max   float64
+	P50, P90, P99    float64
+	DelayMean        float64
+	PreemptionsMean  float64
+	UnfinishedAtMiss int // jobs unfinished at the horizon with passed deadlines
+}
+
+// Stats computes the distribution summary for one task.
+func (r *Result) Stats(taskIdx int) ResponseStats {
+	rts := r.ResponseTimes(taskIdx)
+	st := ResponseStats{Count: len(rts)}
+	if len(rts) > 0 {
+		st.Min, st.Max = math.Inf(1), math.Inf(-1)
+		var sum float64
+		for _, v := range rts {
+			st.Min = math.Min(st.Min, v)
+			st.Max = math.Max(st.Max, v)
+			sum += v
+		}
+		st.Mean = sum / float64(len(rts))
+		st.P50 = Percentile(rts, 0.50)
+		st.P90 = Percentile(rts, 0.90)
+		st.P99 = Percentile(rts, 0.99)
+	}
+	var delaySum, preSum float64
+	var n int
+	for _, j := range r.Jobs {
+		if j.Task != taskIdx {
+			continue
+		}
+		delaySum += j.DelayPaid
+		preSum += float64(j.Preemptions)
+		n++
+		if math.IsInf(j.Finish, 1) && j.Missed {
+			st.UnfinishedAtMiss++
+		}
+	}
+	if n > 0 {
+		st.DelayMean = delaySum / float64(n)
+		st.PreemptionsMean = preSum / float64(n)
+	}
+	return st
+}
+
+// String renders the stats on one line.
+func (s ResponseStats) String() string {
+	return fmt.Sprintf("n=%d R[min=%.3f mean=%.3f p50=%.3f p90=%.3f p99=%.3f max=%.3f] delay=%.3f preempts=%.2f",
+		s.Count, s.Min, s.Mean, s.P50, s.P90, s.P99, s.Max, s.DelayMean, s.PreemptionsMean)
+}

@@ -1,0 +1,130 @@
+package sim
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// SVGTimelineOptions control schedule rendering.
+type SVGTimelineOptions struct {
+	// Width and Height in pixels (defaults 900 x 60 per task + margins).
+	Width, Height int
+	// From and To clip the rendered time window; zero values mean the
+	// whole horizon.
+	From, To float64
+	// Title is drawn above the chart.
+	Title string
+}
+
+var taskColors = []string{
+	"#1f77b4", "#2ca02c", "#ff7f0e", "#9467bd", "#d62728", "#17becf",
+	"#8c564b", "#7f7f7f",
+}
+
+// WriteSVGTimeline renders the schedule as a Gantt chart: one row per task,
+// filled segments where a job of the task holds the processor, triangles at
+// releases, red ticks at preemptions and red crosses at deadline misses.
+func (r *Result) WriteSVGTimeline(w io.Writer, opt SVGTimelineOptions) error {
+	from, to := opt.From, opt.To
+	if to <= from {
+		from, to = 0, r.Config.Horizon
+	}
+	n := len(r.Config.Tasks)
+	const (
+		marginL = 90
+		marginR = 20
+		marginT = 40
+		marginB = 40
+		rowGap  = 12
+	)
+	rowH := 36
+	width := opt.Width
+	if width <= 0 {
+		width = 900
+	}
+	height := opt.Height
+	if height <= 0 {
+		height = marginT + marginB + n*(rowH+rowGap)
+	}
+	plotW := float64(width - marginL - marginR)
+	if plotW <= 0 || to <= from {
+		return fmt.Errorf("sim: invalid timeline geometry")
+	}
+	px := func(t float64) float64 { return marginL + plotW*(t-from)/(to-from) }
+	rowY := func(i int) int { return marginT + i*(rowH+rowGap) }
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		width, height, width, height)
+	b.WriteString(`<rect width="100%" height="100%" fill="white"/>` + "\n")
+	if opt.Title != "" {
+		fmt.Fprintf(&b, `<text x="%d" y="24" font-family="sans-serif" font-size="15">%s</text>`+"\n", marginL, xmlEscape(opt.Title))
+	}
+	// Row labels and baselines.
+	for i := 0; i < n; i++ {
+		y := rowY(i)
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-family="sans-serif" font-size="12" text-anchor="end">%s</text>`+"\n",
+			marginL-8, y+rowH/2+4, xmlEscape(r.Config.Tasks[i].Name))
+		fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="#ddd"/>`+"\n",
+			marginL, y+rowH, width-marginR, y+rowH)
+	}
+	// Execution segments from the event log.
+	curTask, curFrom := -1, 0.0
+	emitSeg := func(task int, a, z float64) {
+		a, z = math.Max(a, from), math.Min(z, to)
+		if z <= a {
+			return
+		}
+		y := rowY(task)
+		fmt.Fprintf(&b, `<rect x="%.1f" y="%d" width="%.2f" height="%d" fill="%s" fill-opacity="0.8"/>`+"\n",
+			px(a), y, px(z)-px(a), rowH, taskColors[task%len(taskColors)])
+	}
+	for _, e := range r.Events {
+		switch e.Kind {
+		case EvStart, EvResume:
+			curTask, curFrom = e.Task, e.Time
+		case EvPreempt, EvFinish:
+			if curTask == e.Task {
+				emitSeg(e.Task, curFrom, e.Time)
+				curTask = -1
+			}
+		}
+	}
+	if curTask >= 0 {
+		emitSeg(curTask, curFrom, r.Config.Horizon)
+	}
+	// Markers.
+	for _, e := range r.Events {
+		if e.Time < from || e.Time > to {
+			continue
+		}
+		x := px(e.Time)
+		y := rowY(e.Task)
+		switch e.Kind {
+		case EvRelease:
+			fmt.Fprintf(&b, `<path d="M %.1f %d l 5 -8 l -10 0 z" fill="black"/>`+"\n", x, y+rowH)
+		case EvPreempt:
+			fmt.Fprintf(&b, `<line x1="%.1f" y1="%d" x2="%.1f" y2="%d" stroke="red" stroke-width="2"/>`+"\n",
+				x, y-2, x, y+rowH+2)
+		case EvMiss:
+			fmt.Fprintf(&b, `<text x="%.1f" y="%d" font-family="sans-serif" font-size="14" fill="red" text-anchor="middle">x</text>`+"\n",
+				x, y-4)
+		}
+	}
+	// Time axis.
+	axisY := rowY(n-1) + rowH + 20
+	for i := 0; i <= 6; i++ {
+		tt := from + (to-from)*float64(i)/6
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" font-family="sans-serif" font-size="11" text-anchor="middle">%.4g</text>`+"\n",
+			px(tt), axisY, tt)
+	}
+	b.WriteString("</svg>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func xmlEscape(s string) string {
+	return strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;").Replace(s)
+}

@@ -1,0 +1,223 @@
+// Package spec defines the on-disk JSON description of an analysis problem:
+// a task set, each task's preemption delay function, and the scheduling
+// policy. The schedtest binary consumes it, and it doubles as the library's
+// interchange format for reproducible experiments.
+package spec
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+
+	"fnpr/internal/delay"
+	"fnpr/internal/npr"
+	"fnpr/internal/task"
+)
+
+// File is the root of a task-set specification.
+type File struct {
+	// Policy is "fp" (fixed priority) or "edf".
+	Policy string `json:"policy"`
+	// AssignQ, when true, derives missing Q values (tasks with q = 0)
+	// from the blocking-tolerance analysis of package npr under the
+	// file's policy.
+	AssignQ bool   `json:"assign_q,omitempty"`
+	Tasks   []Task `json:"tasks"`
+}
+
+// Task is one task with its delay model.
+type Task struct {
+	Name   string  `json:"name"`
+	C      float64 `json:"c"`
+	T      float64 `json:"t"`
+	D      float64 `json:"d,omitempty"`
+	Q      float64 `json:"q,omitempty"`
+	Prio   int     `json:"prio,omitempty"`
+	Jitter float64 `json:"jitter,omitempty"`
+	Delay  *Delay  `json:"delay,omitempty"`
+}
+
+// Delay describes a preemption delay function.
+type Delay struct {
+	// Kind is "constant", "frontloaded", "piecewise", "linear" or
+	// "gaussian".
+	Kind string `json:"kind"`
+	// Constant: Value.
+	Value float64 `json:"value,omitempty"`
+	// Frontloaded: Peak and Tail (see delay.FrontLoaded).
+	Peak float64 `json:"peak,omitempty"`
+	Tail float64 `json:"tail,omitempty"`
+	// Piecewise: Breakpoints (length n+1, starting at 0, ending at the
+	// task's C) and Values (length n). Linear: Breakpoints and Values of
+	// equal length (values at the breakpoints, interpolated between).
+	Breakpoints []float64 `json:"breakpoints,omitempty"`
+	Values      []float64 `json:"values,omitempty"`
+	// Gaussian: Amp, Mu, Sigma2, Offset, sampled into Pieces pieces
+	// (default 1000).
+	Amp    float64 `json:"amp,omitempty"`
+	Mu     float64 `json:"mu,omitempty"`
+	Sigma2 float64 `json:"sigma2,omitempty"`
+	Offset float64 `json:"offset,omitempty"`
+	Pieces int     `json:"pieces,omitempty"`
+}
+
+// Problem is the decoded, validated analysis problem.
+type Problem struct {
+	Policy string
+	Tasks  task.Set
+	Delay  []delay.Function
+}
+
+// Load reads and decodes a specification.
+func Load(r io.Reader) (*Problem, error) {
+	var f File
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&f); err != nil {
+		return nil, fmt.Errorf("spec: %w", err)
+	}
+	return f.Build()
+}
+
+// LoadFile reads a specification from a path.
+func LoadFile(path string) (*Problem, error) {
+	fh, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer fh.Close()
+	return Load(fh)
+}
+
+// Build validates the file and materialises the task set and delay
+// functions.
+func (f File) Build() (*Problem, error) {
+	switch f.Policy {
+	case "fp", "edf":
+	case "":
+		return nil, errors.New("spec: missing policy (fp or edf)")
+	default:
+		return nil, fmt.Errorf("spec: unknown policy %q", f.Policy)
+	}
+	if len(f.Tasks) == 0 {
+		return nil, errors.New("spec: no tasks")
+	}
+	p := &Problem{Policy: f.Policy}
+	for i, ts := range f.Tasks {
+		tk := task.Task{
+			Name: ts.Name, C: ts.C, T: ts.T, D: ts.D,
+			Q: ts.Q, Prio: ts.Prio, Jitter: ts.Jitter,
+		}
+		if tk.Name == "" {
+			tk.Name = fmt.Sprintf("t%d", i)
+		}
+		p.Tasks = append(p.Tasks, tk)
+		fn, err := ts.Delay.build(ts.C)
+		if err != nil {
+			return nil, fmt.Errorf("spec: task %s: %w", tk.Name, err)
+		}
+		p.Delay = append(p.Delay, fn)
+	}
+	if err := p.Tasks.Validate(); err != nil {
+		return nil, fmt.Errorf("spec: %w", err)
+	}
+	if f.Policy == "fp" {
+		p.sortByPriority()
+	}
+	if f.AssignQ {
+		policy := npr.FixedPriority
+		if f.Policy == "edf" {
+			policy = npr.EDF
+		}
+		qs, err := npr.AssignQ(p.Tasks, policy)
+		if err != nil {
+			return nil, fmt.Errorf("spec: assign_q: %w", err)
+		}
+		for i := range p.Tasks {
+			if p.Tasks[i].Q == 0 {
+				p.Tasks[i].Q = qs[i].Q
+			}
+		}
+	}
+	return p, nil
+}
+
+// sortByPriority orders tasks and their delay functions together.
+func (p *Problem) sortByPriority() {
+	type pair struct {
+		t task.Task
+		f delay.Function
+	}
+	pairs := make([]pair, len(p.Tasks))
+	for i := range p.Tasks {
+		pairs[i] = pair{p.Tasks[i], p.Delay[i]}
+	}
+	for i := 1; i < len(pairs); i++ {
+		for j := i; j > 0; j-- {
+			a, b := pairs[j-1], pairs[j]
+			if a.t.Prio < b.t.Prio || (a.t.Prio == b.t.Prio && a.t.Name <= b.t.Name) {
+				break
+			}
+			pairs[j-1], pairs[j] = b, a
+		}
+	}
+	for i := range pairs {
+		p.Tasks[i] = pairs[i].t
+		p.Delay[i] = pairs[i].f
+	}
+}
+
+func (d *Delay) build(c float64) (delay.Function, error) {
+	if d == nil {
+		return nil, nil
+	}
+	switch d.Kind {
+	case "constant":
+		if d.Value < 0 {
+			return nil, fmt.Errorf("negative constant delay %g", d.Value)
+		}
+		return delay.Constant(d.Value, c), nil
+	case "frontloaded":
+		if d.Peak < 0 || d.Tail < 0 {
+			return nil, fmt.Errorf("negative frontloaded parameters")
+		}
+		return delay.FrontLoaded(d.Peak, d.Tail, c), nil
+	case "piecewise":
+		if len(d.Breakpoints) == 0 {
+			return nil, errors.New("piecewise delay needs breakpoints")
+		}
+		if last := d.Breakpoints[len(d.Breakpoints)-1]; last != c {
+			return nil, fmt.Errorf("piecewise domain ends at %g, task C is %g", last, c)
+		}
+		return delay.NewPiecewise(d.Breakpoints, d.Values)
+	case "linear":
+		if len(d.Breakpoints) == 0 {
+			return nil, errors.New("linear delay needs breakpoints")
+		}
+		if last := d.Breakpoints[len(d.Breakpoints)-1]; last != c {
+			return nil, fmt.Errorf("linear domain ends at %g, task C is %g", last, c)
+		}
+		return delay.NewPiecewiseLinear(d.Breakpoints, d.Values)
+	case "gaussian":
+		n := d.Pieces
+		if n <= 0 {
+			n = 1000
+		}
+		if d.Sigma2 <= 0 {
+			return nil, fmt.Errorf("gaussian delay needs sigma2 > 0, got %g", d.Sigma2)
+		}
+		fn := delay.Gaussian(d.Amp, d.Mu, d.Sigma2, d.Offset)
+		return delay.UpperEnvelope(fn, c, n, []float64{d.Mu})
+	default:
+		return nil, fmt.Errorf("unknown delay kind %q", d.Kind)
+	}
+}
+
+// Save encodes a File as indented JSON.
+func Save(w io.Writer, f File) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(f)
+}

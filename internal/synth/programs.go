@@ -1,0 +1,136 @@
+package synth
+
+import (
+	"fmt"
+
+	"fnpr/internal/cache"
+	"fnpr/internal/cfg"
+)
+
+// This file provides structured program generators modelled on the shapes of
+// classic WCET benchmark kernels. Unlike the random DAGs of CFG(), these
+// have the loop nests, working sets and reuse patterns that give each task a
+// characteristic preemption-delay profile — useful for examples, benchmarks
+// and tests that need realistic (rather than adversarial) inputs.
+
+// MatMulLike builds a matrix-multiply-shaped task: a triple loop nest over
+// an n x n working set with strong reuse — the delay profile is high and
+// flat through the kernel (the whole working set stays useful).
+func MatMulLike(n int, unit float64, baseLine cache.Line) (*cfg.Graph, cache.AccessMap) {
+	g := cfg.New()
+	init := g.AddSimple("init", unit, unit)
+	iH := g.AddSimple("i-head", unit/4, unit/4)
+	jH := g.AddSimple("j-head", unit/4, unit/4)
+	kB := g.AddSimple("k-body", unit, unit*1.5)
+	done := g.AddSimple("done", unit, unit)
+	g.MustEdge(init, iH)
+	g.MustEdge(iH, jH)
+	g.MustEdge(jH, kB)
+	g.MustEdge(kB, kB) // k loop as a self-loop
+	g.MustEdge(kB, jH) // j back edge
+	g.MustEdge(jH, iH) // i back edge
+	g.MustEdge(iH, done)
+	g.LoopBounds[iH] = cfg.Bound{Min: n, Max: n}
+	g.LoopBounds[jH] = cfg.Bound{Min: n, Max: n}
+	g.LoopBounds[kB] = cfg.Bound{Min: n, Max: n}
+
+	// Working set: rows of A, columns of B, C accumulator.
+	var a, b, c []cache.Line
+	for i := 0; i < n; i++ {
+		a = append(a, baseLine+cache.Line(i))
+		b = append(b, baseLine+cache.Line(n+i))
+		c = append(c, baseLine+cache.Line(2*n+i))
+	}
+	acc := cache.AccessMap{
+		init: append(append(append([]cache.Line{}, a...), b...), c...),
+		kB:   append(append([]cache.Line{}, a...), b...),
+		jH:   c,
+	}
+	return g, acc
+}
+
+// BSortLike builds a bubble-sort-shaped task: a double loop over one array,
+// every pass touching the whole working set — high reuse, delay profile
+// nearly constant until the final writeback.
+func BSortLike(n int, unit float64, baseLine cache.Line) (*cfg.Graph, cache.AccessMap) {
+	g := cfg.New()
+	load := g.AddSimple("load", unit, unit*1.5)
+	outer := g.AddSimple("outer", unit/4, unit/4)
+	inner := g.AddSimple("inner", unit/2, unit)
+	swap := g.AddSimple("swap", unit/4, unit/2)
+	flush := g.AddSimple("flush", unit, unit)
+	g.MustEdge(load, outer)
+	g.MustEdge(outer, inner)
+	g.MustEdge(inner, swap)
+	g.MustEdge(swap, inner) // inner back edge
+	g.MustEdge(inner, outer)
+	g.MustEdge(outer, flush)
+	g.LoopBounds[outer] = cfg.Bound{Min: n, Max: n}
+	g.LoopBounds[inner] = cfg.Bound{Min: 1, Max: n}
+
+	var arr []cache.Line
+	for i := 0; i < n; i++ {
+		arr = append(arr, baseLine+cache.Line(i))
+	}
+	acc := cache.AccessMap{
+		load:  arr,
+		inner: arr,
+		swap:  arr[:2],
+		flush: arr,
+	}
+	return g, acc
+}
+
+// CRCLike builds a checksum-shaped task: a single long loop streaming over
+// input (no reuse) with a small lookup table (strong reuse) — the delay
+// profile is dominated by the table, low and flat.
+func CRCLike(iters int, unit float64, baseLine cache.Line) (*cfg.Graph, cache.AccessMap) {
+	g := cfg.New()
+	setup := g.AddSimple("setup", unit, unit)
+	loop := g.AddSimple("loop", unit/2, unit)
+	final := g.AddSimple("final", unit/2, unit/2)
+	g.MustEdge(setup, loop)
+	g.MustEdge(loop, loop)
+	g.MustEdge(loop, final)
+	g.LoopBounds[loop] = cfg.Bound{Min: iters, Max: iters}
+
+	table := []cache.Line{baseLine, baseLine + 1, baseLine + 2, baseLine + 3}
+	acc := cache.AccessMap{
+		setup: table,
+		loop:  table,
+		final: table[:1],
+	}
+	return g, acc
+}
+
+// FSMLike builds a state-machine-shaped task: a branchy diamond cascade with
+// per-state working sets — the delay profile varies block to block, giving
+// Algorithm 1 structure to exploit.
+func FSMLike(states int, unit float64, baseLine cache.Line) (*cfg.Graph, cache.AccessMap) {
+	if states < 1 {
+		states = 1
+	}
+	g := cfg.New()
+	acc := make(cache.AccessMap)
+	entry := g.AddSimple("entry", unit/2, unit/2)
+	prev := entry
+	for s := 0; s < states; s++ {
+		a := g.AddSimple(fmt.Sprintf("s%d-a", s), unit, unit*2)
+		b := g.AddSimple(fmt.Sprintf("s%d-b", s), unit/2, unit)
+		join := g.AddSimple(fmt.Sprintf("s%d-join", s), unit/4, unit/4)
+		g.MustEdge(prev, a)
+		g.MustEdge(prev, b)
+		g.MustEdge(a, join)
+		g.MustEdge(b, join)
+		// Each state owns a small working set; arm "a" uses twice as
+		// much as arm "b".
+		base := baseLine + cache.Line(4*s)
+		acc[a] = []cache.Line{base, base + 1, base + 2, base + 3}
+		acc[b] = []cache.Line{base, base + 1}
+		acc[join] = []cache.Line{base}
+		prev = join
+	}
+	exit := g.AddSimple("exit", unit/2, unit/2)
+	g.MustEdge(prev, exit)
+	return g, acc
+}

@@ -1,0 +1,121 @@
+package synth
+
+import (
+	"testing"
+
+	"fnpr/internal/cache"
+	"fnpr/internal/cfg"
+	"fnpr/internal/core"
+	"fnpr/internal/delay"
+)
+
+// analyse runs the full pipeline on a generated program and returns the
+// delay function.
+func analyse(t *testing.T, g *cfg.Graph, acc cache.AccessMap) *delay.Piecewise {
+	t.Helper()
+	col, err := g.CollapseLoops()
+	if err != nil {
+		t.Fatal(err)
+	}
+	off, err := col.Graph.AnalyzeOffsets()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cc := cache.Config{Sets: 32, Assoc: 2, LineBytes: 16, ReloadCost: 1}
+	ucb, err := cache.AnalyzeUCB(col.Graph, cache.RemapAccesses(col, acc), cc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := delay.FromUCB(off, ucb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestMatMulLikeProfile(t *testing.T) {
+	g, acc := MatMulLike(4, 2, 0)
+	f := analyse(t, g, acc)
+	// Strong reuse: the delay is high through the kernel (>= working set
+	// of A and B rows = 8 lines) and positive nearly everywhere.
+	_, fm := f.Max()
+	if fm < 8 {
+		t.Fatalf("matmul peak delay = %g, want >= 8", fm)
+	}
+	mid := f.Eval(f.Domain() / 2)
+	if mid < fm/2 {
+		t.Fatalf("matmul mid-kernel delay %g should be near the peak %g", mid, fm)
+	}
+}
+
+func TestBSortLikeProfile(t *testing.T) {
+	g, acc := BSortLike(6, 2, 100)
+	f := analyse(t, g, acc)
+	_, fm := f.Max()
+	if fm < 6 {
+		t.Fatalf("bsort peak delay = %g, want >= 6 (whole array useful)", fm)
+	}
+}
+
+func TestCRCLikeProfile(t *testing.T) {
+	g, acc := CRCLike(50, 1, 200)
+	f := analyse(t, g, acc)
+	// Small table: delay bounded by 4 lines.
+	_, fm := f.Max()
+	if fm > 4 {
+		t.Fatalf("crc peak delay = %g, want <= 4 (table only)", fm)
+	}
+	if fm <= 0 {
+		t.Fatal("crc should have a nonzero delay profile")
+	}
+}
+
+func TestFSMLikeProfile(t *testing.T) {
+	g, acc := FSMLike(5, 2, 300)
+	f := analyse(t, g, acc)
+	// Branchy with per-state sets: profile must vary (not constant).
+	if f.Pieces() < 3 {
+		t.Fatalf("fsm profile has %d pieces, want variety", f.Pieces())
+	}
+	// Defensive: degenerate argument.
+	g1, acc1 := FSMLike(0, 1, 0)
+	if _, err := g1.AnalyzeOffsets(); err != nil {
+		t.Fatalf("FSMLike(0): %v", err)
+	}
+	_ = acc1
+}
+
+// The generated kernels have genuinely different Algorithm 1 behaviour: the
+// flat-profile kernels gain little over the state of the art, the branchy
+// one gains more (relative structure matters, not absolute values).
+func TestProgramProfilesDiffer(t *testing.T) {
+	type gen func() (*cfg.Graph, cache.AccessMap)
+	kernels := map[string]gen{
+		"matmul": func() (*cfg.Graph, cache.AccessMap) { return MatMulLike(4, 2, 0) },
+		"fsm":    func() (*cfg.Graph, cache.AccessMap) { return FSMLike(6, 2, 100) },
+	}
+	gain := map[string]float64{}
+	for name, mk := range kernels {
+		g, acc := mk()
+		f := analyse(t, g, acc)
+		_, fm := f.Max()
+		q := fm + 5
+		alg, err := core.UpperBound(f, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		soa, err := core.StateOfTheArt(f, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if alg > 0 {
+			gain[name] = soa / alg
+		} else {
+			gain[name] = 1
+		}
+	}
+	if gain["fsm"] <= gain["matmul"] {
+		t.Fatalf("expected the branchy FSM profile (%.2fx) to gain more than flat matmul (%.2fx)",
+			gain["fsm"], gain["matmul"])
+	}
+}

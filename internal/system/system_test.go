@@ -1,0 +1,188 @@
+package system
+
+import (
+	"math/rand"
+	"testing"
+
+	"fnpr/internal/cache"
+	"fnpr/internal/cfg"
+	"fnpr/internal/npr"
+	"fnpr/internal/synth"
+)
+
+// smallProgram builds a 3-block chain touching the given lines.
+func smallProgram(load, reuse []cache.Line, emin, emax float64) (*cfg.Graph, cache.AccessMap) {
+	g := cfg.New()
+	a := g.AddSimple("load", emin, emax)
+	b := g.AddSimple("work", emin*3, emax*3)
+	c := g.AddSimple("tail", emin, emax)
+	g.MustEdge(a, b)
+	g.MustEdge(b, c)
+	return g, cache.AccessMap{a: load, c: reuse}
+}
+
+func sysConfig() Config {
+	g1, a1 := smallProgram([]cache.Line{0, 1}, []cache.Line{0}, 1, 1)
+	g2, a2 := smallProgram([]cache.Line{8, 9, 10}, []cache.Line{8, 9}, 4, 5)
+	g3, a3 := smallProgram([]cache.Line{16, 17, 18, 19}, []cache.Line{16, 17, 18}, 8, 10)
+	return Config{
+		Tasks: []TaskProgram{
+			{Name: "hi", T: 40, Prio: 0, Graph: g1, Accesses: a1},
+			{Name: "mid", T: 150, Prio: 1, Graph: g2, Accesses: a2},
+			{Name: "lo", T: 600, Prio: 2, Graph: g3, Accesses: a3},
+		},
+		Cache:  cache.Config{Sets: 8, Assoc: 2, LineBytes: 16, ReloadCost: 0.5},
+		Policy: npr.FixedPriority,
+	}
+}
+
+func TestAnalyzePipeline(t *testing.T) {
+	res, err := Analyze(sysConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tasks) != 3 {
+		t.Fatalf("tasks = %d, want 3", len(res.Tasks))
+	}
+	// Priority order respected.
+	if res.Set[0].Name != "hi" || res.Set[2].Name != "lo" {
+		t.Fatalf("order = %v", res.Set)
+	}
+	// C derived from the CFG WCET: hi = 1 + 3 + 1 = 5.
+	if res.Set[0].C != 5 {
+		t.Fatalf("C[hi] = %g, want 5", res.Set[0].C)
+	}
+	if res.Set[0].BCET != 5 {
+		t.Fatalf("BCET[hi] = %g, want 5", res.Set[0].BCET)
+	}
+	// Q derived (nonzero) for every task.
+	for _, tk := range res.Set {
+		if tk.Q <= 0 {
+			t.Fatalf("Q[%s] = %g, want > 0", tk.Name, tk.Q)
+		}
+	}
+	// lo loads 4 lines; inside the load block itself all 4 are already
+	// both reachable and live (the block's own trailing accesses), so
+	// the peak CRPD is 4 x 0.5 = 2; after the load phase only the 3
+	// reused lines remain useful (1.5).
+	loA := res.Tasks[2]
+	if loA.MaxCRPD != 2 {
+		t.Fatalf("lo max CRPD = %g, want 2", loA.MaxCRPD)
+	}
+	if v := loA.Delay.Eval(loA.Task.C * 0.5); v != 1.5 {
+		t.Fatalf("lo mid-execution delay = %g, want 1.5", v)
+	}
+	if loA.TotalDelay < 0 || loA.EffectiveC != loA.Task.C+loA.TotalDelay {
+		t.Fatalf("lo analysis inconsistent: %+v", loA)
+	}
+	if !res.Schedulable {
+		t.Fatalf("light system should be schedulable: R = %v", res.ResponseTimes)
+	}
+	if len(res.ResponseTimes) != 3 {
+		t.Fatal("FP analysis must produce response times")
+	}
+}
+
+func TestAnalyzeEDF(t *testing.T) {
+	c := sysConfig()
+	c.Policy = npr.EDF
+	res, err := Analyze(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Schedulable {
+		t.Fatal("EDF should admit the light system")
+	}
+	if res.ResponseTimes != nil {
+		t.Fatal("EDF analysis should not produce response times")
+	}
+}
+
+func TestAnalyzeECBRefinement(t *testing.T) {
+	// The preempters (hi, mid) touch lines 0,1,8,9,10 -> sets 0,1,2 of
+	// an 8-set cache. lo's useful lines 16,17,18 map to sets 0,1,2 too,
+	// so refinement keeps them; now give lo useful lines in sets the
+	// preempters never touch and watch the delay shrink.
+	g3, a3 := smallProgram([]cache.Line{20, 21, 22}, []cache.Line{20, 21, 22}, 8, 10)
+	c := sysConfig()
+	c.Tasks[2] = TaskProgram{Name: "lo", T: 600, Prio: 2, Graph: g3, Accesses: a3}
+	// Lines 20,21,22 -> sets 4,5,6; preempters touch sets 0,1,2.
+	c.UseECB = true
+	res, err := Analyze(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tasks[2].MaxCRPD != 0 {
+		t.Fatalf("ECB-refined lo CRPD = %g, want 0 (disjoint sets)", res.Tasks[2].MaxCRPD)
+	}
+	// Without refinement it is positive.
+	c.UseECB = false
+	res2, err := Analyze(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Tasks[2].MaxCRPD <= 0 {
+		t.Fatal("UCB-only CRPD should be positive")
+	}
+}
+
+func TestAnalyzeValidation(t *testing.T) {
+	if _, err := Analyze(Config{}); err == nil {
+		t.Fatal("accepted empty system")
+	}
+	c := sysConfig()
+	c.Cache.Sets = 3
+	if _, err := Analyze(c); err == nil {
+		t.Fatal("accepted invalid cache")
+	}
+	c = sysConfig()
+	c.Tasks[0].Graph = nil
+	if _, err := Analyze(c); err == nil {
+		t.Fatal("accepted nil graph")
+	}
+	c = sysConfig()
+	c.Policy = npr.Policy(9)
+	if _, err := Analyze(c); err == nil {
+		t.Fatal("accepted unknown policy")
+	}
+}
+
+func TestAnalyzeWithLoopsAndRandomPrograms(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 20; trial++ {
+		var tasks []TaskProgram
+		for i := 0; i < 3; i++ {
+			g, acc, err := synth.CFG(r, synth.CFGParams{
+				Blocks: 6 + r.Intn(10), MaxFanout: 2,
+				EMinLo: 1, EMinHi: 3, ESpread: 2,
+				Lines: 24, AccessesPerBloc: 4, Reuse: 0.5,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			tasks = append(tasks, TaskProgram{
+				Name:  string(rune('a' + i)),
+				T:     400 * float64(i+1) * (1 + r.Float64()),
+				Prio:  i,
+				Graph: g, Accesses: acc,
+			})
+		}
+		res, err := Analyze(Config{
+			Tasks:  tasks,
+			Cache:  cache.Config{Sets: 8, Assoc: 2, LineBytes: 16, ReloadCost: 0.2},
+			Policy: npr.FixedPriority,
+			UseECB: trial%2 == 0,
+		})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for _, ta := range res.Tasks {
+			if ta.EffectiveC < ta.Task.C {
+				t.Fatalf("trial %d: C' below C", trial)
+			}
+			if ta.Delay.Domain() != ta.Task.C {
+				t.Fatalf("trial %d: delay domain mismatch", trial)
+			}
+		}
+	}
+}

@@ -1,0 +1,165 @@
+package textplot
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// SVGOptions control vector-chart rendering.
+type SVGOptions struct {
+	// Width and Height are the image dimensions in pixels (defaults
+	// 720x440).
+	Width, Height int
+	// LogY plots the Y axis in log10.
+	LogY bool
+	// Title is drawn above the plot area.
+	Title string
+}
+
+// seriesColors is a small colour cycle for the curves.
+var seriesColors = []string{
+	"#1f77b4", "#d62728", "#2ca02c", "#7f7f7f", "#9467bd", "#ff7f0e",
+	"#17becf", "#8c564b",
+}
+
+// WriteSVG renders the table as a line chart in SVG. Non-finite values
+// break the polyline (gaps); with LogY, non-positive values do too.
+func (t *Table) WriteSVG(w io.Writer, opt SVGOptions) error {
+	if err := t.Validate(); err != nil {
+		return err
+	}
+	width, height := opt.Width, opt.Height
+	if width <= 0 {
+		width = 720
+	}
+	if height <= 0 {
+		height = 440
+	}
+	const (
+		marginL = 70
+		marginR = 20
+		marginT = 40
+		marginB = 50
+	)
+	plotW := float64(width - marginL - marginR)
+	plotH := float64(height - marginT - marginB)
+	if plotW <= 0 || plotH <= 0 {
+		return errors.New("textplot: image too small")
+	}
+
+	yv := func(v float64) (float64, bool) {
+		if math.IsInf(v, 0) || math.IsNaN(v) {
+			return 0, false
+		}
+		if opt.LogY {
+			if v <= 0 {
+				return 0, false
+			}
+			return math.Log10(v), true
+		}
+		return v, true
+	}
+	xmin, xmax := t.X[0], t.X[len(t.X)-1]
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	for _, s := range t.Series {
+		for _, v := range s.Y {
+			if y, ok := yv(v); ok {
+				ymin = math.Min(ymin, y)
+				ymax = math.Max(ymax, y)
+			}
+		}
+	}
+	if math.IsInf(ymin, 0) {
+		return errors.New("textplot: no finite data to plot")
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	px := func(x float64) float64 { return marginL + plotW*(x-xmin)/(xmax-xmin) }
+	py := func(y float64) float64 { return marginT + plotH*(1-(y-ymin)/(ymax-ymin)) }
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		width, height, width, height)
+	b.WriteString(`<rect width="100%" height="100%" fill="white"/>` + "\n")
+	if opt.Title != "" {
+		fmt.Fprintf(&b, `<text x="%d" y="24" font-family="sans-serif" font-size="16">%s</text>`+"\n",
+			marginL, escapeXML(opt.Title))
+	}
+	// Axes.
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n",
+		marginL, marginT, marginL, height-marginB)
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n",
+		marginL, height-marginB, width-marginR, height-marginB)
+	// Ticks: 5 on each axis.
+	for i := 0; i <= 4; i++ {
+		xv := xmin + (xmax-xmin)*float64(i)/4
+		x := px(xv)
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%d" x2="%.1f" y2="%d" stroke="black"/>`+"\n",
+			x, height-marginB, x, height-marginB+5)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" font-family="sans-serif" font-size="11" text-anchor="middle">%.4g</text>`+"\n",
+			x, height-marginB+18, xv)
+
+		yvv := ymin + (ymax-ymin)*float64(i)/4
+		y := py(yvv)
+		label := yvv
+		if opt.LogY {
+			label = math.Pow(10, yvv)
+		}
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="black"/>`+"\n",
+			marginL-5, y, marginL, y)
+		fmt.Fprintf(&b, `<text x="%d" y="%.1f" font-family="sans-serif" font-size="11" text-anchor="end">%.4g</text>`+"\n",
+			marginL-8, y+4, label)
+	}
+	// Axis labels.
+	fmt.Fprintf(&b, `<text x="%.1f" y="%d" font-family="sans-serif" font-size="12" text-anchor="middle">%s</text>`+"\n",
+		marginL+plotW/2, height-8, escapeXML(t.XLabel))
+	ylab := t.YLabel
+	if opt.LogY {
+		ylab += " (log)"
+	}
+	fmt.Fprintf(&b, `<text x="14" y="%.1f" font-family="sans-serif" font-size="12" text-anchor="middle" transform="rotate(-90 14 %.1f)">%s</text>`+"\n",
+		marginT+plotH/2, marginT+plotH/2, escapeXML(ylab))
+
+	// Curves.
+	for si, s := range t.Series {
+		color := seriesColors[si%len(seriesColors)]
+		var seg []string
+		flush := func() {
+			if len(seg) >= 2 {
+				fmt.Fprintf(&b, `<polyline fill="none" stroke="%s" stroke-width="1.5" points="%s"/>`+"\n",
+					color, strings.Join(seg, " "))
+			}
+			seg = seg[:0]
+		}
+		for i, v := range s.Y {
+			y, ok := yv(v)
+			if !ok {
+				flush()
+				continue
+			}
+			seg = append(seg, fmt.Sprintf("%.1f,%.1f", px(t.X[i]), py(y)))
+		}
+		flush()
+		// Legend entry.
+		ly := marginT + 16*float64(si)
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s" stroke-width="2"/>`+"\n",
+			float64(width-marginR)-150, ly, float64(width-marginR)-130, ly, color)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-family="sans-serif" font-size="11">%s</text>`+"\n",
+			float64(width-marginR)-125, ly+4, escapeXML(s.Name))
+	}
+	b.WriteString("</svg>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func escapeXML(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

@@ -1,0 +1,77 @@
+package textplot
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestWriteSVGBasic(t *testing.T) {
+	var b strings.Builder
+	if err := sample().WriteSVG(&b, SVGOptions{Title: "demo"}); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"<svg", "polyline", "alg", "soa", "demo", "</svg>"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("SVG missing %q", want)
+		}
+	}
+	// Two curves, two polylines at least.
+	if strings.Count(out, "<polyline") < 2 {
+		t.Fatal("expected a polyline per series")
+	}
+}
+
+func TestWriteSVGLog(t *testing.T) {
+	var b strings.Builder
+	if err := sample().WriteSVG(&b, SVGOptions{LogY: true}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "(log)") {
+		t.Fatal("log label missing")
+	}
+}
+
+func TestWriteSVGGapsOnNonFinite(t *testing.T) {
+	tb := &Table{
+		XLabel: "x", YLabel: "y",
+		X: []float64{1, 2, 3, 4},
+		Series: []Series{{
+			Name: "s",
+			Y:    []float64{1, math.Inf(1), 3, 4},
+		}},
+	}
+	var b strings.Builder
+	if err := tb.WriteSVG(&b, SVGOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	// The infinite point splits the curve: only the 3-4 segment has two
+	// points (the leading single point is dropped).
+	if strings.Count(b.String(), "<polyline") != 1 {
+		t.Fatalf("expected exactly one polyline, got:\n%s", b.String())
+	}
+}
+
+func TestWriteSVGErrors(t *testing.T) {
+	var b strings.Builder
+	if err := (&Table{}).WriteSVG(&b, SVGOptions{}); err == nil {
+		t.Fatal("accepted empty table")
+	}
+	allInf := &Table{
+		XLabel: "x", X: []float64{1},
+		Series: []Series{{Name: "s", Y: []float64{math.Inf(1)}}},
+	}
+	if err := allInf.WriteSVG(&b, SVGOptions{}); err == nil {
+		t.Fatal("accepted all-infinite data")
+	}
+	if err := sample().WriteSVG(&b, SVGOptions{Width: 10, Height: 10}); err == nil {
+		t.Fatal("accepted too-small canvas")
+	}
+}
+
+func TestEscapeXML(t *testing.T) {
+	if got := escapeXML(`a<b>&"c"`); got != "a&lt;b&gt;&amp;&quot;c&quot;" {
+		t.Fatalf("escape = %q", got)
+	}
+}

@@ -1,0 +1,166 @@
+// Package textplot renders small numeric tables and charts as CSV and ASCII
+// art, so the evaluation harness can regenerate the paper's figures without
+// any plotting dependency.
+package textplot
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Series is one named curve sampled on the shared X grid of a Table.
+type Series struct {
+	Name string
+	Y    []float64
+}
+
+// Table is a set of curves over a common abscissa.
+type Table struct {
+	XLabel string
+	YLabel string
+	X      []float64
+	Series []Series
+}
+
+// Validate checks shape consistency.
+func (t *Table) Validate() error {
+	if len(t.X) == 0 {
+		return errors.New("textplot: empty X grid")
+	}
+	for _, s := range t.Series {
+		if len(s.Y) != len(t.X) {
+			return fmt.Errorf("textplot: series %q has %d points for %d X values", s.Name, len(s.Y), len(t.X))
+		}
+	}
+	return nil
+}
+
+// WriteCSV emits the table as CSV: header Xlabel,series... then one row per
+// X value. Infinities are emitted as "inf" so spreadsheets flag them.
+func (t *Table) WriteCSV(w io.Writer) error {
+	if err := t.Validate(); err != nil {
+		return err
+	}
+	cols := []string{t.XLabel}
+	for _, s := range t.Series {
+		cols = append(cols, s.Name)
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(cols, ",")); err != nil {
+		return err
+	}
+	for i, x := range t.X {
+		row := []string{formatNum(x)}
+		for _, s := range t.Series {
+			row = append(row, formatNum(s.Y[i]))
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(row, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func formatNum(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "inf"
+	case math.IsInf(v, -1):
+		return "-inf"
+	case math.IsNaN(v):
+		return "nan"
+	default:
+		return fmt.Sprintf("%g", v)
+	}
+}
+
+// ASCIIOptions control chart rendering.
+type ASCIIOptions struct {
+	Width, Height int
+	LogY          bool
+}
+
+// ASCII renders the table as a character chart: one mark per series
+// ('a', 'b', 'c', ... in series order), linear or logarithmic Y axis, with a
+// legend. Non-finite values are skipped.
+func (t *Table) ASCII(opt ASCIIOptions) (string, error) {
+	if err := t.Validate(); err != nil {
+		return "", err
+	}
+	w, h := opt.Width, opt.Height
+	if w <= 0 {
+		w = 72
+	}
+	if h <= 0 {
+		h = 20
+	}
+	xmin, xmax := t.X[0], t.X[len(t.X)-1]
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	yv := func(v float64) (float64, bool) {
+		if math.IsInf(v, 0) || math.IsNaN(v) {
+			return 0, false
+		}
+		if opt.LogY {
+			if v <= 0 {
+				return 0, false
+			}
+			return math.Log10(v), true
+		}
+		return v, true
+	}
+	for _, s := range t.Series {
+		for _, v := range s.Y {
+			if y, ok := yv(v); ok {
+				ymin = math.Min(ymin, y)
+				ymax = math.Max(ymax, y)
+			}
+		}
+	}
+	if math.IsInf(ymin, 0) {
+		return "", errors.New("textplot: no finite data to plot")
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	grid := make([][]byte, h)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", w))
+	}
+	// Later series are drawn first so that earlier ones win overlaps
+	// (series order encodes importance).
+	for si := len(t.Series) - 1; si >= 0; si-- {
+		s := t.Series[si]
+		mark := byte('a' + si%26)
+		for i, v := range s.Y {
+			y, ok := yv(v)
+			if !ok {
+				continue
+			}
+			col := int(float64(w-1) * (t.X[i] - xmin) / (xmax - xmin))
+			row := h - 1 - int(float64(h-1)*(y-ymin)/(ymax-ymin))
+			if col >= 0 && col < w && row >= 0 && row < h {
+				grid[row][col] = mark
+			}
+		}
+	}
+	var b strings.Builder
+	ylab := t.YLabel
+	if opt.LogY {
+		ylab += " (log10)"
+	}
+	fmt.Fprintf(&b, "%s\n", ylab)
+	for r, row := range grid {
+		yTop := ymax - (ymax-ymin)*float64(r)/float64(h-1)
+		fmt.Fprintf(&b, "%10.3g |%s|\n", yTop, string(row))
+	}
+	fmt.Fprintf(&b, "%10s  %-10.4g%*s%10.4g\n", t.XLabel, xmin, w-20, "", xmax)
+	for si, s := range t.Series {
+		fmt.Fprintf(&b, "   %c = %s\n", byte('a'+si%26), s.Name)
+	}
+	return b.String(), nil
+}

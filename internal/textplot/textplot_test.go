@@ -1,0 +1,131 @@
+package textplot
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func sample() *Table {
+	return &Table{
+		XLabel: "Q", YLabel: "delay",
+		X: []float64{1, 2, 3},
+		Series: []Series{
+			{Name: "alg", Y: []float64{10, 5, 2}},
+			{Name: "soa", Y: []float64{100, 50, 20}},
+		},
+	}
+}
+
+func TestValidate(t *testing.T) {
+	tb := sample()
+	if err := tb.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	tb.Series[0].Y = tb.Series[0].Y[:2]
+	if err := tb.Validate(); err == nil {
+		t.Fatal("accepted ragged series")
+	}
+	empty := &Table{}
+	if err := empty.Validate(); err == nil {
+		t.Fatal("accepted empty table")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var b strings.Builder
+	if err := sample().WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("CSV has %d lines, want 4:\n%s", len(lines), out)
+	}
+	if lines[0] != "Q,alg,soa" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if lines[1] != "1,10,100" {
+		t.Fatalf("row = %q", lines[1])
+	}
+}
+
+func TestWriteCSVInfinities(t *testing.T) {
+	tb := &Table{
+		XLabel: "x", X: []float64{1},
+		Series: []Series{{Name: "s", Y: []float64{math.Inf(1)}}},
+	}
+	var b strings.Builder
+	if err := tb.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "inf") {
+		t.Fatalf("infinity not rendered: %q", b.String())
+	}
+}
+
+func TestASCIILinear(t *testing.T) {
+	out, err := sample().ASCII(ASCIIOptions{Width: 40, Height: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "a = alg") || !strings.Contains(out, "b = soa") {
+		t.Fatalf("legend missing:\n%s", out)
+	}
+	if !strings.Contains(out, "a") || !strings.Contains(out, "b") {
+		t.Fatalf("marks missing:\n%s", out)
+	}
+}
+
+func TestASCIILog(t *testing.T) {
+	out, err := sample().ASCII(ASCIIOptions{Width: 40, Height: 10, LogY: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "log10") {
+		t.Fatalf("log label missing:\n%s", out)
+	}
+}
+
+func TestASCIISkipsNonFinite(t *testing.T) {
+	tb := &Table{
+		XLabel: "x", X: []float64{1, 2},
+		Series: []Series{{Name: "s", Y: []float64{math.Inf(1), 5}}},
+	}
+	if _, err := tb.ASCII(ASCIIOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	allInf := &Table{
+		XLabel: "x", X: []float64{1},
+		Series: []Series{{Name: "s", Y: []float64{math.Inf(1)}}},
+	}
+	if _, err := allInf.ASCII(ASCIIOptions{}); err == nil {
+		t.Fatal("accepted all-infinite data")
+	}
+}
+
+func TestASCIILogSkipsNonPositive(t *testing.T) {
+	tb := &Table{
+		XLabel: "x", X: []float64{1, 2},
+		Series: []Series{{Name: "s", Y: []float64{0, 10}}},
+	}
+	out, err := tb.ASCII(ASCIIOptions{LogY: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out == "" {
+		t.Fatal("empty output")
+	}
+}
+
+func TestFormatNum(t *testing.T) {
+	if formatNum(math.Inf(-1)) != "-inf" {
+		t.Fatal("negative infinity")
+	}
+	if formatNum(math.NaN()) != "nan" {
+		t.Fatal("NaN")
+	}
+	if formatNum(2.5) != "2.5" {
+		t.Fatal("plain number")
+	}
+}

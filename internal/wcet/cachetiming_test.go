@@ -1,0 +1,175 @@
+package wcet
+
+import (
+	"math/rand"
+	"testing"
+
+	"fnpr/internal/cache"
+	"fnpr/internal/cfg"
+)
+
+func model() TimingModel {
+	return TimingModel{
+		Cache:   cache.Config{Sets: 4, Assoc: 2, LineBytes: 16, ReloadCost: 10},
+		HitCost: 1, MissCost: 10,
+		ComputeMin: map[cfg.BlockID]float64{},
+		ComputeMax: map[cfg.BlockID]float64{},
+	}
+}
+
+func TestTimingModelValidate(t *testing.T) {
+	m := model()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	m.HitCost, m.MissCost = 10, 1
+	if err := m.Validate(); err == nil {
+		t.Fatal("accepted miss < hit")
+	}
+	m = model()
+	m.Cache.Sets = 3
+	if err := m.Validate(); err == nil {
+		t.Fatal("accepted bad cache")
+	}
+}
+
+func TestApplyCacheTimingIntervals(t *testing.T) {
+	g := cfg.New()
+	a := g.AddSimple("a", 0, 0)
+	b := g.AddSimple("b", 0, 0)
+	g.MustEdge(a, b)
+	acc := cache.AccessMap{a: {0, 1}, b: {0, 1}}
+	m := model()
+	m.ComputeMin[a], m.ComputeMax[a] = 2, 3
+	m.ComputeMin[b], m.ComputeMax[b] = 1, 1
+	if _, err := ApplyCacheTiming(g, acc, m); err != nil {
+		t.Fatal(err)
+	}
+	// a: two cold misses (2x10) + compute [2,3] -> [22, 23].
+	blk := g.Block(a)
+	if blk.EMin != 22 || blk.EMax != 23 {
+		t.Fatalf("a interval [%g,%g], want [22,23]", blk.EMin, blk.EMax)
+	}
+	// b: two always-hits (2x1) + compute [1,1] -> [3,3].
+	blk = g.Block(b)
+	if blk.EMin != 3 || blk.EMax != 3 {
+		t.Fatalf("b interval [%g,%g], want [3,3]", blk.EMin, blk.EMax)
+	}
+}
+
+func TestAnalyzeWithCacheLeavesInputIntact(t *testing.T) {
+	g := cfg.New()
+	a := g.AddSimple("a", 5, 5)
+	b := g.AddSimple("b", 5, 5)
+	g.MustEdge(a, b)
+	acc := cache.AccessMap{a: {0}, b: {0}}
+	est, cls, err := AnalyzeWithCache(g, acc, model())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Block(a).EMin != 5 {
+		t.Fatal("AnalyzeWithCache mutated the input graph")
+	}
+	// a: one miss (10); b: one hit (1) -> task [11, 11].
+	if est.BCET != 11 || est.WCET != 11 {
+		t.Fatalf("estimate [%g,%g], want [11,11]", est.BCET, est.WCET)
+	}
+	if cls == nil {
+		t.Fatal("classification missing")
+	}
+}
+
+func TestAnalyzeWithCacheUnclassifiedWidensInterval(t *testing.T) {
+	// Diamond where only one arm warms line 0: the bottom access is
+	// unclassified -> interval spans hit..miss.
+	g := cfg.New()
+	top := g.AddSimple("top", 0, 0)
+	l := g.AddSimple("l", 0, 0)
+	r := g.AddSimple("r", 0, 0)
+	bot := g.AddSimple("bot", 0, 0)
+	g.MustEdge(top, l)
+	g.MustEdge(top, r)
+	g.MustEdge(l, bot)
+	g.MustEdge(r, bot)
+	acc := cache.AccessMap{l: {0}, bot: {0}}
+	est, _, err := AnalyzeWithCache(g, acc, model())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// BCET path: top->r->bot with bot hit?? bot unclassified: best 1,
+	// worst 10; r has no accesses. BCET = 0 + 0 + 1 = 1; WCET = left
+	// path: 10 (miss in l) + 10 (worst bot) = 20.
+	if est.BCET != 1 {
+		t.Fatalf("BCET = %g, want 1", est.BCET)
+	}
+	if est.WCET != 20 {
+		t.Fatalf("WCET = %g, want 20", est.WCET)
+	}
+}
+
+func TestApplyCacheTimingValidation(t *testing.T) {
+	if _, err := ApplyCacheTiming(nil, nil, model()); err == nil {
+		t.Fatal("accepted nil graph")
+	}
+	if _, _, err := AnalyzeWithCache(nil, nil, model()); err == nil {
+		t.Fatal("accepted nil graph")
+	}
+	g := cfg.New()
+	g.AddSimple("a", 0, 0)
+	m := model()
+	m.HitCost = -1
+	if _, err := ApplyCacheTiming(g, nil, m); err == nil {
+		t.Fatal("accepted invalid model")
+	}
+}
+
+// Property: the cache-aware WCET with a real (concrete) trace replay never
+// exceeds the static WCET on straight-line programs: the static bound
+// classifies conservatively.
+func TestCacheTimingConservative(t *testing.T) {
+	r := rand.New(rand.NewSource(12))
+	m := model()
+	for trial := 0; trial < 60; trial++ {
+		n := 2 + r.Intn(6)
+		g := cfg.New()
+		acc := make(cache.AccessMap)
+		var prev cfg.BlockID = cfg.NoBlock
+		var ids []cfg.BlockID
+		for i := 0; i < n; i++ {
+			id := g.AddSimple("", 0, 0)
+			na := r.Intn(6)
+			tr := make([]cache.Line, na)
+			for j := range tr {
+				tr[j] = cache.Line(r.Intn(10))
+			}
+			acc[id] = tr
+			if prev != cfg.NoBlock {
+				g.MustEdge(prev, id)
+			}
+			prev = id
+			ids = append(ids, id)
+		}
+		est, _, err := AnalyzeWithCache(g, acc, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Concrete replay.
+		sim, _ := cache.NewSim(m.Cache)
+		var concrete float64
+		for _, id := range ids {
+			for _, l := range acc[id] {
+				if sim.Access(l) {
+					concrete += m.HitCost
+				} else {
+					concrete += m.MissCost
+				}
+			}
+		}
+		if concrete > est.WCET+1e-9 {
+			t.Fatalf("trial %d: concrete time %g exceeds WCET %g", trial, concrete, est.WCET)
+		}
+		if concrete < est.BCET-1e-9 {
+			t.Fatalf("trial %d: concrete time %g below BCET %g", trial, concrete, est.BCET)
+		}
+	}
+}

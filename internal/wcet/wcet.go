@@ -1,0 +1,119 @@
+// Package wcet estimates best- and worst-case execution times of tasks from
+// their control-flow graphs. It is the substrate the paper assumes in
+// Section IV ("such values can be produced by standard WCET estimation
+// tools"): per-block execution intervals go in, task-level [BCET, WCET]
+// bounds and per-block timing data come out.
+//
+// The implementation is path-based on loop-collapsed graphs: the same
+// breadth-first interval propagation as the offset analysis, which on a DAG
+// amounts to shortest/longest path. For small graphs an exhaustive path
+// enumerator provides an independent cross-check used by the test suite.
+package wcet
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"fnpr/internal/cfg"
+)
+
+// Estimate holds a task-level execution-time estimate.
+type Estimate struct {
+	// BCET and WCET bound the isolated execution time of the task.
+	BCET, WCET float64
+	// Offsets is the per-block start-offset analysis the estimate was
+	// derived from (on the loop-collapsed graph).
+	Offsets *cfg.Offsets
+	// Collapsed relates the analysed graph back to the original.
+	Collapsed *cfg.Collapsed
+}
+
+// Analyze computes the execution-time estimate of a task given its (possibly
+// cyclic) control-flow graph. Loops are collapsed using g.LoopBounds.
+func Analyze(g *cfg.Graph) (*Estimate, error) {
+	if g == nil {
+		return nil, errors.New("wcet: nil graph")
+	}
+	col, err := g.CollapseLoops()
+	if err != nil {
+		return nil, err
+	}
+	off, err := col.Graph.AnalyzeOffsets()
+	if err != nil {
+		return nil, err
+	}
+	return &Estimate{BCET: off.BCET, WCET: off.WCET, Offsets: off, Collapsed: col}, nil
+}
+
+// Path is one source-to-exit path through a graph, by block ID.
+type Path []cfg.BlockID
+
+// Time returns the path's [min, max] execution time.
+func (p Path) Time(g *cfg.Graph) (emin, emax float64) {
+	for _, b := range p {
+		blk := g.Block(b)
+		emin += blk.EMin
+		emax += blk.EMax
+	}
+	return emin, emax
+}
+
+// maxPaths caps exhaustive enumeration.
+const maxPaths = 1 << 20
+
+// EnumeratePaths lists every entry-to-exit path of an acyclic graph, up to
+// maxPaths (an error is returned beyond that). Intended for cross-checking
+// the DAG analysis on small graphs.
+func EnumeratePaths(g *cfg.Graph) ([]Path, error) {
+	if g == nil {
+		return nil, errors.New("wcet: nil graph")
+	}
+	if !g.IsAcyclic() {
+		return nil, errors.New("wcet: path enumeration requires an acyclic graph")
+	}
+	var out []Path
+	var cur Path
+	var walk func(cfg.BlockID) error
+	walk = func(b cfg.BlockID) error {
+		cur = append(cur, b)
+		defer func() { cur = cur[:len(cur)-1] }()
+		if len(g.Succs(b)) == 0 {
+			if len(out) >= maxPaths {
+				return fmt.Errorf("wcet: more than %d paths", maxPaths)
+			}
+			out = append(out, append(Path(nil), cur...))
+			return nil
+		}
+		for _, s := range g.Succs(b) {
+			if err := walk(s); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(g.Entry()); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ExhaustiveBounds computes [BCET, WCET] by enumerating all paths — an
+// independent oracle for the DAG analysis, usable only on small acyclic
+// graphs.
+func ExhaustiveBounds(g *cfg.Graph) (bcet, wcet float64, err error) {
+	paths, err := EnumeratePaths(g)
+	if err != nil {
+		return 0, 0, err
+	}
+	if len(paths) == 0 {
+		return 0, 0, errors.New("wcet: no paths")
+	}
+	bcet, wcet = math.Inf(1), math.Inf(-1)
+	for _, p := range paths {
+		lo, hi := p.Time(g)
+		bcet = math.Min(bcet, lo)
+		wcet = math.Max(wcet, hi)
+	}
+	return bcet, wcet, nil
+}

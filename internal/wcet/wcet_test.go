@@ -1,0 +1,134 @@
+package wcet
+
+import (
+	"math/rand"
+	"testing"
+
+	"fnpr/internal/cfg"
+)
+
+func TestAnalyzeFigure1(t *testing.T) {
+	est, err := Analyze(cfg.Figure1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.BCET != 80 || est.WCET != 205 {
+		t.Fatalf("estimate = [%g,%g], want [80,205]", est.BCET, est.WCET)
+	}
+	if est.Offsets == nil || est.Collapsed == nil {
+		t.Fatal("estimate missing analysis artifacts")
+	}
+}
+
+func TestAnalyzeWithLoop(t *testing.T) {
+	g := cfg.SimpleLoop(cfg.Bound{Min: 1, Max: 3})
+	est, err := Analyze(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// entry [1,2] + loop [4,18] + exit [2,2].
+	if est.BCET != 7 || est.WCET != 22 {
+		t.Fatalf("estimate = [%g,%g], want [7,22]", est.BCET, est.WCET)
+	}
+}
+
+func TestAnalyzeNil(t *testing.T) {
+	if _, err := Analyze(nil); err == nil {
+		t.Fatal("accepted nil graph")
+	}
+}
+
+func TestAnalyzeIrreducible(t *testing.T) {
+	g := cfg.New()
+	e := g.AddSimple("e", 1, 1)
+	a := g.AddSimple("a", 1, 1)
+	b := g.AddSimple("b", 1, 1)
+	x := g.AddSimple("x", 1, 1)
+	g.MustEdge(e, a)
+	g.MustEdge(e, b)
+	g.MustEdge(a, b)
+	g.MustEdge(b, a)
+	g.MustEdge(a, x)
+	if _, err := Analyze(g); err == nil {
+		t.Fatal("accepted irreducible graph")
+	}
+}
+
+func TestEnumeratePathsDiamond(t *testing.T) {
+	g := cfg.Diamond([2]float64{1, 1}, [2]float64{2, 3}, [2]float64{4, 5}, [2]float64{1, 1})
+	paths, err := EnumeratePaths(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 2 {
+		t.Fatalf("paths = %d, want 2", len(paths))
+	}
+	for _, p := range paths {
+		if len(p) != 3 {
+			t.Fatalf("path length %d, want 3", len(p))
+		}
+	}
+}
+
+func TestEnumeratePathsRejectsCycles(t *testing.T) {
+	g := cfg.SimpleLoop(cfg.Bound{Min: 1, Max: 2})
+	if _, err := EnumeratePaths(g); err == nil {
+		t.Fatal("accepted cyclic graph")
+	}
+	if _, err := EnumeratePaths(nil); err == nil {
+		t.Fatal("accepted nil graph")
+	}
+}
+
+func TestPathTime(t *testing.T) {
+	g := cfg.Diamond([2]float64{1, 1}, [2]float64{2, 3}, [2]float64{4, 5}, [2]float64{1, 1})
+	p := Path{0, 1, 3}
+	lo, hi := p.Time(g)
+	if lo != 4 || hi != 5 {
+		t.Fatalf("path time = [%g,%g], want [4,5]", lo, hi)
+	}
+}
+
+func TestExhaustiveBoundsDiamond(t *testing.T) {
+	g := cfg.Diamond([2]float64{1, 1}, [2]float64{2, 3}, [2]float64{4, 5}, [2]float64{1, 1})
+	bcet, wcet, err := ExhaustiveBounds(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bcet != 4 || wcet != 7 {
+		t.Fatalf("bounds = [%g,%g], want [4,7]", bcet, wcet)
+	}
+}
+
+// Property: on random DAGs, the interval analysis agrees exactly with
+// exhaustive path enumeration.
+func TestAnalysisMatchesExhaustive(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 100; trial++ {
+		n := 2 + r.Intn(10)
+		g := cfg.New()
+		ids := make([]cfg.BlockID, n)
+		for i := 0; i < n; i++ {
+			emin := float64(r.Intn(10) + 1)
+			ids[i] = g.AddSimple("", emin, emin+float64(r.Intn(10)))
+		}
+		for i := 1; i < n; i++ {
+			k := 1 + r.Intn(2)
+			for j := 0; j < k; j++ {
+				g.MustEdge(ids[r.Intn(i)], ids[i])
+			}
+		}
+		est, err := Analyze(g)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		bcet, wcet, err := ExhaustiveBounds(g)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if est.BCET != bcet || est.WCET != wcet {
+			t.Fatalf("trial %d: analysis [%g,%g] != exhaustive [%g,%g]",
+				trial, est.BCET, est.WCET, bcet, wcet)
+		}
+	}
+}
