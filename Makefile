@@ -1,0 +1,27 @@
+# Developer entry points. `make check` is the CI gate: static analysis plus
+# the full test suite under the race detector (the guarded sweep pool and the
+# shared step budget are concurrent code paths).
+
+GO ?= go
+
+.PHONY: build test check race vet bench figures
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+check: vet race
+
+bench:
+	$(GO) test -bench=. -benchmem
+
+figures:
+	$(GO) run ./cmd/figures -fig all

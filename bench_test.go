@@ -93,7 +93,7 @@ func BenchmarkFigure5Sweep(b *testing.B) {
 				g2At100, soaAt100 float64
 			})
 			for i := 0; i < b.N; i++ {
-				t, err := eval.Figure5(variant.params, nil)
+				t, err := eval.Figure5(nil, variant.params, nil)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -279,7 +279,7 @@ func BenchmarkAcceptanceExperiment(b *testing.B) {
 	p.SetsPerPoint = 40
 	var sep float64
 	for i := 0; i < b.N; i++ {
-		tbl, err := eval.Acceptance(p)
+		tbl, err := eval.Acceptance(nil, p)
 		if err != nil {
 			b.Fatal(err)
 		}

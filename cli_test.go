@@ -74,3 +74,67 @@ func TestCommandsAndExamples(t *testing.T) {
 		})
 	}
 }
+
+// TestExitCodeContract builds the binaries once and asserts the shared exit
+// code convention: 0 success, 1 analysis error, 2 usage error, 3 resource
+// limit (wall-clock timeout via -timeout or step budget via -max-iter).
+// Binaries are run directly (not through `go run`) so the exit status is the
+// tool's own. Skipped with -short.
+func TestExitCodeContract(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end CLI runs skipped in -short mode")
+	}
+	tmp := t.TempDir()
+	bins := map[string]string{}
+	for _, name := range []string{"figures", "fnprdelay", "schedtest", "simulate"} {
+		bin := filepath.Join(tmp, name)
+		out, err := exec.Command("go", "build", "-o", bin, "./cmd/"+name).CombinedOutput()
+		if err != nil {
+			t.Fatalf("building %s: %v\n%s", name, err, out)
+		}
+		bins[name] = bin
+	}
+
+	cases := []struct {
+		name string
+		bin  string
+		args []string
+		code int
+		// stderr must contain this (empty = no stderr requirement)
+		errWant string
+	}{
+		{"success", "fnprdelay", []string{"-spec", "0:10=4,10:60=0", "-q", "15"}, 0, ""},
+		{"analysis-error", "fnprdelay", []string{"-spec", "0:10=4,10:60=0", "-q", "-5"}, 1, "fnprdelay:"},
+		{"analysis-error-io", "schedtest", []string{"-spec", filepath.Join(tmp, "no-such.json")}, 1, "schedtest:"},
+		{"usage-missing-input", "fnprdelay", []string{}, 2, "exactly one of -f or -spec"},
+		{"usage-bad-flag", "fnprdelay", []string{"-no-such-flag"}, 2, ""},
+		{"usage-unknown-figure", "figures", []string{"-fig", "99"}, 2, "unknown figure"},
+		{"usage-unknown-scenario", "simulate", []string{"-scenario", "nope"}, 2, "unknown scenario"},
+		{"usage-missing-spec", "schedtest", []string{}, 2, "missing -spec"},
+		{"timeout", "figures", []string{"-fig", "5", "-ascii=false", "-timeout", "1ns"}, 3, "canceled"},
+		{"budget", "fnprdelay", []string{"-f", "gaussian2", "-q", "15", "-max-iter", "2"}, 3, "budget"},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			t.Parallel()
+			cmd := exec.Command(bins[c.bin], c.args...)
+			var stderr strings.Builder
+			cmd.Stderr = &stderr
+			err := cmd.Run()
+			code := 0
+			if ee, ok := err.(*exec.ExitError); ok {
+				code = ee.ExitCode()
+			} else if err != nil {
+				t.Fatalf("running %s %v: %v", c.bin, c.args, err)
+			}
+			if code != c.code {
+				t.Fatalf("%s %v: exit code %d, want %d\nstderr: %s",
+					c.bin, c.args, code, c.code, stderr.String())
+			}
+			if c.errWant != "" && !strings.Contains(stderr.String(), c.errWant) {
+				t.Fatalf("%s %v: stderr missing %q:\n%s", c.bin, c.args, c.errWant, stderr.String())
+			}
+		})
+	}
+}

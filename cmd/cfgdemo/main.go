@@ -16,9 +16,11 @@ import (
 
 	"fnpr/internal/cache"
 	"fnpr/internal/cfg"
+	"fnpr/internal/cli"
 	"fnpr/internal/core"
 	"fnpr/internal/delay"
 	"fnpr/internal/eval"
+	"fnpr/internal/guard"
 )
 
 func main() {
@@ -27,10 +29,12 @@ func main() {
 		full = flag.Bool("pipeline", true, "run the delay-function pipeline on top of the offsets")
 		file = flag.String("file", "", "analyse a CFG from a text file (see internal/cfg/text.go for the format) instead of the Figure 1 example; lines of the form 'access <block> <line>...' attach memory accesses and enable the CRPD pipeline")
 	)
+	limits := cli.Flags()
 	flag.Parse()
+	gd := limits.Guard()
 
 	if *file != "" {
-		analyseFile(*file)
+		analyseFile(gd, *file)
 		return
 	}
 	if *dot {
@@ -64,11 +68,11 @@ func main() {
 	fmt.Printf("\nPreemption delay function from CRPD per block:\n  f = %v\n\n", f)
 	fmt.Printf("%8s %14s %18s\n", "Q", "Algorithm 1", "state of the art")
 	for _, q := range []float64{15, 20, 30, 50, 80, 120, 180} {
-		alg, err := core.UpperBound(f, q)
+		alg, err := core.UpperBoundCtx(gd, f, q)
 		if err != nil {
 			fatal(err)
 		}
-		soa, err := core.StateOfTheArt(f, q)
+		soa, err := core.StateOfTheArtCtx(gd, f, q)
 		if err != nil {
 			fatal(err)
 		}
@@ -80,7 +84,7 @@ func main() {
 // "access <block> <line>..." directives), collapses loops, and prints the
 // offset table; when accesses are present it continues through the CRPD
 // pipeline to the delay function and the Algorithm 1 / Equation 4 bounds.
-func analyseFile(path string) {
+func analyseFile(gd *guard.Ctx, path string) {
 	raw, err := os.ReadFile(path)
 	if err != nil {
 		fatal(err)
@@ -157,11 +161,11 @@ func analyseFile(path string) {
 		if q <= maxF {
 			continue
 		}
-		alg, err := core.UpperBound(f, q)
+		alg, err := core.UpperBoundCtx(gd, f, q)
 		if err != nil {
 			fatal(err)
 		}
-		soa, err := core.StateOfTheArt(f, q)
+		soa, err := core.StateOfTheArtCtx(gd, f, q)
 		if err != nil {
 			fatal(err)
 		}
@@ -170,6 +174,5 @@ func analyseFile(path string) {
 }
 
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "cfgdemo:", err)
-	os.Exit(1)
+	cli.Exit("cfgdemo", err)
 }

@@ -22,8 +22,10 @@ import (
 	"os"
 	"path/filepath"
 
+	"fnpr/internal/cli"
 	"fnpr/internal/delay"
 	"fnpr/internal/eval"
+	"fnpr/internal/guard"
 	"fnpr/internal/textplot"
 )
 
@@ -36,7 +38,9 @@ func main() {
 		ascii  = flag.Bool("ascii", true, "also render an ASCII chart (figures 4 and 5)")
 		svg    = flag.String("svg", "", "also write an SVG chart to this file (figures 4, 5, acceptance, preemptions)")
 	)
+	limits := cli.Flags()
 	flag.Parse()
+	g := limits.Guard()
 
 	p, err := pickParams(*params)
 	if err != nil {
@@ -71,7 +75,7 @@ func main() {
 			fatal(err)
 		}
 	case "5":
-		tb, err := eval.Figure5(p, nil)
+		tb, err := eval.Figure5(g, p, nil)
 		if err != nil {
 			fatal(err)
 		}
@@ -80,7 +84,7 @@ func main() {
 		}
 	case "acceptance":
 		ap := eval.DefaultAcceptanceParams()
-		tb, err := eval.Acceptance(ap)
+		tb, err := eval.Acceptance(g, ap)
 		if err != nil {
 			fatal(err)
 		}
@@ -92,7 +96,7 @@ func main() {
 		}
 	case "tightness":
 		tp := eval.DefaultTightnessParams()
-		tb, err := eval.Tightness(tp)
+		tb, err := eval.Tightness(g, tp)
 		if err != nil {
 			fatal(err)
 		}
@@ -115,11 +119,11 @@ func main() {
 			fatal(err)
 		}
 	case "all":
-		if err := all(p, *dir, *ascii); err != nil {
+		if err := all(g, p, *dir, *ascii); err != nil {
 			fatal(err)
 		}
 	default:
-		fatal(fmt.Errorf("unknown figure %q (want 1, 2, 3, 4, 5, acceptance, preemptions, tightness or all)", *fig))
+		fatal(cli.Usagef("unknown figure %q (want 1, 2, 3, 4, 5, acceptance, preemptions, tightness or all)", *fig))
 	}
 }
 
@@ -130,7 +134,7 @@ func pickParams(name string) (delay.BenchmarkParams, error) {
 	case "calibrated":
 		return delay.CalibratedParams(), nil
 	default:
-		return delay.BenchmarkParams{}, fmt.Errorf("unknown params %q (want literal or calibrated)", name)
+		return delay.BenchmarkParams{}, cli.Usagef("unknown params %q (want literal or calibrated)", name)
 	}
 }
 
@@ -169,7 +173,7 @@ func emitWithSVG(tb *textplot.Table, out, svgPath string, ascii, logY bool, titl
 	return nil
 }
 
-func all(p delay.BenchmarkParams, dir string, ascii bool) error {
+func all(g *guard.Ctx, p delay.BenchmarkParams, dir string, ascii bool) error {
 	rep1, err := eval.Figure1Report()
 	if err != nil {
 		return err
@@ -187,7 +191,7 @@ func all(p delay.BenchmarkParams, dir string, ascii bool) error {
 	if err := writeCSVFile(tb4, filepath.Join(dir, "fig4.csv")); err != nil {
 		return err
 	}
-	tb5, err := eval.Figure5(p, nil)
+	tb5, err := eval.Figure5(g, p, nil)
 	if err != nil {
 		return err
 	}
@@ -221,6 +225,5 @@ func writeCSVFile(tb *textplot.Table, path string) error {
 }
 
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "figures:", err)
-	os.Exit(1)
+	cli.Exit("figures", err)
 }

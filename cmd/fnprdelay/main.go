@@ -17,10 +17,10 @@ package main
 import (
 	"flag"
 	"fmt"
-	"os"
 	"strconv"
 	"strings"
 
+	"fnpr/internal/cli"
 	"fnpr/internal/core"
 	"fnpr/internal/delay"
 )
@@ -34,7 +34,9 @@ func main() {
 		trace  = flag.Bool("trace", false, "print the per-iteration trace of Algorithm 1")
 		limit  = flag.Int("limit", -1, "also report the preemption-count-limited bound for at most N preemptions")
 	)
+	limits := cli.Flags()
 	flag.Parse()
+	g := limits.Guard()
 
 	f, err := buildFunction(*fname, *spec, *params)
 	if err != nil {
@@ -44,18 +46,18 @@ func main() {
 	fmt.Printf("C = %g, max f = %g\n\n", f.Domain(), maxF)
 	fmt.Printf("%10s %14s %14s %12s %12s %10s\n", "Q", "Algorithm 1", "Equation 4", "C' (Alg 1)", "C' (Eq 4)", "preempts")
 	for _, q := range qList(*qlist) {
-		res, err := core.UpperBoundTrace(f, q)
+		res, err := core.UpperBoundTraceCtx(g, f, q)
 		if err != nil {
 			fatal(err)
 		}
-		soa, err := core.StateOfTheArt(f, q)
+		soa, err := core.StateOfTheArtCtx(g, f, q)
 		if err != nil {
 			fatal(err)
 		}
 		fmt.Printf("%10g %14.3f %14.3f %12.3f %12.3f %10d\n",
 			q, res.TotalDelay, soa, res.EffectiveWCET(f.Domain()), f.Domain()+soa, res.Preemptions)
 		if *limit >= 0 {
-			lb, err := core.UpperBoundLimited(f, q, *limit)
+			lb, err := core.UpperBoundLimitedCtx(g, f, q, *limit)
 			if err != nil {
 				fatal(err)
 			}
@@ -72,7 +74,7 @@ func main() {
 
 func buildFunction(name, spec, params string) (*delay.Piecewise, error) {
 	if (name == "") == (spec == "") {
-		return nil, fmt.Errorf("specify exactly one of -f or -spec")
+		return nil, cli.Usagef("specify exactly one of -f or -spec")
 	}
 	if spec != "" {
 		return delay.ParseCompact(spec)
@@ -84,7 +86,7 @@ func buildFunction(name, spec, params string) (*delay.Piecewise, error) {
 	case "calibrated":
 		p = delay.CalibratedParams()
 	default:
-		return nil, fmt.Errorf("unknown params %q", params)
+		return nil, cli.Usagef("unknown params %q", params)
 	}
 	switch name {
 	case "gaussian1":
@@ -94,7 +96,7 @@ func buildFunction(name, spec, params string) (*delay.Piecewise, error) {
 	case "twopeaks":
 		return p.TwoLocalMax(), nil
 	default:
-		return nil, fmt.Errorf("unknown function %q (want gaussian1, gaussian2 or twopeaks)", name)
+		return nil, cli.Usagef("unknown function %q (want gaussian1, gaussian2 or twopeaks)", name)
 	}
 }
 
@@ -103,7 +105,7 @@ func qList(s string) []float64 {
 	for _, part := range strings.Split(s, ",") {
 		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
 		if err != nil {
-			fatal(fmt.Errorf("bad Q value %q: %w", part, err))
+			fatal(cli.Usagef("bad Q value %q: %v", part, err))
 		}
 		out = append(out, v)
 	}
@@ -111,6 +113,5 @@ func qList(s string) []float64 {
 }
 
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "fnprdelay:", err)
-	os.Exit(1)
+	cli.Exit("fnprdelay", err)
 }

@@ -22,9 +22,10 @@ import (
 	"flag"
 	"fmt"
 	"math"
-	"os"
 
+	"fnpr/internal/cli"
 	"fnpr/internal/delay"
+	"fnpr/internal/guard"
 	"fnpr/internal/npr"
 	"fnpr/internal/sched"
 	"fnpr/internal/sim"
@@ -40,14 +41,16 @@ func main() {
 		example  = flag.Bool("example", false, "print a sample specification and exit")
 		margin   = flag.Bool("margin", false, "also compute the delay criticality margin (FP only)")
 	)
+	limits := cli.Flags()
 	flag.Parse()
+	g := limits.Guard()
 
 	if *example {
 		printExample()
 		return
 	}
 	if *specPath == "" {
-		fatal(fmt.Errorf("missing -spec (or use -example)"))
+		fatal(cli.Usagef("missing -spec (or use -example)"))
 	}
 	p, err := spec.LoadFile(*specPath)
 	if err != nil {
@@ -58,7 +61,7 @@ func main() {
 		if p.Policy == "edf" {
 			policy = npr.EDF
 		}
-		qs, err := npr.AssignQ(p.Tasks, policy)
+		qs, err := npr.AssignQCtx(g, p.Tasks, policy)
 		if err != nil {
 			fatal(err)
 		}
@@ -77,20 +80,20 @@ func main() {
 
 	switch p.Policy {
 	case "fp":
-		analyseFP(p)
+		analyseFP(g, p)
 		if *margin {
-			reportMargin(p)
+			reportMargin(g, p)
 		}
 	case "edf":
-		analyseEDF(p)
+		analyseEDF(g, p)
 	}
 
 	if *simulate {
-		runSimulation(p, *horizon)
+		runSimulation(g, p, *horizon)
 	}
 }
 
-func analyseFP(p *spec.Problem) {
+func analyseFP(g *guard.Ctx, p *spec.Problem) {
 	a := sched.FNPRAnalysis{Tasks: p.Tasks, Delay: p.Delay, Method: sched.Algorithm1}
 
 	fmt.Printf("%-10s %12s %12s %12s %12s %10s\n",
@@ -98,15 +101,22 @@ func analyseFP(p *spec.Problem) {
 
 	// Delay-free reference: same analysis with all-nil delay functions.
 	free := sched.FNPRAnalysis{Tasks: p.Tasks, Delay: make([]delay.Function, len(p.Tasks)), Method: sched.Algorithm1}
-	rFree, err := free.ResponseTimesFP()
+	rFree, err := free.ResponseTimesFPCtx(g)
 	if err != nil {
 		fatal(err)
 	}
-	rAlg, errAlg := a.ResponseTimesFP()
-	lim, errLim := a.ResponseTimesFPLimited()
+	rAlg, errAlg := a.ResponseTimesFPCtx(g)
+	lim, errLim := a.ResponseTimesFPLimitedCtx(g)
 	a4 := a
 	a4.Method = sched.Equation4
-	rEq4, errEq4 := a4.ResponseTimesFP()
+	rEq4, errEq4 := a4.ResponseTimesFPCtx(g)
+	for _, err := range []error{errAlg, errLim, errEq4} {
+		// Divergence errors are reported per-column below; a tripped
+		// resource limit aborts the whole run with exit code 3.
+		if err != nil && cli.Code(err) == cli.ExitResource {
+			fatal(err)
+		}
+	}
 
 	for i, tk := range p.Tasks {
 		fmt.Printf("%-10s %12s %12s %12s %12s %10g\n",
@@ -140,21 +150,26 @@ func analyseFP(p *spec.Problem) {
 
 // reportMargin prints the largest factor by which every delay function can
 // grow while the set stays schedulable under Algorithm 1.
-func reportMargin(p *spec.Problem) {
+func reportMargin(g *guard.Ctx, p *spec.Problem) {
 	a := sched.FNPRAnalysis{Tasks: p.Tasks, Delay: p.Delay, Method: sched.Algorithm1}
-	m, err := a.DelayMargin(100, 0.01)
+	m, err := a.DelayMarginCtx(g, 100, 0.01)
 	if err != nil {
+		if cli.Code(err) == cli.ExitResource {
+			fatal(err)
+		}
 		fmt.Printf("\n  delay margin: error: %v\n", err)
 		return
 	}
 	fmt.Printf("\n  delay criticality margin: %.2fx (delay functions can scale by this factor)\n", m)
 }
 
-func analyseEDF(p *spec.Problem) {
+func analyseEDF(g *guard.Ctx, p *spec.Problem) {
 	for _, m := range []sched.DelayMethod{sched.Algorithm1, sched.Equation4} {
 		a := sched.FNPRAnalysis{Tasks: p.Tasks, Delay: p.Delay, Method: m}
-		ok, err := a.SchedulableEDF()
+		ok, err := a.SchedulableEDFCtx(g)
 		switch {
+		case err != nil && cli.Code(err) == cli.ExitResource:
+			fatal(err)
 		case err != nil:
 			fmt.Printf("  EDF with %-12s error: %v\n", m, err)
 		case ok:
@@ -165,12 +180,12 @@ func analyseEDF(p *spec.Problem) {
 	}
 }
 
-func runSimulation(p *spec.Problem, horizon float64) {
+func runSimulation(g *guard.Ctx, p *spec.Problem, horizon float64) {
 	policy := sim.FixedPriority
 	if p.Policy == "edf" {
 		policy = sim.EDF
 	}
-	res, err := sim.Run(sim.Config{
+	res, err := sim.RunCtx(g, sim.Config{
 		Tasks: p.Tasks, Policy: policy, Mode: sim.FloatingNPR,
 		Horizon: horizon, Delay: p.Delay,
 	})
@@ -216,6 +231,5 @@ func printExample() {
 }
 
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "schedtest:", err)
-	os.Exit(1)
+	cli.Exit("schedtest", err)
 }

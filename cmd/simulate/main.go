@@ -16,9 +16,11 @@ import (
 	"math/rand"
 	"os"
 
+	"fnpr/internal/cli"
 	"fnpr/internal/core"
 	"fnpr/internal/delay"
 	"fnpr/internal/eval"
+	"fnpr/internal/guard"
 	"fnpr/internal/npr"
 	"fnpr/internal/sim"
 	"fnpr/internal/synth"
@@ -32,26 +34,27 @@ func main() {
 		events   = flag.Bool("events", false, "dump the full event trace")
 		svgPath  = flag.String("svg", "", "write an SVG Gantt chart of the basic scenario's floating-NPR run")
 	)
+	limits := cli.Flags()
 	flag.Parse()
+	g := limits.Guard()
 
 	var err error
 	switch *scenario {
 	case "fig2":
 		err = fig2()
 	case "basic":
-		err = basic(*events, *svgPath)
+		err = basic(g, *events, *svgPath)
 	case "bounds":
-		err = bounds(*seed)
+		err = bounds(g, *seed)
 	case "edf":
-		err = edf(*events)
+		err = edf(g, *events)
 	case "stats":
-		err = stats(*seed)
+		err = stats(g, *seed)
 	default:
-		err = fmt.Errorf("unknown scenario %q", *scenario)
+		err = cli.Usagef("unknown scenario %q", *scenario)
 	}
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "simulate:", err)
-		os.Exit(1)
+		cli.Exit("simulate", err)
 	}
 }
 
@@ -64,16 +67,24 @@ func fig2() error {
 	return nil
 }
 
-func basic(events bool, svgPath string) error {
+func basic(g *guard.Ctx, events bool, svgPath string) error {
 	ts := task.Set{
 		{Name: "hi", C: 2, T: 10, Q: 1},
 		{Name: "mid", C: 3, T: 25, Q: 2},
 		{Name: "lo", C: 14, T: 60, Q: 4},
 	}
 	ts.AssignRateMonotonic()
-	fns := []delay.Function{nil, delay.Constant(0.5, 3), delay.FrontLoaded(2, 0.2, 14)}
+	mid, err := delay.NewConstant(0.5, 3)
+	if err != nil {
+		return err
+	}
+	lo, err := delay.NewFrontLoaded(2, 0.2, 14)
+	if err != nil {
+		return err
+	}
+	fns := []delay.Function{nil, mid, lo}
 	for _, mode := range []sim.Mode{sim.FullyPreemptive, sim.FloatingNPR, sim.NonPreemptive} {
-		res, err := sim.Run(sim.Config{
+		res, err := sim.RunCtx(g, sim.Config{
 			Tasks: ts, Policy: sim.FixedPriority, Mode: mode,
 			Horizon: 120, Delay: fns,
 		})
@@ -107,7 +118,7 @@ func basic(events bool, svgPath string) error {
 	return nil
 }
 
-func bounds(seed int64) error {
+func bounds(g *guard.Ctx, seed int64) error {
 	r := rand.New(rand.NewSource(seed))
 	fmt.Println("Randomized FNPR runs: per-task observed worst delay vs Algorithm 1 bound")
 	fmt.Printf("%6s %-8s %10s %14s %14s %8s\n", "trial", "task", "Q", "observed", "bound", "sound")
@@ -125,7 +136,7 @@ func bounds(seed int64) error {
 			})
 			fns = append(fns, synth.DelayFunction(r, c, maxD, 4))
 		}
-		res, err := sim.Run(sim.Config{
+		res, err := sim.RunCtx(g, sim.Config{
 			Tasks: ts, Policy: sim.FixedPriority, Mode: sim.FloatingNPR,
 			Horizon: 3000, Delay: fns,
 		})
@@ -133,7 +144,7 @@ func bounds(seed int64) error {
 			return err
 		}
 		for i := range ts {
-			bound, err := core.UpperBound(fns[i], ts[i].Q)
+			bound, err := core.UpperBoundCtx(g, fns[i], ts[i].Q)
 			if err != nil {
 				return err
 			}
@@ -148,7 +159,7 @@ func bounds(seed int64) error {
 	return nil
 }
 
-func stats(seed int64) error {
+func stats(g *guard.Ctx, seed int64) error {
 	r := rand.New(rand.NewSource(seed))
 	ts := task.Set{
 		{Name: "fast", C: 1, T: 7, Q: 1},
@@ -156,13 +167,21 @@ func stats(seed int64) error {
 		{Name: "victim", C: 30, T: 120, Q: 6},
 	}
 	ts.AssignRateMonotonic()
-	fns := []delay.Function{nil, delay.Constant(0.3, 4), delay.FrontLoaded(3, 0.5, 30)}
+	med, err := delay.NewConstant(0.3, 4)
+	if err != nil {
+		return err
+	}
+	vic, err := delay.NewFrontLoaded(3, 0.5, 30)
+	if err != nil {
+		return err
+	}
+	fns := []delay.Function{nil, med, vic}
 	cfg := sim.Config{
 		Tasks: ts, Policy: sim.FixedPriority, Mode: sim.FloatingNPR,
 		Horizon: 30000, Delay: fns,
 	}
 	cfg.Releases = sim.SporadicReleases(r, cfg, 0.4)
-	res, err := sim.Run(cfg)
+	res, err := sim.RunCtx(g, cfg)
 	if err != nil {
 		return err
 	}
@@ -176,13 +195,13 @@ func stats(seed int64) error {
 	return nil
 }
 
-func edf(events bool) error {
+func edf(g *guard.Ctx, events bool) error {
 	ts := task.Set{
 		{Name: "a", C: 1, T: 8},
 		{Name: "b", C: 3, T: 20},
 		{Name: "c", C: 6, T: 50},
 	}
-	qs, err := npr.AssignQ(ts, npr.EDF)
+	qs, err := npr.AssignQCtx(g, ts, npr.EDF)
 	if err != nil {
 		return err
 	}
@@ -190,8 +209,16 @@ func edf(events bool) error {
 	for _, tk := range qs {
 		fmt.Printf("  %s\n", tk)
 	}
-	fns := []delay.Function{nil, delay.Constant(0.4, 3), delay.FrontLoaded(1.5, 0.1, 6)}
-	res, err := sim.Run(sim.Config{
+	b, err := delay.NewConstant(0.4, 3)
+	if err != nil {
+		return err
+	}
+	c, err := delay.NewFrontLoaded(1.5, 0.1, 6)
+	if err != nil {
+		return err
+	}
+	fns := []delay.Function{nil, b, c}
+	res, err := sim.RunCtx(g, sim.Config{
 		Tasks: qs, Policy: sim.EDF, Mode: sim.FloatingNPR,
 		Horizon: 400, Delay: fns,
 	})

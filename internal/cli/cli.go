@@ -1,0 +1,94 @@
+// Package cli holds the plumbing shared by every command-line tool: the
+// -timeout / -max-iter resource-limit flags that build a guard scope, the
+// usage-error sentinel, and the exit-code contract
+//
+//	0  success
+//	1  analysis error (divergent bound, invariant violation, I/O failure, ...)
+//	2  usage error (bad flags or arguments; also used by package flag itself)
+//	3  resource limit hit (wall-clock timeout, cancellation or step budget)
+//
+// so scripts can distinguish "the analysis says no" from "you asked wrong"
+// from "it did not finish in the allotted resources".
+package cli
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"fnpr/internal/guard"
+)
+
+// Exit codes of the contract above.
+const (
+	ExitOK       = 0
+	ExitAnalysis = 1
+	ExitUsage    = 2
+	ExitResource = 3
+)
+
+// ErrUsage marks command-line usage errors (exit code 2). Test with
+// errors.Is.
+var ErrUsage = errors.New("usage error")
+
+// Usagef builds an ErrUsage-wrapped error.
+func Usagef(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrUsage, fmt.Sprintf(format, args...))
+}
+
+// Limits receives the shared resource-limit flags.
+type Limits struct {
+	Timeout time.Duration
+	MaxIter int64
+}
+
+// Flags registers -timeout and -max-iter on the default flag set and returns
+// the destination. Call before flag.Parse.
+func Flags() *Limits {
+	l := &Limits{}
+	flag.DurationVar(&l.Timeout, "timeout", 0, "abort the analysis after this wall-clock time (e.g. 30s; 0 = no limit)")
+	flag.Int64Var(&l.MaxIter, "max-iter", 0, "abort after this many analysis steps across all loops (0 = no limit)")
+	return l
+}
+
+// Guard builds the guard scope the flags describe: nil (no limits, zero
+// bookkeeping) when neither flag was set.
+func (l *Limits) Guard() *guard.Ctx {
+	if l == nil || (l.Timeout <= 0 && l.MaxIter <= 0) {
+		return nil
+	}
+	g := guard.New(context.Background())
+	if l.Timeout > 0 {
+		g = g.WithTimeout(l.Timeout)
+	}
+	if l.MaxIter > 0 {
+		g = g.WithBudget(l.MaxIter)
+	}
+	return g
+}
+
+// Code maps an error to the exit-code contract.
+func Code(err error) int {
+	switch {
+	case err == nil:
+		return ExitOK
+	case errors.Is(err, guard.ErrCanceled), errors.Is(err, guard.ErrBudgetExceeded):
+		return ExitResource
+	case errors.Is(err, ErrUsage):
+		return ExitUsage
+	default:
+		return ExitAnalysis
+	}
+}
+
+// Exit prints "prog: err" on stderr (for non-nil err) and exits with
+// Code(err).
+func Exit(prog string, err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", prog, err)
+	}
+	os.Exit(Code(err))
+}

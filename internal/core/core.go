@@ -32,12 +32,11 @@
 package core
 
 import (
-	"errors"
-	"fmt"
 	"math"
 	"sort"
 
 	"fnpr/internal/delay"
+	"fnpr/internal/guard"
 )
 
 // Epsilon guards the progression loop: a guaranteed progression per window
@@ -91,7 +90,14 @@ func (r Result) EffectiveWCET(c float64) float64 {
 // non-preemptive region length Q and returns the bound on the cumulative
 // preemption delay over one job whose isolated WCET is f.Domain().
 func UpperBound(f delay.Function, q float64) (float64, error) {
-	r, err := UpperBoundTrace(f, q)
+	return UpperBoundCtx(nil, f, q)
+}
+
+// UpperBoundCtx is UpperBound under a guard scope: the Algorithm 1 walk
+// charges one guard step per iteration, so it can be canceled, time-bounded
+// and budget-bounded mid-analysis. A nil guard means no limits.
+func UpperBoundCtx(g *guard.Ctx, f delay.Function, q float64) (float64, error) {
+	r, err := UpperBoundTraceCtx(g, f, q)
 	if err != nil {
 		return 0, err
 	}
@@ -100,24 +106,32 @@ func UpperBound(f delay.Function, q float64) (float64, error) {
 
 // UpperBoundTrace is UpperBound with the full iteration trace.
 func UpperBoundTrace(f delay.Function, q float64) (Result, error) {
+	return UpperBoundTraceCtx(nil, f, q)
+}
+
+// UpperBoundTraceCtx is UpperBoundTrace under a guard scope.
+func UpperBoundTraceCtx(g *guard.Ctx, f delay.Function, q float64) (Result, error) {
 	// Lines 1-4 of Algorithm 1: the first Q units of execution are
 	// preemption-free, so the first candidate preemption point is Q.
-	return upperBoundFrom(f, q, q)
+	return upperBoundFrom(g, f, q, q)
 }
 
 // upperBoundFrom runs the Algorithm 1 loop with an explicit first candidate
 // preemption point, used by UpperBoundTrace (first = Q) and by
 // RemainingBound (first = Q - pending payback).
-func upperBoundFrom(f delay.Function, q, first float64) (Result, error) {
+func upperBoundFrom(g *guard.Ctx, f delay.Function, q, first float64) (Result, error) {
 	if f == nil {
-		return Result{}, errors.New("core: nil delay function")
+		return Result{}, guard.Invalidf("core: nil delay function")
 	}
 	if q <= 0 || math.IsNaN(q) || math.IsInf(q, 0) {
-		return Result{}, fmt.Errorf("core: Q must be positive and finite, got %g", q)
+		return Result{}, guard.Invalidf("core: Q must be positive and finite, got %g", q)
 	}
 	c := f.Domain()
-	if c <= 0 {
-		return Result{}, fmt.Errorf("core: delay function has empty domain %g", c)
+	if c <= 0 || math.IsNaN(c) || math.IsInf(c, 0) {
+		return Result{}, guard.Invalidf("core: delay function has invalid domain %g", c)
+	}
+	if err := g.Err(); err != nil {
+		return Result{}, err
 	}
 
 	var res Result
@@ -133,6 +147,9 @@ func upperBoundFrom(f delay.Function, q, first float64) (Result, error) {
 	pnext := first
 
 	for pnext < c {
+		if err := g.Tick(); err != nil {
+			return res, err
+		}
 		prog = pnext
 
 		// p∩: first crossing of f with D(x) = prog + Q - x on
@@ -180,22 +197,35 @@ func upperBoundFrom(f delay.Function, q, first float64) (Result, error) {
 // The returned value is the cumulative delay C' - C (so it is directly
 // comparable with UpperBound); +Inf when the fixpoint diverges (max f >= Q).
 func StateOfTheArt(f delay.Function, q float64) (float64, error) {
+	return StateOfTheArtCtx(nil, f, q)
+}
+
+// StateOfTheArtCtx is StateOfTheArt under a guard scope.
+func StateOfTheArtCtx(g *guard.Ctx, f delay.Function, q float64) (float64, error) {
 	if f == nil {
-		return 0, errors.New("core: nil delay function")
+		return 0, guard.Invalidf("core: nil delay function")
 	}
 	if q <= 0 || math.IsNaN(q) || math.IsInf(q, 0) {
-		return 0, fmt.Errorf("core: Q must be positive and finite, got %g", q)
+		return 0, guard.Invalidf("core: Q must be positive and finite, got %g", q)
 	}
 	c := f.Domain()
 	_, maxF := f.MaxOn(0, c)
-	return StateOfTheArtRaw(c, q, maxF)
+	return StateOfTheArtRawCtx(g, c, q, maxF)
 }
 
 // StateOfTheArtRaw is StateOfTheArt for callers that already know C and the
 // maximum preemption delay.
 func StateOfTheArtRaw(c, q, maxDelay float64) (float64, error) {
-	if c <= 0 || q <= 0 || maxDelay < 0 {
-		return 0, fmt.Errorf("core: invalid parameters C=%g Q=%g max=%g", c, q, maxDelay)
+	return StateOfTheArtRawCtx(nil, c, q, maxDelay)
+}
+
+// StateOfTheArtRawCtx is StateOfTheArtRaw under a guard scope; the fixpoint
+// charges one guard step per iteration.
+func StateOfTheArtRawCtx(g *guard.Ctx, c, q, maxDelay float64) (float64, error) {
+	if c <= 0 || q <= 0 || maxDelay < 0 ||
+		math.IsNaN(c) || math.IsNaN(q) || math.IsNaN(maxDelay) ||
+		math.IsInf(c, 0) || math.IsInf(q, 0) || math.IsInf(maxDelay, 0) {
+		return 0, guard.Invalidf("core: invalid parameters C=%g Q=%g max=%g", c, q, maxDelay)
 	}
 	if maxDelay == 0 {
 		return 0, nil
@@ -207,6 +237,9 @@ func StateOfTheArtRaw(c, q, maxDelay float64) (float64, error) {
 	}
 	cur := c
 	for i := 0; i < maxIterations; i++ {
+		if err := g.Tick(); err != nil {
+			return 0, err
+		}
 		next := c + math.Ceil(cur/q)*maxDelay
 		if next <= cur {
 			return cur - c, nil
@@ -227,11 +260,17 @@ func StateOfTheArtRaw(c, q, maxDelay float64) (float64, error) {
 // containing every breakpoint of f plus shifted copies at multiples of Q, so
 // for piecewise-constant f the result is exact.
 func NaivePointSelection(f *delay.Piecewise, q float64) (float64, error) {
+	return NaivePointSelectionCtx(nil, f, q)
+}
+
+// NaivePointSelectionCtx is NaivePointSelection under a guard scope; the DP
+// charges one guard step per candidate point.
+func NaivePointSelectionCtx(g *guard.Ctx, f *delay.Piecewise, q float64) (float64, error) {
 	if f == nil {
-		return 0, errors.New("core: nil delay function")
+		return 0, guard.Invalidf("core: nil delay function")
 	}
 	if q <= 0 || math.IsNaN(q) || math.IsInf(q, 0) {
-		return 0, fmt.Errorf("core: Q must be positive and finite, got %g", q)
+		return 0, guard.Invalidf("core: Q must be positive and finite, got %g", q)
 	}
 	c := f.Domain()
 	// Candidate points: piece starts shifted by k*Q, clipped to [Q, C).
@@ -256,7 +295,7 @@ func NaivePointSelection(f *delay.Piecewise, q float64) (float64, error) {
 	}
 	const maxCandidates = 20000
 	if len(candidates) > maxCandidates {
-		return 0, fmt.Errorf("core: naive selection grid too large (%d candidates); this demonstration-only bound is meant for small functions", len(candidates))
+		return 0, guard.Budgetf("core: naive selection grid too large (%d candidates); this demonstration-only bound is meant for small functions", len(candidates))
 	}
 	sort.Float64s(candidates)
 	n := len(candidates)
@@ -267,6 +306,9 @@ func NaivePointSelection(f *delay.Piecewise, q float64) (float64, error) {
 	best := make([]float64, n)
 	ans := 0.0
 	for i := 0; i < n; i++ {
+		if err := g.Tick(); err != nil {
+			return 0, err
+		}
 		best[i] = f.Eval(candidates[i])
 		for j := 0; j < i; j++ {
 			if candidates[i]-candidates[j] >= q-1e-12 && best[j]+f.Eval(candidates[i]) > best[i] {
@@ -293,19 +335,24 @@ func NaivePointSelection(f *delay.Piecewise, q float64) (float64, error) {
 // scheduler that knows the observed preemption progression can re-bound the
 // job's remaining WCET online.
 func RemainingBound(f *delay.Piecewise, q, p float64) (float64, error) {
+	return RemainingBoundCtx(nil, f, q, p)
+}
+
+// RemainingBoundCtx is RemainingBound under a guard scope.
+func RemainingBoundCtx(g *guard.Ctx, f *delay.Piecewise, q, p float64) (float64, error) {
 	if f == nil {
-		return 0, errors.New("core: nil delay function")
+		return 0, guard.Invalidf("core: nil delay function")
 	}
 	c := f.Domain()
-	if p < 0 || p >= c {
-		return 0, fmt.Errorf("core: progression %g outside [0, %g)", p, c)
+	if p < 0 || p >= c || math.IsNaN(p) {
+		return 0, guard.Invalidf("core: progression %g outside [0, %g)", p, c)
 	}
 	current := f.Eval(p)
 	suffix, err := f.Suffix(p)
 	if err != nil {
 		return 0, err
 	}
-	res, err := upperBoundFrom(suffix, q, q-current)
+	res, err := upperBoundFrom(g, suffix, q, q-current)
 	if err != nil {
 		return 0, err
 	}

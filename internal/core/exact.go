@@ -1,11 +1,10 @@
 package core
 
 import (
-	"errors"
-	"fmt"
 	"math"
 
 	"fnpr/internal/delay"
+	"fnpr/internal/guard"
 )
 
 // ExactWorstCase computes the exact worst-case cumulative preemption delay
@@ -25,14 +24,23 @@ import (
 // to the spacing boundary or to a piece start. The search branches over
 // exactly these candidates.
 func ExactWorstCase(f *delay.Piecewise, q float64, maxNodes int) (float64, error) {
+	return ExactWorstCaseCtx(nil, f, q, maxNodes)
+}
+
+// ExactWorstCaseCtx is ExactWorstCase under a guard scope; the search charges
+// one guard step per explored node, in addition to the local node budget.
+func ExactWorstCaseCtx(g *guard.Ctx, f *delay.Piecewise, q float64, maxNodes int) (float64, error) {
 	if f == nil {
-		return 0, errors.New("core: nil delay function")
+		return 0, guard.Invalidf("core: nil delay function")
 	}
 	if q <= 0 || math.IsNaN(q) || math.IsInf(q, 0) {
-		return 0, fmt.Errorf("core: Q must be positive and finite, got %g", q)
+		return 0, guard.Invalidf("core: Q must be positive and finite, got %g", q)
 	}
 	if maxNodes <= 0 {
 		maxNodes = 1_000_000
+	}
+	if err := g.Err(); err != nil {
+		return 0, err
 	}
 	c := f.Domain()
 	_, maxF := f.Max()
@@ -52,7 +60,10 @@ func ExactWorstCase(f *delay.Piecewise, q float64, maxNodes int) (float64, error
 	search = func(earliestProg, paid float64) (float64, error) {
 		nodes++
 		if nodes > maxNodes {
-			return 0, fmt.Errorf("core: exact search exceeded %d nodes", maxNodes)
+			return 0, guard.Budgetf("core: exact search exceeded %d nodes", maxNodes)
+		}
+		if err := g.Tick(); err != nil {
+			return 0, err
 		}
 		var bestHere float64 // stopping (no further preemption) = 0
 		try := func(prog float64) error {

@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"fnpr/internal/delay"
+	"fnpr/internal/guard"
 )
 
 // This file implements the refinement the paper lists as future work (ii)
@@ -32,7 +33,12 @@ import (
 // be preempted at most maxPreemptions times, under FNPR semantics with
 // region length q. maxPreemptions < 0 means unlimited (plain Algorithm 1).
 func UpperBoundLimited(f delay.Function, q float64, maxPreemptions int) (float64, error) {
-	res, err := UpperBoundTrace(f, q)
+	return UpperBoundLimitedCtx(nil, f, q, maxPreemptions)
+}
+
+// UpperBoundLimitedCtx is UpperBoundLimited under a guard scope.
+func UpperBoundLimitedCtx(g *guard.Ctx, f delay.Function, q float64, maxPreemptions int) (float64, error) {
+	res, err := UpperBoundTraceCtx(g, f, q)
 	if err != nil {
 		return 0, err
 	}

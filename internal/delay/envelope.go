@@ -1,10 +1,10 @@
 package delay
 
 import (
-	"errors"
-	"fmt"
 	"math"
 	"sort"
+
+	"fnpr/internal/guard"
 )
 
 // UpperEnvelope lifts an arbitrary continuous function fn on [0, c] to a
@@ -21,10 +21,10 @@ import (
 // analysis.
 func UpperEnvelope(fn func(float64) float64, c float64, n int, modes []float64) (*Piecewise, error) {
 	if c <= 0 || math.IsNaN(c) || math.IsInf(c, 0) {
-		return nil, fmt.Errorf("delay: invalid domain length %g", c)
+		return nil, guard.Invalidf("delay: invalid domain length %g", c)
 	}
 	if n <= 0 {
-		return nil, errors.New("delay: need at least one piece")
+		return nil, guard.Invalidf("delay: need at least one piece")
 	}
 	sorted := append([]float64(nil), modes...)
 	sort.Float64s(sorted)
@@ -55,8 +55,9 @@ func UpperEnvelope(fn func(float64) float64, c float64, n int, modes []float64) 
 	return p, nil
 }
 
-// MustUpperEnvelope is UpperEnvelope that panics on error, for fixtures whose
-// parameters are compile-time constants.
+// MustUpperEnvelope is UpperEnvelope that panics on error. It is for tests
+// and fixtures whose parameters are compile-time constants ONLY; library code
+// must call UpperEnvelope and propagate the error.
 func MustUpperEnvelope(fn func(float64) float64, c float64, n int, modes []float64) *Piecewise {
 	p, err := UpperEnvelope(fn, c, n, modes)
 	if err != nil {

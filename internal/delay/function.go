@@ -13,10 +13,11 @@
 package delay
 
 import (
-	"errors"
 	"fmt"
 	"math"
 	"sort"
+
+	"fnpr/internal/guard"
 )
 
 // Function is the query interface Algorithm 1 needs from a preemption delay
@@ -49,31 +50,42 @@ type Piecewise struct {
 
 // NewPiecewise builds a piecewise-constant function from breakpoints and
 // per-piece values. Requirements: len(xs) == len(vs)+1, xs strictly
-// increasing, xs[0] == 0, values non-negative and finite.
+// increasing, finite, xs[0] == 0, values non-negative and finite. All
+// validation failures wrap guard.ErrInvalidInput.
 func NewPiecewise(xs, vs []float64) (*Piecewise, error) {
 	if len(xs) != len(vs)+1 {
-		return nil, fmt.Errorf("delay: %d breakpoints need %d values, got %d", len(xs), len(xs)-1, len(vs))
+		return nil, guard.Invalidf("delay: %d breakpoints need %d values, got %d", len(xs), len(xs)-1, len(vs))
 	}
 	if len(vs) == 0 {
-		return nil, errors.New("delay: empty function")
+		return nil, guard.Invalidf("delay: empty function")
 	}
 	if xs[0] != 0 {
-		return nil, fmt.Errorf("delay: domain must start at 0, got %g", xs[0])
+		return nil, guard.Invalidf("delay: domain must start at 0, got %g", xs[0])
 	}
-	for i := 1; i < len(xs); i++ {
-		if !(xs[i] > xs[i-1]) {
-			return nil, fmt.Errorf("delay: breakpoints not strictly increasing at %d", i)
+	for i, x := range xs {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return nil, guard.Invalidf("delay: breakpoint %d is non-finite (%g)", i, x)
+		}
+		if i > 0 && !(x > xs[i-1]) {
+			return nil, guard.Invalidf("delay: breakpoints not strictly increasing at %d", i)
 		}
 	}
 	for i, v := range vs {
 		if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
-			return nil, fmt.Errorf("delay: piece %d has invalid value %g", i, v)
+			return nil, guard.Invalidf("delay: piece %d has invalid value %g", i, v)
 		}
 	}
 	return &Piecewise{xs: append([]float64(nil), xs...), vs: append([]float64(nil), vs...)}, nil
 }
 
-// Constant returns the constant function v on [0, c].
+// NewConstant returns the constant function v on [0, c].
+func NewConstant(v, c float64) (*Piecewise, error) {
+	return NewPiecewise([]float64{0, c}, []float64{v})
+}
+
+// Constant returns the constant function v on [0, c]. It panics on invalid
+// parameters, so it is for tests and fixtures ONLY; library code should use
+// NewConstant and propagate the error.
 func Constant(v, c float64) *Piecewise {
 	p, err := NewPiecewise([]float64{0, c}, []float64{v})
 	if err != nil {
@@ -180,7 +192,7 @@ func (p *Piecewise) FirstReachDescending(a, b, c float64) (float64, bool) {
 // Scale returns a copy with all values multiplied by k (k >= 0).
 func (p *Piecewise) Scale(k float64) (*Piecewise, error) {
 	if k < 0 || math.IsNaN(k) || math.IsInf(k, 0) {
-		return nil, fmt.Errorf("delay: invalid scale factor %g", k)
+		return nil, guard.Invalidf("delay: invalid scale factor %g", k)
 	}
 	vs := make([]float64, len(p.vs))
 	for i, v := range p.vs {

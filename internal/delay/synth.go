@@ -1,6 +1,10 @@
 package delay
 
-import "math"
+import (
+	"math"
+
+	"fnpr/internal/guard"
+)
 
 // This file provides the synthetic preemption-delay functions used in the
 // paper's evaluation (Section VI, Figure 4), plus a few generic generators
@@ -118,9 +122,13 @@ func BenchmarkOrder() []string {
 	return []string{"Gaussian 1", "Gaussian 2", "2 local maximum"}
 }
 
-// Step builds a piecewise function alternating between lo and hi over k
-// equal pieces on [0, c] — a generic pattern for tests.
-func Step(lo, hi, c float64, k int) *Piecewise {
+// NewStep builds a piecewise function alternating between lo and hi over k
+// equal pieces on [0, c], returning an error on invalid parameters. This is
+// the library entry point; tests and fixtures may use Step instead.
+func NewStep(lo, hi, c float64, k int) (*Piecewise, error) {
+	if k <= 0 {
+		return nil, guard.Invalidf("delay: step function needs k > 0 pieces, got %d", k)
+	}
 	xs := make([]float64, k+1)
 	vs := make([]float64, k)
 	for i := 0; i <= k; i++ {
@@ -133,21 +141,36 @@ func Step(lo, hi, c float64, k int) *Piecewise {
 			vs[i] = lo
 		}
 	}
-	p, err := NewPiecewise(xs, vs)
+	return NewPiecewise(xs, vs)
+}
+
+// Step is NewStep for tests and fixtures ONLY: it panics on invalid
+// parameters so it can appear in composite literals. Library code must use
+// NewStep and propagate the error.
+func Step(lo, hi, c float64, k int) *Piecewise {
+	p, err := NewStep(lo, hi, c, k)
 	if err != nil {
 		panic(err)
 	}
 	return p
 }
 
-// FrontLoaded models the motivating example of Section III: a task that
+// NewFrontLoaded models the motivating example of Section III: a task that
 // loads a large working set (high delay early), processes it (delay decays),
-// then computes on a small subset (low delay tail).
-func FrontLoaded(peak, tail, c float64) *Piecewise {
-	p, err := NewPiecewise(
+// then computes on a small subset (low delay tail). It returns an error on
+// invalid parameters; this is the library entry point.
+func NewFrontLoaded(peak, tail, c float64) (*Piecewise, error) {
+	return NewPiecewise(
 		[]float64{0, c * 0.2, c * 0.35, c},
 		[]float64{peak, (peak + tail) / 2, tail},
 	)
+}
+
+// FrontLoaded is NewFrontLoaded for tests and fixtures ONLY: it panics on
+// invalid parameters so it can appear in composite literals. Library code
+// must use NewFrontLoaded and propagate the error.
+func FrontLoaded(peak, tail, c float64) *Piecewise {
+	p, err := NewFrontLoaded(peak, tail, c)
 	if err != nil {
 		panic(err)
 	}

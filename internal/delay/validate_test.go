@@ -1,0 +1,74 @@
+package delay
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"fnpr/internal/guard"
+)
+
+// TestNewPiecewiseRejectsNonFinite checks that every malformed shape —
+// non-finite breakpoints or values in particular — is rejected with an error
+// wrapping guard.ErrInvalidInput rather than producing a poisoned function.
+func TestNewPiecewiseRejectsNonFinite(t *testing.T) {
+	nan, inf := math.NaN(), math.Inf(1)
+	cases := []struct {
+		name string
+		xs   []float64
+		vs   []float64
+	}{
+		{"breakpoint-nan", []float64{0, nan, 10}, []float64{1, 2}},
+		{"breakpoint-inf", []float64{0, 5, inf}, []float64{1, 2}},
+		{"breakpoint-neg-inf", []float64{-inf, 5, 10}, []float64{1, 2}},
+		{"value-nan", []float64{0, 5, 10}, []float64{1, nan}},
+		{"value-inf", []float64{0, 5, 10}, []float64{inf, 2}},
+		{"value-negative", []float64{0, 5, 10}, []float64{1, -2}},
+		{"not-increasing", []float64{0, 5, 5}, []float64{1, 2}},
+		{"decreasing", []float64{0, 7, 5}, []float64{1, 2}},
+		{"length-mismatch", []float64{0, 5}, []float64{1, 2}},
+		{"empty", []float64{0}, nil},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			p, err := NewPiecewise(c.xs, c.vs)
+			if err == nil {
+				t.Fatalf("NewPiecewise(%v, %v) accepted, got %v", c.xs, c.vs, p)
+			}
+			if !errors.Is(err, guard.ErrInvalidInput) {
+				t.Fatalf("error %v does not wrap guard.ErrInvalidInput", err)
+			}
+		})
+	}
+}
+
+// TestConstructorsRejectInvalid exercises the error-returning constructors
+// the library must use in place of the panic-based fixtures.
+func TestConstructorsRejectInvalid(t *testing.T) {
+	cases := []struct {
+		name string
+		call func() (interface{}, error)
+	}{
+		{"constant-nan-value", func() (interface{}, error) { return NewConstant(math.NaN(), 5) }},
+		{"constant-inf-domain", func() (interface{}, error) { return NewConstant(1, math.Inf(1)) }},
+		{"constant-zero-domain", func() (interface{}, error) { return NewConstant(1, 0) }},
+		{"step-no-pieces", func() (interface{}, error) { return NewStep(1, 2, 10, 0) }},
+		{"frontloaded-nan-peak", func() (interface{}, error) { return NewFrontLoaded(math.NaN(), 1, 10) }},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			v, err := c.call()
+			if err == nil {
+				t.Fatalf("constructor accepted invalid input, got %v", v)
+			}
+			if !errors.Is(err, guard.ErrInvalidInput) {
+				t.Fatalf("error %v does not wrap guard.ErrInvalidInput", err)
+			}
+		})
+	}
+	if p, err := NewConstant(2, 8); err != nil || p.Domain() != 8 || p.Eval(3) != 2 {
+		t.Fatalf("NewConstant(2, 8) = %v, %v", p, err)
+	}
+}

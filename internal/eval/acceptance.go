@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"fnpr/internal/delay"
+	"fnpr/internal/guard"
 	"fnpr/internal/npr"
 	"fnpr/internal/sched"
 	"fnpr/internal/synth"
@@ -54,9 +55,9 @@ func DefaultAcceptanceParams() AcceptanceParams {
 //	equation4           — FNPR RTA with the state-of-the-art Equation 4 C'
 //	no-delay            — FNPR RTA ignoring preemption delay (optimistic
 //	                      upper envelope on what any sound test can admit)
-func Acceptance(p AcceptanceParams) (*textplot.Table, error) {
+func Acceptance(g *guard.Ctx, p AcceptanceParams) (*textplot.Table, error) {
 	if p.SetsPerPoint <= 0 || p.Tasks <= 0 || p.UStep <= 0 || p.UStart <= 0 || p.UEnd < p.UStart {
-		return nil, fmt.Errorf("eval: invalid acceptance parameters %+v", p)
+		return nil, guard.Invalidf("eval: invalid acceptance parameters %+v", p)
 	}
 	r := rand.New(rand.NewSource(p.Seed))
 	tbl := &textplot.Table{
@@ -72,6 +73,9 @@ func Acceptance(p AcceptanceParams) (*textplot.Table, error) {
 	for u := p.UStart; u <= p.UEnd+1e-9; u += p.UStep {
 		var admit [4]int
 		for s := 0; s < p.SetsPerPoint; s++ {
+			if err := g.Tick(); err != nil {
+				return nil, err
+			}
 			ts, err := synth.TaskSet(r, synth.TaskSetParams{
 				N: p.Tasks, Utilization: u,
 				PeriodLo: 20, PeriodHi: 2000, RoundPeriod: true,
@@ -107,23 +111,35 @@ func Acceptance(p AcceptanceParams) (*textplot.Table, error) {
 				if peak >= tk.Q {
 					peak = tk.Q * 0.8
 				}
-				fns[i] = delay.FrontLoaded(peak, peak/5, tk.C)
+				fn, err := delay.NewFrontLoaded(peak, peak/5, tk.C)
+				if err != nil {
+					return nil, err
+				}
+				fns[i] = fn
 			}
 			a := sched.FNPRAnalysis{Tasks: ts, Delay: fns, Method: sched.Algorithm1}
-			if rts, err := a.ResponseTimesFP(); err == nil && sched.Schedulable(ts, rts) {
+			if rts, err := a.ResponseTimesFPCtx(g); err == nil && sched.Schedulable(ts, rts) {
 				admit[0]++
+			} else if err != nil && guard.Abortive(err) {
+				return nil, err
 			}
-			if lim, err := a.ResponseTimesFPLimited(); err == nil && sched.Schedulable(ts, lim.Response) {
+			if lim, err := a.ResponseTimesFPLimitedCtx(g); err == nil && sched.Schedulable(ts, lim.Response) {
 				admit[1]++
+			} else if err != nil && guard.Abortive(err) {
+				return nil, err
 			}
 			a4 := a
 			a4.Method = sched.Equation4
-			if rts, err := a4.ResponseTimesFP(); err == nil && sched.Schedulable(ts, rts) {
+			if rts, err := a4.ResponseTimesFPCtx(g); err == nil && sched.Schedulable(ts, rts) {
 				admit[2]++
+			} else if err != nil && guard.Abortive(err) {
+				return nil, err
 			}
 			none := sched.FNPRAnalysis{Tasks: ts, Delay: make([]delay.Function, len(ts)), Method: sched.Algorithm1}
-			if rts, err := none.ResponseTimesFP(); err == nil && sched.Schedulable(ts, rts) {
+			if rts, err := none.ResponseTimesFPCtx(g); err == nil && sched.Schedulable(ts, rts) {
 				admit[3]++
+			} else if err != nil && guard.Abortive(err) {
+				return nil, err
 			}
 		}
 		tbl.X = append(tbl.X, u)

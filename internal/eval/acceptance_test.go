@@ -7,17 +7,17 @@ import (
 func TestAcceptanceValidation(t *testing.T) {
 	bad := DefaultAcceptanceParams()
 	bad.SetsPerPoint = 0
-	if _, err := Acceptance(bad); err == nil {
+	if _, err := Acceptance(nil, bad); err == nil {
 		t.Fatal("accepted SetsPerPoint=0")
 	}
 	bad = DefaultAcceptanceParams()
 	bad.UStep = 0
-	if _, err := Acceptance(bad); err == nil {
+	if _, err := Acceptance(nil, bad); err == nil {
 		t.Fatal("accepted UStep=0")
 	}
 	bad = DefaultAcceptanceParams()
 	bad.UEnd = 0.1
-	if _, err := Acceptance(bad); err == nil {
+	if _, err := Acceptance(nil, bad); err == nil {
 		t.Fatal("accepted UEnd < UStart")
 	}
 }
@@ -25,7 +25,7 @@ func TestAcceptanceValidation(t *testing.T) {
 func TestAcceptanceExperiment(t *testing.T) {
 	p := DefaultAcceptanceParams()
 	p.SetsPerPoint = 40 // keep the test fast; the binary uses 200
-	tbl, err := Acceptance(p)
+	tbl, err := Acceptance(nil, p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,7 +66,7 @@ func TestAcceptanceChecksDetectCorruption(t *testing.T) {
 	p := DefaultAcceptanceParams()
 	p.SetsPerPoint = 10
 	p.UEnd = p.UStart
-	tbl, err := Acceptance(p)
+	tbl, err := Acceptance(nil, p)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -13,6 +13,7 @@ import (
 	"fnpr/internal/cfg"
 	"fnpr/internal/core"
 	"fnpr/internal/delay"
+	"fnpr/internal/guard"
 	"fnpr/internal/textplot"
 )
 
@@ -56,38 +57,47 @@ func DefaultQGrid() []float64 {
 // bound of Algorithm 1 on each benchmark function, plus the state-of-the-art
 // bound of Equation 4 — the data behind Figure 5.
 //
+// The Algorithm 1 curves are evaluated on the parallel guarded sweep pool
+// (QSweep): the guard's cancellation, deadline and budget apply globally,
+// and a grid point whose primary analysis fails degrades to the Equation 4
+// bound, flagged in the table's Notes. A nil guard means no limits.
+//
 // The paper plots a single state-of-the-art line, noting it is identical for
 // all functions "since they all have the same C and maximum value"; under
 // the offset reading of Gaussian 1 its maximum is 14 rather than 10, so we
 // emit the common max-10 line as "State of the Art" and the max-14 variant
 // separately (indistinguishable at log scale).
-func Figure5(params delay.BenchmarkParams, qs []float64) (*textplot.Table, error) {
+func Figure5(g *guard.Ctx, params delay.BenchmarkParams, qs []float64) (*textplot.Table, error) {
 	if len(qs) == 0 {
 		qs = DefaultQGrid()
 	}
+	var specs []SweepSpec
 	fns := params.Benchmarks()
+	for _, name := range delay.BenchmarkOrder() {
+		specs = append(specs, SweepSpec{Name: name, F: fns[name]})
+	}
+	results, err := QSweep(g, specs, qs, 0)
+	if err != nil {
+		return nil, err
+	}
 	t := &textplot.Table{
 		XLabel: "Q",
 		YLabel: "cumulative preemption delay",
 		X:      append([]float64(nil), qs...),
 	}
-	for _, name := range delay.BenchmarkOrder() {
-		f := fns[name]
-		s := textplot.Series{Name: name}
-		for _, q := range qs {
-			b, err := core.UpperBound(f, q)
-			if err != nil {
-				return nil, fmt.Errorf("eval: %s at Q=%g: %w", name, q, err)
-			}
-			s.Y = append(s.Y, b)
+	for _, r := range results {
+		s := textplot.Series{Name: r.Name}
+		for _, p := range r.Points {
+			s.Y = append(s.Y, p.Value)
 		}
 		t.Series = append(t.Series, s)
 	}
+	t.Notes = Degraded(results)
 	// State-of-the-art series.
 	soa := func(name string, maxDelay float64) (textplot.Series, error) {
 		s := textplot.Series{Name: name}
 		for _, q := range qs {
-			b, err := core.StateOfTheArtRaw(params.C, q, maxDelay)
+			b, err := core.StateOfTheArtRawCtx(g, params.C, q, maxDelay)
 			if err != nil {
 				return s, err
 			}

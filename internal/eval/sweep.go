@@ -1,0 +1,172 @@
+package eval
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"fnpr/internal/core"
+	"fnpr/internal/delay"
+	"fnpr/internal/guard"
+)
+
+// SweepSpec names one curve of a Q sweep: a preemption delay function whose
+// Algorithm 1 bound is evaluated at every grid point.
+type SweepSpec struct {
+	Name string
+	F    delay.Function
+}
+
+// SweepPoint is one (Q, bound) sample. When the primary analysis fails on
+// this point only (a panic inside the delay function, a per-point budget trip
+// inside the oracle, a genuine divergence error), the point degrades to the
+// Equation 4 state-of-the-art bound and is flagged — never silently. When
+// even the fallback fails, Value is NaN.
+type SweepPoint struct {
+	Q        float64
+	Value    float64
+	Degraded bool
+	Reason   string
+}
+
+// SweepResult is one curve of the sweep.
+type SweepResult struct {
+	Name   string
+	Points []SweepPoint // indexed like the input Q grid
+}
+
+// QSweep evaluates the Algorithm 1 bound of every spec at every Q of the grid
+// on a pool of worker goroutines sharing one guard scope: cancellation,
+// deadline and step budget are global to the sweep.
+//
+// Each grid point runs under its own panic-recovery scope (guard.Run), so a
+// pathological point degrades to the Equation 4 bound — itself recovered —
+// instead of killing the whole sweep. Only caller aborts (guard.ErrCanceled)
+// and exhaustion of the sweep's own global budget stop everything; the
+// partial results are discarded and the abort error is returned.
+//
+// workers <= 0 selects GOMAXPROCS workers.
+func QSweep(g *guard.Ctx, specs []SweepSpec, qs []float64, workers int) ([]SweepResult, error) {
+	if len(specs) == 0 {
+		return nil, guard.Invalidf("eval: sweep needs at least one function")
+	}
+	if len(qs) == 0 {
+		return nil, guard.Invalidf("eval: sweep needs a non-empty Q grid")
+	}
+	for i, s := range specs {
+		if s.F == nil {
+			return nil, guard.Invalidf("eval: sweep spec %d (%q) has a nil function", i, s.Name)
+		}
+	}
+	if err := g.Err(); err != nil {
+		return nil, err
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	type job struct{ si, qi int }
+	jobs := make(chan job)
+	results := make([]SweepResult, len(specs))
+	for i, s := range specs {
+		results[i] = SweepResult{Name: s.Name, Points: make([]SweepPoint, len(qs))}
+	}
+
+	var (
+		mu       sync.Mutex
+		abortErr error
+	)
+	abort := func(err error) {
+		mu.Lock()
+		if abortErr == nil {
+			abortErr = err
+		}
+		mu.Unlock()
+	}
+	aborted := func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return abortErr != nil
+	}
+	// fatal classifies errors that must stop the whole sweep: a caller
+	// abort, or exhaustion of the sweep's own shared budget (once it is
+	// gone, every remaining point would fail the same way).
+	fatal := func(err error) bool {
+		if guard.Abortive(err) {
+			return true
+		}
+		return errors.Is(err, guard.ErrBudgetExceeded) && g.Remaining() == 0
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for jb := range jobs {
+				if aborted() {
+					continue // drain
+				}
+				spec, q := specs[jb.si], qs[jb.qi]
+				pt := &results[jb.si].Points[jb.qi]
+				pt.Q = q
+				label := fmt.Sprintf("%s at Q=%g", spec.Name, q)
+				v, err := guard.Run(g, label, func() (float64, error) {
+					return core.UpperBoundCtx(g, spec.F, q)
+				})
+				if err == nil {
+					pt.Value = v
+					continue
+				}
+				if fatal(err) {
+					abort(err)
+					continue
+				}
+				// Degrade to the Equation 4 bound, itself under a
+				// recovery scope (a poisoned function can panic in
+				// Domain/MaxOn too).
+				fb, ferr := guard.Run(g, label+" (Eq.4 fallback)", func() (float64, error) {
+					return core.StateOfTheArtCtx(g, spec.F, q)
+				})
+				if ferr != nil {
+					if fatal(ferr) {
+						abort(ferr)
+						continue
+					}
+					fb = math.NaN()
+				}
+				pt.Value = fb
+				pt.Degraded = true
+				pt.Reason = err.Error()
+			}
+		}()
+	}
+	for si := range specs {
+		for qi := range qs {
+			jobs <- job{si, qi}
+		}
+	}
+	close(jobs)
+	wg.Wait()
+
+	if abortErr != nil {
+		return nil, abortErr
+	}
+	return results, nil
+}
+
+// Degraded collects the flagged points of a sweep as human-readable strings,
+// for surfacing in table notes and on stderr.
+func Degraded(results []SweepResult) []string {
+	var out []string
+	for _, r := range results {
+		for _, p := range r.Points {
+			if p.Degraded {
+				out = append(out, fmt.Sprintf("degraded %s at Q=%g: %s", r.Name, p.Q, p.Reason))
+			}
+		}
+	}
+	return out
+}

@@ -6,6 +6,7 @@ import (
 
 	"fnpr/internal/core"
 	"fnpr/internal/delay"
+	"fnpr/internal/guard"
 	"fnpr/internal/sim"
 	"fnpr/internal/task"
 	"fnpr/internal/textplot"
@@ -31,14 +32,14 @@ func DefaultTightnessParams() TightnessParams {
 	}
 }
 
-// Tightness runs the sweep. Series: the Algorithm 1 bound, the adversarial
-// peak-seeking scenario's delay (the best lower bound on the true worst
-// case the library can construct), and the worst delay observed in the
-// simulated schedule (whose release pattern is synchronous-periodic, hence
-// generally milder than the adversary).
-func Tightness(p TightnessParams) (*textplot.Table, error) {
+// Tightness runs the sweep under a guard scope (nil = no limits). Series:
+// the Algorithm 1 bound, the adversarial peak-seeking scenario's delay (the
+// best lower bound on the true worst case the library can construct), and
+// the worst delay observed in the simulated schedule (whose release pattern
+// is synchronous-periodic, hence generally milder than the adversary).
+func Tightness(g *guard.Ctx, p TightnessParams) (*textplot.Table, error) {
 	if len(p.Qs) == 0 || p.Horizon <= 0 {
-		return nil, fmt.Errorf("eval: invalid tightness parameters %+v", p)
+		return nil, guard.Invalidf("eval: invalid tightness parameters %+v", p)
 	}
 	tbl := &textplot.Table{
 		XLabel: "Q (victim)",
@@ -53,19 +54,20 @@ func Tightness(p TightnessParams) (*textplot.Table, error) {
 	}
 	// Victim delay pattern: two expensive regions separated by cheap
 	// computation (the flavour of the paper's third benchmark).
-	mkVictim := func() *delay.Piecewise {
-		f, err := delay.NewPiecewise(
-			[]float64{0, 6, 9, 18, 21, 30},
-			[]float64{1, 4, 0.5, 4, 0.5},
-		)
-		if err != nil {
-			panic(err) // static fixture
-		}
-		return f
+	victim, err := delay.NewPiecewise(
+		[]float64{0, 6, 9, 18, 21, 30},
+		[]float64{1, 4, 0.5, 4, 0.5},
+	)
+	if err != nil {
+		return nil, err
+	}
+	helper, err := delay.NewPiecewise([]float64{0, 4}, []float64{0.3})
+	if err != nil {
+		return nil, err
 	}
 	for _, q := range p.Qs {
-		f := mkVictim()
-		bound, err := core.UpperBound(f, q)
+		f := victim
+		bound, err := core.UpperBoundCtx(g, f, q)
 		if err != nil {
 			return nil, err
 		}
@@ -75,8 +77,8 @@ func Tightness(p TightnessParams) (*textplot.Table, error) {
 			{Name: "medium", C: 4, T: 23, Q: 2, Prio: 1},
 			{Name: "victim", C: 30, T: 120, Q: q, Prio: 2},
 		}
-		fns := []delay.Function{nil, delay.Constant(0.3, 4), f}
-		res, err := sim.Run(sim.Config{
+		fns := []delay.Function{nil, helper, f}
+		res, err := sim.RunCtx(g, sim.Config{
 			Tasks: ts, Policy: sim.FixedPriority, Mode: sim.FloatingNPR,
 			Horizon: p.Horizon, Delay: fns,
 		})
@@ -86,10 +88,15 @@ func Tightness(p TightnessParams) (*textplot.Table, error) {
 		tbl.Series[0].Y = append(tbl.Series[0].Y, bound)
 		tbl.Series[1].Y = append(tbl.Series[1].Y, peak.TotalDelay)
 		tbl.Series[2].Y = append(tbl.Series[2].Y, res.Tasks[2].MaxDelayPerJob)
-		// The exact oracle is exponential; where the node budget trips
-		// (very small Q) the point is omitted (NaN renders as a gap).
-		exact, err := core.ExactWorstCase(f, q, 3_000_000)
+		// The exact oracle is exponential; where its node budget trips
+		// (very small Q) the point is omitted (NaN renders as a gap),
+		// but caller aborts and global budget exhaustion still stop the
+		// sweep.
+		exact, err := core.ExactWorstCaseCtx(g, f, q, 3_000_000)
 		if err != nil {
+			if guard.Abortive(err) {
+				return nil, err
+			}
 			exact = math.NaN()
 		}
 		tbl.Series[3].Y = append(tbl.Series[3].Y, exact)
@@ -108,7 +115,7 @@ func Tightness(p TightnessParams) (*textplot.Table, error) {
 // best lower bound on the true worst case is the max of the two.
 func TightnessChecks(tbl *textplot.Table) error {
 	if len(tbl.Series) != 4 {
-		return fmt.Errorf("eval: tightness table incomplete")
+		return guard.Invalidf("eval: tightness table incomplete")
 	}
 	bound, adv, obs, exact := tbl.Series[0].Y, tbl.Series[1].Y, tbl.Series[2].Y, tbl.Series[3].Y
 	for i := range tbl.X {

@@ -7,7 +7,7 @@ import (
 func TestTightnessExperiment(t *testing.T) {
 	p := DefaultTightnessParams()
 	p.Horizon = 12000 // shorter for the test; the binary uses 60000
-	tbl, err := Tightness(p)
+	tbl, err := Tightness(nil, p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -33,10 +33,10 @@ func TestTightnessExperiment(t *testing.T) {
 }
 
 func TestTightnessValidation(t *testing.T) {
-	if _, err := Tightness(TightnessParams{}); err == nil {
+	if _, err := Tightness(nil, TightnessParams{}); err == nil {
 		t.Fatal("accepted empty parameters")
 	}
-	if _, err := Tightness(TightnessParams{Qs: []float64{5}, Horizon: 0}); err == nil {
+	if _, err := Tightness(nil, TightnessParams{Qs: []float64{5}, Horizon: 0}); err == nil {
 		t.Fatal("accepted zero horizon")
 	}
 }
@@ -45,7 +45,7 @@ func TestTightnessChecksDetectViolation(t *testing.T) {
 	p := DefaultTightnessParams()
 	p.Qs = p.Qs[:2]
 	p.Horizon = 4000
-	tbl, err := Tightness(p)
+	tbl, err := Tightness(nil, p)
 	if err != nil {
 		t.Fatal(err)
 	}

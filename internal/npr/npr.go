@@ -11,11 +11,11 @@
 package npr
 
 import (
-	"errors"
 	"fmt"
 	"math"
 	"sort"
 
+	"fnpr/internal/guard"
 	"fnpr/internal/task"
 )
 
@@ -66,7 +66,7 @@ func checkDeadlineBudget(ts task.Set, limit float64) error {
 		points += limit / tk.T
 	}
 	if points > maxDeadlinePoints {
-		return fmt.Errorf("npr: demand test needs ~%.0f checkpoints over horizon %g (cap %d); utilization too close to 1", points, limit, maxDeadlinePoints)
+		return guard.Budgetf("npr: demand test needs ~%.0f checkpoints over horizon %g (cap %d); utilization too close to 1", points, limit, maxDeadlinePoints)
 	}
 	return nil
 }
@@ -78,7 +78,7 @@ func checkDeadlineBudget(ts task.Set, limit float64) error {
 func AnalysisHorizon(ts task.Set) (float64, error) {
 	u := ts.Utilization()
 	if u > 1 {
-		return 0, fmt.Errorf("npr: utilization %.3f exceeds 1, no horizon", u)
+		return 0, guard.Invalidf("npr: utilization %.3f exceeds 1, no horizon", u)
 	}
 	var dmax, shift float64
 	for _, tk := range ts {
@@ -91,7 +91,7 @@ func AnalysisHorizon(ts task.Set) (float64, error) {
 	} else if hp, ok := ts.Hyperperiod(); ok {
 		h = math.Max(h, hp+dmax)
 	} else {
-		return 0, errors.New("npr: U = 1 with non-integral periods: unbounded horizon")
+		return 0, guard.Invalidf("npr: U = 1 with non-integral periods: unbounded horizon")
 	}
 	if hp, ok := ts.Hyperperiod(); ok && hp+dmax < h {
 		h = hp + dmax
@@ -111,11 +111,18 @@ func AnalysisHorizon(ts task.Set) (float64, error) {
 // protect, so their own NPR length is unconstrained — they can only be
 // "blocked" by even-earlier deadlines, of which there are none shorter).
 func EDFBlockingTolerance(ts task.Set) ([]float64, error) {
+	return EDFBlockingToleranceCtx(nil, ts)
+}
+
+// EDFBlockingToleranceCtx is EDFBlockingTolerance under a guard scope: the
+// demand sweep charges one guard step per deadline checkpoint. A nil guard
+// means no limits.
+func EDFBlockingToleranceCtx(g *guard.Ctx, ts task.Set) ([]float64, error) {
 	if err := ts.Validate(); err != nil {
 		return nil, err
 	}
 	if len(ts) == 0 {
-		return nil, errors.New("npr: empty task set")
+		return nil, guard.Invalidf("npr: empty task set")
 	}
 	horizon, err := AnalysisHorizon(ts)
 	if err != nil {
@@ -127,6 +134,9 @@ func EDFBlockingTolerance(ts task.Set) ([]float64, error) {
 	deadlines := deadlinesUpTo(ts, horizon)
 	slacks := make([]float64, len(deadlines))
 	for i, t := range deadlines {
+		if err := g.Tick(); err != nil {
+			return nil, err
+		}
 		slacks[i] = t - DemandBound(ts, t)
 	}
 	// Prefix minima: minSlackBelow[i] = min slack at deadlines < x.
@@ -168,17 +178,26 @@ func RequestBound(ts task.Set, i int, t float64) float64 {
 // periods, plus Di itself). A negative tolerance means τi misses deadlines
 // even without blocking.
 func FPBlockingTolerance(ts task.Set) ([]float64, error) {
+	return FPBlockingToleranceCtx(nil, ts)
+}
+
+// FPBlockingToleranceCtx is FPBlockingTolerance under a guard scope: the
+// level-i sweep charges one guard step per scheduling point.
+func FPBlockingToleranceCtx(g *guard.Ctx, ts task.Set) ([]float64, error) {
 	if err := ts.Validate(); err != nil {
 		return nil, err
 	}
 	if len(ts) == 0 {
-		return nil, errors.New("npr: empty task set")
+		return nil, guard.Invalidf("npr: empty task set")
 	}
 	out := make([]float64, len(ts))
 	for i, tk := range ts {
 		points := schedulingPoints(ts, i, tk.Deadline())
 		best := math.Inf(-1)
 		for _, t := range points {
+			if err := g.Tick(); err != nil {
+				return nil, err
+			}
 			if s := t - RequestBound(ts, i, t); s > best {
 				best = s
 			}
@@ -243,15 +262,20 @@ func (p Policy) String() string {
 // any tolerance is negative (the set is unschedulable even fully
 // preemptively).
 func AssignQ(ts task.Set, p Policy) (task.Set, error) {
+	return AssignQCtx(nil, ts, p)
+}
+
+// AssignQCtx is AssignQ under a guard scope.
+func AssignQCtx(g *guard.Ctx, ts task.Set, p Policy) (task.Set, error) {
 	var tol []float64
 	var err error
 	switch p {
 	case EDF:
-		tol, err = EDFBlockingTolerance(ts)
+		tol, err = EDFBlockingToleranceCtx(g, ts)
 	case FixedPriority:
-		tol, err = FPBlockingTolerance(ts)
+		tol, err = FPBlockingToleranceCtx(g, ts)
 	default:
-		return nil, fmt.Errorf("npr: unknown policy %v", p)
+		return nil, guard.Invalidf("npr: unknown policy %v", p)
 	}
 	if err != nil {
 		return nil, err
@@ -271,7 +295,7 @@ func AssignQ(ts task.Set, p Policy) (task.Set, error) {
 			}
 		}
 		if q < 0 {
-			return nil, fmt.Errorf("npr: task %s faces negative blocking tolerance %g", out[i].Name, q)
+			return nil, guard.Invalidf("npr: task %s faces negative blocking tolerance %g", out[i].Name, q)
 		}
 		if q > out[i].C {
 			q = out[i].C
@@ -286,15 +310,20 @@ func AssignQ(ts task.Set, p Policy) (task.Set, error) {
 // blocking tolerance of everything it can delay. This is the acceptance-side
 // counterpart of AssignQ for task sets whose Q was chosen externally.
 func ValidateQ(ts task.Set, p Policy) error {
+	return ValidateQCtx(nil, ts, p)
+}
+
+// ValidateQCtx is ValidateQ under a guard scope.
+func ValidateQCtx(g *guard.Ctx, ts task.Set, p Policy) error {
 	var tol []float64
 	var err error
 	switch p {
 	case EDF:
-		tol, err = EDFBlockingTolerance(ts)
+		tol, err = EDFBlockingToleranceCtx(g, ts)
 	case FixedPriority:
-		tol, err = FPBlockingTolerance(ts)
+		tol, err = FPBlockingToleranceCtx(g, ts)
 	default:
-		return fmt.Errorf("npr: unknown policy %v", p)
+		return guard.Invalidf("npr: unknown policy %v", p)
 	}
 	if err != nil {
 		return err

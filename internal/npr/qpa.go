@@ -1,9 +1,9 @@
 package npr
 
 import (
-	"fmt"
 	"math"
 
+	"fnpr/internal/guard"
 	"fnpr/internal/task"
 )
 
@@ -17,11 +17,17 @@ import (
 // checks the equivalence on random sets) and typically orders of magnitude
 // faster near U = 1, which is where the exhaustive horizon explodes.
 func QPA(ts task.Set) (bool, error) {
+	return QPACtx(nil, ts)
+}
+
+// QPACtx is QPA under a guard scope: the downward iteration charges one
+// guard step per visited point. A nil guard means no limits.
+func QPACtx(g *guard.Ctx, ts task.Set) (bool, error) {
 	if err := ts.Validate(); err != nil {
 		return false, err
 	}
 	if len(ts) == 0 {
-		return false, fmt.Errorf("npr: empty task set")
+		return false, guard.Invalidf("npr: empty task set")
 	}
 	if ts.Utilization() > 1 {
 		return false, nil
@@ -40,6 +46,9 @@ func QPA(ts task.Set) (bool, error) {
 		return true, nil // no deadline to check
 	}
 	for steps := 0; steps < maxDeadlinePoints; steps++ {
+		if err := g.Tick(); err != nil {
+			return false, err
+		}
 		h := DemandBound(ts, t)
 		switch {
 		case h > t:
@@ -53,7 +62,7 @@ func QPA(ts task.Set) (bool, error) {
 			return true, nil
 		}
 	}
-	return false, fmt.Errorf("npr: QPA did not converge (pathological parameters)")
+	return false, guard.Divergedf("npr: QPA did not converge (pathological parameters)")
 }
 
 // lastDeadlineBefore returns the largest absolute deadline strictly smaller
@@ -83,6 +92,12 @@ func lastDeadlineBefore(ts task.Set, t float64) float64 {
 // every absolute deadline up to the analysis horizon) — the reference
 // implementation QPA is validated against.
 func EDFSchedulable(ts task.Set) (bool, error) {
+	return EDFSchedulableCtx(nil, ts)
+}
+
+// EDFSchedulableCtx is EDFSchedulable under a guard scope: the exhaustive
+// sweep charges one guard step per deadline.
+func EDFSchedulableCtx(g *guard.Ctx, ts task.Set) (bool, error) {
 	if err := ts.Validate(); err != nil {
 		return false, err
 	}
@@ -97,6 +112,9 @@ func EDFSchedulable(ts task.Set) (bool, error) {
 		return false, err
 	}
 	for _, d := range deadlinesUpTo(ts, horizon) {
+		if err := g.Tick(); err != nil {
+			return false, err
+		}
 		if DemandBound(ts, d) > d {
 			return false, nil
 		}

@@ -1,0 +1,70 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+
+	"fnpr/internal/delay"
+	"fnpr/internal/guard"
+	"fnpr/internal/task"
+)
+
+func guardedAnalysis(t *testing.T) FNPRAnalysis {
+	t.Helper()
+	ts := task.Set{
+		{Name: "a", C: 1, T: 4, Q: 1},
+		{Name: "b", C: 2, T: 8, Q: 1},
+		{Name: "c", C: 4, T: 16, Q: 2},
+	}
+	ts.AssignRateMonotonic()
+	fn, err := delay.NewFrontLoaded(0.5, 0.1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return FNPRAnalysis{
+		Tasks:  ts,
+		Delay:  []delay.Function{nil, nil, fn},
+		Method: Algorithm1,
+	}
+}
+
+// TestResponseTimesFPCtxCanceled: a canceled context stops the RTA before it
+// runs the fixpoints; the error wraps guard.ErrCanceled.
+func TestResponseTimesFPCtxCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	a := guardedAnalysis(t)
+	_, err := a.ResponseTimesFPCtx(guard.New(ctx))
+	if !errors.Is(err, guard.ErrCanceled) {
+		t.Fatalf("canceled context: got %v, want ErrCanceled", err)
+	}
+}
+
+// TestResponseTimesFPCtxBudget: exhausting the step budget mid-RTA yields
+// ErrBudgetExceeded — not +Inf response times, not a hang.
+func TestResponseTimesFPCtxBudget(t *testing.T) {
+	a := guardedAnalysis(t)
+	g := guard.New(context.Background()).WithBudget(1)
+	rts, err := a.ResponseTimesFPCtx(g)
+	if !errors.Is(err, guard.ErrBudgetExceeded) {
+		t.Fatalf("budget 1: got %v, want ErrBudgetExceeded", err)
+	}
+	for i, r := range rts {
+		if math.IsInf(r, 1) {
+			t.Fatalf("budget exhaustion returned +Inf at index %d instead of failing", i)
+		}
+	}
+}
+
+func TestSchedulableEDFCtxCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	a := guardedAnalysis(t)
+	a.Tasks = append(task.Set{}, a.Tasks...)
+	_, err := a.SchedulableEDFCtx(guard.New(ctx))
+	if !errors.Is(err, guard.ErrCanceled) {
+		t.Fatalf("canceled context: got %v, want ErrCanceled", err)
+	}
+}

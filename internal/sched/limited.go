@@ -1,10 +1,10 @@
 package sched
 
 import (
-	"fmt"
 	"math"
 
 	"fnpr/internal/core"
+	"fnpr/internal/guard"
 )
 
 // LimitedResult carries the outcome of the preemption-count-refined FNPR
@@ -33,12 +33,17 @@ type LimitedResult struct {
 // job that misses is not analysed beyond it), keeping the test sound for
 // all tasks it declares schedulable.
 func (a FNPRAnalysis) ResponseTimesFPLimited() (*LimitedResult, error) {
+	return a.ResponseTimesFPLimitedCtx(nil)
+}
+
+// ResponseTimesFPLimitedCtx is ResponseTimesFPLimited under a guard scope.
+func (a FNPRAnalysis) ResponseTimesFPLimitedCtx(g *guard.Ctx) (*LimitedResult, error) {
 	n := len(a.Tasks)
 	if len(a.Delay) != n {
-		return nil, fmt.Errorf("sched: %d delay functions for %d tasks", len(a.Delay), n)
+		return nil, guard.Invalidf("sched: %d delay functions for %d tasks", len(a.Delay), n)
 	}
 	if a.Method != Algorithm1 {
-		return nil, fmt.Errorf("sched: preemption-count refinement requires Algorithm1, got %v", a.Method)
+		return nil, guard.Invalidf("sched: preemption-count refinement requires Algorithm1, got %v", a.Method)
 	}
 	// Initial C': the unlimited Algorithm 1 bound, or (for divergent
 	// bounds) the count-limited bound at the deadline — the refinement
@@ -52,16 +57,16 @@ func (a FNPRAnalysis) ResponseTimesFPLimited() (*LimitedResult, error) {
 			continue
 		}
 		if d := a.Delay[i].Domain(); math.Abs(d-tk.C) > 1e-9 {
-			return nil, fmt.Errorf("sched: task %s has C=%g but delay function domain %g", tk.Name, tk.C, d)
+			return nil, guard.Invalidf("sched: task %s has C=%g but delay function domain %g", tk.Name, tk.C, d)
 		}
 		if tk.Q <= 0 {
-			return nil, fmt.Errorf("sched: task %s has no NPR length Q", tk.Name)
+			return nil, guard.Invalidf("sched: task %s has no NPR length Q", tk.Name)
 		}
 		lim, err := a.deadlineCount(i)
 		if err != nil {
 			return nil, err
 		}
-		b, err := core.UpperBoundLimited(a.Delay[i], tk.Q, lim)
+		b, err := core.UpperBoundLimitedCtx(g, a.Delay[i], tk.Q, lim)
 		if err != nil {
 			return nil, err
 		}
@@ -71,7 +76,10 @@ func (a FNPRAnalysis) ResponseTimesFPLimited() (*LimitedResult, error) {
 
 	var rts []float64
 	for iter := 0; iter < 64; iter++ {
-		r, err := a.rtaWith(cp)
+		if err := g.Tick(); err != nil {
+			return nil, err
+		}
+		r, err := a.rtaWith(g, cp)
 		if err != nil {
 			return nil, err
 		}
@@ -91,7 +99,7 @@ func (a FNPRAnalysis) ResponseTimesFPLimited() (*LimitedResult, error) {
 			}
 			if lim != limits[i] {
 				limits[i] = lim
-				b, err := core.UpperBoundLimited(a.Delay[i], tk.Q, lim)
+				b, err := core.UpperBoundLimitedCtx(g, a.Delay[i], tk.Q, lim)
 				if err != nil {
 					return nil, err
 				}
@@ -125,11 +133,11 @@ func (a FNPRAnalysis) countAt(i int, horizon float64) (int, error) {
 }
 
 // rtaWith runs the blocking-aware RTA with the given effective WCETs.
-func (a FNPRAnalysis) rtaWith(cp []float64) ([]float64, error) {
+func (a FNPRAnalysis) rtaWith(g *guard.Ctx, cp []float64) ([]float64, error) {
 	inflated := a.Tasks.Clone()
 	for i := range inflated {
 		if math.IsInf(cp[i], 1) {
-			return nil, fmt.Errorf("sched: task %s has divergent delay bound", inflated[i].Name)
+			return nil, guard.Divergedf("sched: task %s has divergent delay bound", inflated[i].Name)
 		}
 		inflated[i].C = cp[i]
 	}
@@ -152,5 +160,5 @@ func (a FNPRAnalysis) rtaWith(cp []float64) ([]float64, error) {
 		}
 		return b
 	}
-	return responseTimes(inflated, nil, blocking)
+	return responseTimes(g, inflated, nil, blocking)
 }

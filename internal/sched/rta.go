@@ -8,12 +8,12 @@
 package sched
 
 import (
-	"errors"
 	"fmt"
 	"math"
 
 	"fnpr/internal/core"
 	"fnpr/internal/delay"
+	"fnpr/internal/guard"
 	"fnpr/internal/npr"
 	"fnpr/internal/task"
 )
@@ -29,7 +29,14 @@ const maxRTAIterations = 1_000_000
 // It returns the fixpoint response times; a task whose iteration exceeds its
 // deadline gets +Inf (unschedulable) and iteration continues for the others.
 func ResponseTimes(ts task.Set) ([]float64, error) {
-	return responseTimes(ts, nil, nil)
+	return responseTimes(nil, ts, nil, nil)
+}
+
+// ResponseTimesCtx is ResponseTimes under a guard scope: the fixpoint charges
+// one guard step per iteration, so runaway iterations can be canceled or
+// budget-bounded. A nil guard means no limits.
+func ResponseTimesCtx(g *guard.Ctx, ts task.Set) ([]float64, error) {
+	return responseTimes(g, ts, nil, nil)
 }
 
 // CRPDMethod selects how preemption costs inflate the RTA.
@@ -80,11 +87,16 @@ type CRPDParams struct {
 // with γij picked by the method. This reproduces the state-of-the-art
 // integration styles the paper compares against.
 func ResponseTimesCRPD(ts task.Set, m CRPDMethod, p CRPDParams) ([]float64, error) {
+	return ResponseTimesCRPDCtx(nil, ts, m, p)
+}
+
+// ResponseTimesCRPDCtx is ResponseTimesCRPD under a guard scope.
+func ResponseTimesCRPDCtx(g *guard.Ctx, ts task.Set, m CRPDMethod, p CRPDParams) ([]float64, error) {
 	if m == NoCRPD {
-		return ResponseTimes(ts)
+		return ResponseTimesCtx(g, ts)
 	}
 	if len(p.MaxCRPD) != len(ts) {
-		return nil, fmt.Errorf("sched: MaxCRPD has %d entries for %d tasks", len(p.MaxCRPD), len(ts))
+		return nil, guard.Invalidf("sched: MaxCRPD has %d entries for %d tasks", len(p.MaxCRPD), len(ts))
 	}
 	gamma := func(i, j int) float64 {
 		switch m {
@@ -100,18 +112,22 @@ func ResponseTimesCRPD(ts task.Set, m CRPDMethod, p CRPDParams) ([]float64, erro
 			return 0
 		}
 	}
-	return responseTimes(ts, gamma, nil)
+	return responseTimes(g, ts, gamma, nil)
 }
 
 // responseTimes is the shared fixpoint engine. gamma(i,j) is the preemption
 // cost added to each release of higher-priority task j while analysing task
 // i (nil = 0). blocking(i) is the blocking term added to task i (nil = 0).
-func responseTimes(ts task.Set, gamma func(i, j int) float64, blocking func(i int) float64) ([]float64, error) {
+// The fixpoint charges one guard step per iteration.
+func responseTimes(g *guard.Ctx, ts task.Set, gamma func(i, j int) float64, blocking func(i int) float64) ([]float64, error) {
 	if err := ts.Validate(); err != nil {
 		return nil, err
 	}
 	if len(ts) == 0 {
-		return nil, errors.New("sched: empty task set")
+		return nil, guard.Invalidf("sched: empty task set")
+	}
+	if err := g.Err(); err != nil {
+		return nil, err
 	}
 	out := make([]float64, len(ts))
 	for i, tk := range ts {
@@ -122,6 +138,9 @@ func responseTimes(ts task.Set, gamma func(i, j int) float64, blocking func(i in
 		r := tk.C + b
 		ok := false
 		for iter := 0; iter < maxRTAIterations; iter++ {
+			if err := g.Tick(); err != nil {
+				return nil, err
+			}
 			next := tk.C + b
 			for j := 0; j < i; j++ {
 				g := 0.0
@@ -217,8 +236,14 @@ func (m DelayMethod) String() string {
 // EffectiveWCETs computes C'i for every task under the selected method
 // (Equation 5 of the paper).
 func (a FNPRAnalysis) EffectiveWCETs() ([]float64, error) {
+	return a.EffectiveWCETsCtx(nil)
+}
+
+// EffectiveWCETsCtx is EffectiveWCETs under a guard scope: each task's delay
+// bound runs with cancellation and budget checks.
+func (a FNPRAnalysis) EffectiveWCETsCtx(g *guard.Ctx) ([]float64, error) {
 	if len(a.Delay) != len(a.Tasks) {
-		return nil, fmt.Errorf("sched: %d delay functions for %d tasks", len(a.Delay), len(a.Tasks))
+		return nil, guard.Invalidf("sched: %d delay functions for %d tasks", len(a.Delay), len(a.Tasks))
 	}
 	out := make([]float64, len(a.Tasks))
 	for i, tk := range a.Tasks {
@@ -227,20 +252,20 @@ func (a FNPRAnalysis) EffectiveWCETs() ([]float64, error) {
 			continue
 		}
 		if d := a.Delay[i].Domain(); math.Abs(d-tk.C) > 1e-9 {
-			return nil, fmt.Errorf("sched: task %s has C=%g but delay function domain %g", tk.Name, tk.C, d)
+			return nil, guard.Invalidf("sched: task %s has C=%g but delay function domain %g", tk.Name, tk.C, d)
 		}
 		if tk.Q <= 0 {
-			return nil, fmt.Errorf("sched: task %s has no NPR length Q", tk.Name)
+			return nil, guard.Invalidf("sched: task %s has no NPR length Q", tk.Name)
 		}
 		var total float64
 		var err error
 		switch a.Method {
 		case Algorithm1:
-			total, err = core.UpperBound(a.Delay[i], tk.Q)
+			total, err = core.UpperBoundCtx(g, a.Delay[i], tk.Q)
 		case Equation4:
-			total, err = core.StateOfTheArt(a.Delay[i], tk.Q)
+			total, err = core.StateOfTheArtCtx(g, a.Delay[i], tk.Q)
 		default:
-			return nil, fmt.Errorf("sched: unknown delay method %v", a.Method)
+			return nil, guard.Invalidf("sched: unknown delay method %v", a.Method)
 		}
 		if err != nil {
 			return nil, fmt.Errorf("sched: task %s: %w", tk.Name, err)
@@ -256,14 +281,19 @@ func (a FNPRAnalysis) EffectiveWCETs() ([]float64, error) {
 //
 //	Ri = C'i + max_{k>i} min(Qk, C'k) + Σ_{j<i} ceil((Ri+Jj)/Tj) * C'j
 func (a FNPRAnalysis) ResponseTimesFP() ([]float64, error) {
-	cp, err := a.EffectiveWCETs()
+	return a.ResponseTimesFPCtx(nil)
+}
+
+// ResponseTimesFPCtx is ResponseTimesFP under a guard scope.
+func (a FNPRAnalysis) ResponseTimesFPCtx(g *guard.Ctx) ([]float64, error) {
+	cp, err := a.EffectiveWCETsCtx(g)
 	if err != nil {
 		return nil, err
 	}
 	inflated := a.Tasks.Clone()
 	for i := range inflated {
 		if math.IsInf(cp[i], 1) {
-			return nil, fmt.Errorf("sched: task %s has divergent delay bound", inflated[i].Name)
+			return nil, guard.Divergedf("sched: task %s has divergent delay bound", inflated[i].Name)
 		}
 		inflated[i].C = cp[i]
 	}
@@ -288,7 +318,7 @@ func (a FNPRAnalysis) ResponseTimesFP() ([]float64, error) {
 			return rts, nil
 		}
 	}
-	return responseTimes(inflated, nil, blocking)
+	return responseTimes(g, inflated, nil, blocking)
 }
 
 // SchedulableEDF runs the processor-demand test with effective WCETs and the
@@ -297,7 +327,13 @@ func (a FNPRAnalysis) ResponseTimesFP() ([]float64, error) {
 //
 //	dbf'(t) + max_{Dj > t} min(Qj, C'j) <= t
 func (a FNPRAnalysis) SchedulableEDF() (bool, error) {
-	cp, err := a.EffectiveWCETs()
+	return a.SchedulableEDFCtx(nil)
+}
+
+// SchedulableEDFCtx is SchedulableEDF under a guard scope: the demand-bound
+// sweep charges one guard step per deadline checked.
+func (a FNPRAnalysis) SchedulableEDFCtx(g *guard.Ctx) (bool, error) {
+	cp, err := a.EffectiveWCETsCtx(g)
 	if err != nil {
 		return false, err
 	}
@@ -318,6 +354,9 @@ func (a FNPRAnalysis) SchedulableEDF() (bool, error) {
 	// Check at every absolute deadline up to the horizon.
 	for _, tk := range inflated {
 		for d := tk.Deadline(); d <= horizon; d += tk.T {
+			if err := g.Tick(); err != nil {
+				return false, err
+			}
 			demand := npr.DemandBound(inflated, d)
 			var blocking float64
 			for j := range inflated {

@@ -1,10 +1,11 @@
 package sched
 
 import (
-	"fmt"
+	"errors"
 	"math"
 
 	"fnpr/internal/delay"
+	"fnpr/internal/guard"
 )
 
 // DelayMargin computes the system's criticality margin with respect to
@@ -17,11 +18,18 @@ import (
 // and blocking), so the margin is found by binary search to the given
 // precision.
 func (a FNPRAnalysis) DelayMargin(maxScale, precision float64) (float64, error) {
+	return a.DelayMarginCtx(nil, maxScale, precision)
+}
+
+// DelayMarginCtx is DelayMargin under a guard scope: each schedulability
+// probe runs guarded, and cancellation/budget errors abort the search
+// (divergence at a probe still just means "unschedulable at this scale").
+func (a FNPRAnalysis) DelayMarginCtx(g *guard.Ctx, maxScale, precision float64) (float64, error) {
 	if maxScale <= 0 || precision <= 0 || math.IsNaN(maxScale) || math.IsNaN(precision) {
-		return 0, fmt.Errorf("sched: invalid margin search parameters maxScale=%g precision=%g", maxScale, precision)
+		return 0, guard.Invalidf("sched: invalid margin search parameters maxScale=%g precision=%g", maxScale, precision)
 	}
 	if len(a.Delay) != len(a.Tasks) {
-		return 0, fmt.Errorf("sched: %d delay functions for %d tasks", len(a.Delay), len(a.Tasks))
+		return 0, guard.Invalidf("sched: %d delay functions for %d tasks", len(a.Delay), len(a.Tasks))
 	}
 	check := func(k float64) (bool, error) {
 		scaled := make([]delay.Function, len(a.Delay))
@@ -31,7 +39,7 @@ func (a FNPRAnalysis) DelayMargin(maxScale, precision float64) (float64, error) 
 			}
 			pw, ok := f.(*delay.Piecewise)
 			if !ok {
-				return false, fmt.Errorf("sched: margin search needs piecewise delay functions")
+				return false, guard.Invalidf("sched: margin search needs piecewise delay functions")
 			}
 			s, err := pw.Scale(k)
 			if err != nil {
@@ -40,8 +48,11 @@ func (a FNPRAnalysis) DelayMargin(maxScale, precision float64) (float64, error) 
 			scaled[i] = s
 		}
 		b := FNPRAnalysis{Tasks: a.Tasks, Delay: scaled, Method: a.Method}
-		rts, err := b.ResponseTimesFP()
+		rts, err := b.ResponseTimesFPCtx(g)
 		if err != nil {
+			if errors.Is(err, guard.ErrCanceled) || errors.Is(err, guard.ErrBudgetExceeded) {
+				return false, err
+			}
 			// Divergent delay bounds mean unschedulable at this
 			// scale, not a caller error.
 			return false, nil

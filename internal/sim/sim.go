@@ -20,12 +20,12 @@
 package sim
 
 import (
-	"errors"
 	"fmt"
 	"math"
 	"sort"
 
 	"fnpr/internal/delay"
+	"fnpr/internal/guard"
 	"fnpr/internal/task"
 )
 
@@ -245,46 +245,55 @@ const timeEps = 1e-9
 
 // Run executes the simulation.
 func Run(cfg Config) (*Result, error) {
+	return RunCtx(nil, cfg)
+}
+
+// RunCtx is Run under a guard scope: the event loop charges one guard step
+// per simulated event, so long horizons can be canceled, time-bounded and
+// budget-bounded. A nil guard means no limits.
+func RunCtx(g *guard.Ctx, cfg Config) (*Result, error) {
 	if err := cfg.Tasks.Validate(); err != nil {
 		return nil, err
 	}
 	if len(cfg.Tasks) == 0 {
-		return nil, errors.New("sim: empty task set")
+		return nil, guard.Invalidf("sim: empty task set")
 	}
 	if cfg.Horizon <= 0 || math.IsNaN(cfg.Horizon) || math.IsInf(cfg.Horizon, 0) {
-		return nil, fmt.Errorf("sim: invalid horizon %g", cfg.Horizon)
+		return nil, guard.Invalidf("sim: invalid horizon %g", cfg.Horizon)
 	}
 	if cfg.Delay != nil && len(cfg.Delay) != len(cfg.Tasks) {
-		return nil, fmt.Errorf("sim: %d delay functions for %d tasks", len(cfg.Delay), len(cfg.Tasks))
+		return nil, guard.Invalidf("sim: %d delay functions for %d tasks", len(cfg.Delay), len(cfg.Tasks))
 	}
 	frac := cfg.ExecTime
 	if frac == 0 {
 		frac = 1
 	}
-	if frac < 0 || frac > 1 {
-		return nil, fmt.Errorf("sim: ExecTime %g outside (0,1]", frac)
+	if frac < 0 || frac > 1 || math.IsNaN(frac) {
+		return nil, guard.Invalidf("sim: ExecTime %g outside (0,1]", frac)
 	}
 	if cfg.SwitchCost < 0 || math.IsNaN(cfg.SwitchCost) || math.IsInf(cfg.SwitchCost, 0) {
-		return nil, fmt.Errorf("sim: invalid switch cost %g", cfg.SwitchCost)
+		return nil, guard.Invalidf("sim: invalid switch cost %g", cfg.SwitchCost)
 	}
 	if cfg.Mode == FloatingNPR {
 		for i, tk := range cfg.Tasks {
 			if tk.Q <= 0 {
-				return nil, fmt.Errorf("sim: task %d (%s) has no NPR length Q in FloatingNPR mode", i, tk.Name)
+				return nil, guard.Invalidf("sim: task %d (%s) has no NPR length Q in FloatingNPR mode", i, tk.Name)
 			}
 		}
 	}
 	for i := range cfg.Tasks {
 		if cfg.Delay != nil && cfg.Delay[i] != nil {
 			if d := cfg.Delay[i].Domain(); math.Abs(d-cfg.Tasks[i].C) > 1e-9 {
-				return nil, fmt.Errorf("sim: task %d delay domain %g != C %g", i, d, cfg.Tasks[i].C)
+				return nil, guard.Invalidf("sim: task %d delay domain %g != C %g", i, d, cfg.Tasks[i].C)
 			}
 		}
 	}
 
 	s := &state{cfg: cfg, frac: frac}
 	s.buildReleases()
-	s.run()
+	if err := s.run(g); err != nil {
+		return nil, err
+	}
 	return s.result(), nil
 }
 
@@ -437,8 +446,11 @@ func (s *state) preemptRunning() {
 	s.nprArmed = false
 }
 
-func (s *state) run() {
+func (s *state) run(g *guard.Ctx) error {
 	for {
+		if err := g.Tick(); err != nil {
+			return err
+		}
 		// Next event time: release, completion, NPR expiry.
 		next := math.Inf(1)
 		if s.nextRel < len(s.releases) {
@@ -460,7 +472,7 @@ func (s *state) run() {
 				s.idle += s.cfg.Horizon - s.now
 			}
 			s.now = s.cfg.Horizon
-			return
+			return nil
 		}
 
 		// Advance time to the event.

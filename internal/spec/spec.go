@@ -178,12 +178,12 @@ func (d *Delay) build(c float64) (delay.Function, error) {
 		if d.Value < 0 {
 			return nil, fmt.Errorf("negative constant delay %g", d.Value)
 		}
-		return delay.Constant(d.Value, c), nil
+		return delay.NewPiecewise([]float64{0, c}, []float64{d.Value})
 	case "frontloaded":
 		if d.Peak < 0 || d.Tail < 0 {
 			return nil, fmt.Errorf("negative frontloaded parameters")
 		}
-		return delay.FrontLoaded(d.Peak, d.Tail, c), nil
+		return delay.NewFrontLoaded(d.Peak, d.Tail, c)
 	case "piecewise":
 		if len(d.Breakpoints) == 0 {
 			return nil, errors.New("piecewise delay needs breakpoints")

@@ -12,11 +12,12 @@
 package task
 
 import (
-	"errors"
 	"fmt"
 	"math"
 	"sort"
 	"strings"
+
+	"fnpr/internal/guard"
 )
 
 // Task is one sporadic task. All time quantities share a single (arbitrary)
@@ -88,25 +89,28 @@ func (t Task) Density() float64 {
 	return t.C / d
 }
 
-// Validate reports whether the task parameters are internally consistent.
+// Validate reports whether the task parameters are internally consistent:
+// every time quantity must be finite and non-NaN, C and T positive, D, Q,
+// Jitter and BCET non-negative, BCET <= C and C within the deadline. All
+// failures wrap guard.ErrInvalidInput.
 func (t Task) Validate() error {
 	switch {
 	case t.Name == "":
-		return errors.New("task: empty name")
+		return guard.Invalidf("task: empty name")
 	case t.C <= 0 || math.IsNaN(t.C) || math.IsInf(t.C, 0):
-		return fmt.Errorf("task %s: C must be positive and finite, got %v", t.Name, t.C)
+		return guard.Invalidf("task %s: C must be positive and finite, got %v", t.Name, t.C)
 	case t.T <= 0 || math.IsNaN(t.T) || math.IsInf(t.T, 0):
-		return fmt.Errorf("task %s: T must be positive and finite, got %v", t.Name, t.T)
-	case t.D < 0 || math.IsNaN(t.D):
-		return fmt.Errorf("task %s: D must be non-negative, got %v", t.Name, t.D)
-	case t.Q < 0 || math.IsNaN(t.Q):
-		return fmt.Errorf("task %s: Q must be non-negative, got %v", t.Name, t.Q)
-	case t.Jitter < 0 || math.IsNaN(t.Jitter):
-		return fmt.Errorf("task %s: jitter must be non-negative, got %v", t.Name, t.Jitter)
-	case t.BCET < 0 || t.BCET > t.C:
-		return fmt.Errorf("task %s: BCET must lie in [0, C], got %v", t.Name, t.BCET)
+		return guard.Invalidf("task %s: T must be positive and finite, got %v", t.Name, t.T)
+	case t.D < 0 || math.IsNaN(t.D) || math.IsInf(t.D, 0):
+		return guard.Invalidf("task %s: D must be non-negative and finite, got %v", t.Name, t.D)
+	case t.Q < 0 || math.IsNaN(t.Q) || math.IsInf(t.Q, 0):
+		return guard.Invalidf("task %s: Q must be non-negative and finite, got %v", t.Name, t.Q)
+	case t.Jitter < 0 || math.IsNaN(t.Jitter) || math.IsInf(t.Jitter, 0):
+		return guard.Invalidf("task %s: jitter must be non-negative and finite, got %v", t.Name, t.Jitter)
+	case t.BCET < 0 || math.IsNaN(t.BCET) || !(t.BCET <= t.C):
+		return guard.Invalidf("task %s: BCET must lie in [0, C], got %v", t.Name, t.BCET)
 	case t.C > t.Deadline():
-		return fmt.Errorf("task %s: C (%v) exceeds deadline (%v)", t.Name, t.C, t.Deadline())
+		return guard.Invalidf("task %s: C (%v) exceeds deadline (%v)", t.Name, t.C, t.Deadline())
 	}
 	return nil
 }
@@ -129,7 +133,7 @@ func (s Set) Validate() error {
 			return err
 		}
 		if _, dup := seen[t.Name]; dup {
-			return fmt.Errorf("task set: duplicate task name %q", t.Name)
+			return guard.Invalidf("task set: duplicate task name %q", t.Name)
 		}
 		seen[t.Name] = struct{}{}
 	}
@@ -282,11 +286,11 @@ func (s Set) String() string {
 // Q are unchanged; BCETs scale with C to stay consistent.
 func (s Set) ScaleUtilization(target float64) (Set, error) {
 	u := s.Utilization()
-	if u <= 0 || math.IsInf(u, 0) {
-		return nil, fmt.Errorf("task: cannot scale utilization %g", u)
+	if u <= 0 || math.IsNaN(u) || math.IsInf(u, 0) {
+		return nil, guard.Invalidf("task: cannot scale utilization %g", u)
 	}
 	if target <= 0 || math.IsNaN(target) || math.IsInf(target, 0) {
-		return nil, fmt.Errorf("task: invalid target utilization %g", target)
+		return nil, guard.Invalidf("task: invalid target utilization %g", target)
 	}
 	k := target / u
 	out := s.Clone()

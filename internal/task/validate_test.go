@@ -1,0 +1,75 @@
+package task
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"fnpr/internal/guard"
+)
+
+// TestValidateRejectsNonFinite checks, field by field, that NaN and infinite
+// parameters never pass validation and that every rejection wraps
+// guard.ErrInvalidInput so callers can classify it.
+func TestValidateRejectsNonFinite(t *testing.T) {
+	valid := Task{Name: "t", C: 5, T: 100, D: 50, Q: 3, Jitter: 1, BCET: 2}
+	if err := valid.Validate(); err != nil {
+		t.Fatalf("baseline task rejected: %v", err)
+	}
+	nan, inf := math.NaN(), math.Inf(1)
+	cases := []struct {
+		name   string
+		mutate func(*Task)
+	}{
+		{"C-nan", func(tk *Task) { tk.C = nan }},
+		{"C-inf", func(tk *Task) { tk.C = inf }},
+		{"C-neg-inf", func(tk *Task) { tk.C = -inf }},
+		{"C-zero", func(tk *Task) { tk.C = 0 }},
+		{"T-nan", func(tk *Task) { tk.T = nan }},
+		{"T-inf", func(tk *Task) { tk.T = inf }},
+		{"T-neg-inf", func(tk *Task) { tk.T = -inf }},
+		{"D-nan", func(tk *Task) { tk.D = nan }},
+		{"D-inf", func(tk *Task) { tk.D = inf }},
+		{"D-neg-inf", func(tk *Task) { tk.D = -inf }},
+		{"Q-nan", func(tk *Task) { tk.Q = nan }},
+		{"Q-inf", func(tk *Task) { tk.Q = inf }},
+		{"Q-neg-inf", func(tk *Task) { tk.Q = -inf }},
+		{"Jitter-nan", func(tk *Task) { tk.Jitter = nan }},
+		{"Jitter-inf", func(tk *Task) { tk.Jitter = inf }},
+		{"Jitter-neg-inf", func(tk *Task) { tk.Jitter = -inf }},
+		{"BCET-nan", func(tk *Task) { tk.BCET = nan }},
+		{"BCET-inf", func(tk *Task) { tk.BCET = inf }},
+		{"BCET-neg-inf", func(tk *Task) { tk.BCET = -inf }},
+		{"BCET-above-C", func(tk *Task) { tk.BCET = tk.C + 1 }},
+		{"empty-name", func(tk *Task) { tk.Name = "" }},
+		{"C-above-deadline", func(tk *Task) { tk.D = tk.C / 2 }},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			tk := valid
+			c.mutate(&tk)
+			err := tk.Validate()
+			if err == nil {
+				t.Fatalf("Validate accepted %+v", tk)
+			}
+			if !errors.Is(err, guard.ErrInvalidInput) {
+				t.Fatalf("error %v does not wrap guard.ErrInvalidInput", err)
+			}
+		})
+	}
+}
+
+func TestSetValidateDuplicateName(t *testing.T) {
+	s := Set{
+		{Name: "same", C: 1, T: 10},
+		{Name: "same", C: 2, T: 20},
+	}
+	err := s.Validate()
+	if err == nil {
+		t.Fatal("duplicate names accepted")
+	}
+	if !errors.Is(err, guard.ErrInvalidInput) {
+		t.Fatalf("error %v does not wrap guard.ErrInvalidInput", err)
+	}
+}

@@ -23,6 +23,11 @@ type Table struct {
 	YLabel string
 	X      []float64
 	Series []Series
+	// Notes carries per-table annotations (e.g. grid points whose value
+	// was computed by a degraded fallback analysis). They are emitted as
+	// "# ..." comment lines by WriteCSV and after the legend by ASCII, so
+	// degraded data is never presented silently.
+	Notes []string
 }
 
 // Validate checks shape consistency.
@@ -43,6 +48,11 @@ func (t *Table) Validate() error {
 func (t *Table) WriteCSV(w io.Writer) error {
 	if err := t.Validate(); err != nil {
 		return err
+	}
+	for _, n := range t.Notes {
+		if _, err := fmt.Fprintf(w, "# %s\n", n); err != nil {
+			return err
+		}
 	}
 	cols := []string{t.XLabel}
 	for _, s := range t.Series {
@@ -161,6 +171,9 @@ func (t *Table) ASCII(opt ASCIIOptions) (string, error) {
 	fmt.Fprintf(&b, "%10s  %-10.4g%*s%10.4g\n", t.XLabel, xmin, w-20, "", xmax)
 	for si, s := range t.Series {
 		fmt.Fprintf(&b, "   %c = %s\n", byte('a'+si%26), s.Name)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "   note: %s\n", n)
 	}
 	return b.String(), nil
 }
