@@ -113,6 +113,10 @@ func TestExitCodeContract(t *testing.T) {
 		{"usage-missing-spec", "schedtest", []string{}, 2, "missing -spec"},
 		{"timeout", "figures", []string{"-fig", "5", "-ascii=false", "-timeout", "1ns"}, 3, "canceled"},
 		{"budget", "fnprdelay", []string{"-f", "gaussian2", "-q", "15", "-max-iter", "2"}, 3, "budget"},
+		{"budget-sweep-partial", "figures", []string{"-fig", "5", "-ascii=false", "-max-iter", "2000"}, 3, "sweep aborted after"},
+		{"usage-resume-without-journal", "figures", []string{"-fig", "5", "-resume"}, 2, "-resume requires -journal"},
+		{"usage-journal-wrong-fig", "figures", []string{"-fig", "4", "-journal", filepath.Join(tmp, "j.log")}, 2, "-journal supports -fig 5"},
+		{"usage-journal-wrong-scenario", "simulate", []string{"-scenario", "basic", "-journal", filepath.Join(tmp, "j.log")}, 2, "-journal supports -scenario bounds"},
 	}
 	for _, c := range cases {
 		c := c
@@ -137,4 +141,117 @@ func TestExitCodeContract(t *testing.T) {
 			}
 		})
 	}
+}
+
+// TestJournalResumeByteIdentical is the end-to-end crash-safety contract: a
+// sweep killed mid-flight by a step budget, then resumed from its checkpoint
+// journal, produces output byte-identical to an uninterrupted run. Covered
+// for both journaled commands — figures -fig 5 (CSV output) and simulate
+// -scenario bounds (per-trial stdout rows). Skipped with -short.
+func TestJournalResumeByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end CLI runs skipped in -short mode")
+	}
+	tmp := t.TempDir()
+	bins := map[string]string{}
+	for _, name := range []string{"figures", "simulate"} {
+		bin := filepath.Join(tmp, name)
+		out, err := exec.Command("go", "build", "-o", bin, "./cmd/"+name).CombinedOutput()
+		if err != nil {
+			t.Fatalf("building %s: %v\n%s", name, err, out)
+		}
+		bins[name] = bin
+	}
+
+	// run executes the binary, returning stdout and the exit code.
+	run := func(t *testing.T, bin string, args ...string) (string, int) {
+		t.Helper()
+		cmd := exec.Command(bin, args...)
+		var stdout, stderr strings.Builder
+		cmd.Stdout = &stdout
+		cmd.Stderr = &stderr
+		err := cmd.Run()
+		code := 0
+		if ee, ok := err.(*exec.ExitError); ok {
+			code = ee.ExitCode()
+		} else if err != nil {
+			t.Fatalf("running %s %v: %v", bin, args, err)
+		}
+		t.Logf("%s %v: exit %d, stderr: %s", filepath.Base(bin), args, code, stderr.String())
+		return stdout.String(), code
+	}
+
+	t.Run("figures-fig5", func(t *testing.T) {
+		t.Parallel()
+		dir := t.TempDir()
+		journal := filepath.Join(dir, "fig5.journal")
+		fullCSV := filepath.Join(dir, "full.csv")
+		partCSV := filepath.Join(dir, "part.csv")
+		resumedCSV := filepath.Join(dir, "resumed.csv")
+
+		// Uninterrupted reference run.
+		if _, code := run(t, bins["figures"], "-fig", "5", "-ascii=false", "-out", fullCSV); code != 0 {
+			t.Fatalf("reference run: exit %d, want 0", code)
+		}
+		// Journaled run killed mid-sweep by the step budget (the 75-point
+		// sweep needs ~17k steps, so 5000 aborts partway with exit 3).
+		if _, code := run(t, bins["figures"], "-fig", "5", "-ascii=false",
+			"-journal", journal, "-max-iter", "5000", "-out", partCSV); code != 3 {
+			t.Fatalf("aborted run: exit %d, want 3", code)
+		}
+		jb, err := os.ReadFile(journal)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(string(jb), "point:") {
+			t.Fatalf("aborted run checkpointed no grid points:\n%s", jb)
+		}
+		// Resume must finish the sweep and reproduce the reference bytes.
+		if _, code := run(t, bins["figures"], "-fig", "5", "-ascii=false",
+			"-journal", journal, "-resume", "-out", resumedCSV); code != 0 {
+			t.Fatalf("resumed run: exit %d, want 0", code)
+		}
+		full, err := os.ReadFile(fullCSV)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resumed, err := os.ReadFile(resumedCSV)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(full) != string(resumed) {
+			t.Fatalf("resumed CSV differs from uninterrupted run\nfull:\n%s\nresumed:\n%s", full, resumed)
+		}
+	})
+
+	t.Run("simulate-bounds", func(t *testing.T) {
+		t.Parallel()
+		dir := t.TempDir()
+		journal := filepath.Join(dir, "bounds.journal")
+
+		full, code := run(t, bins["simulate"], "-scenario", "bounds")
+		if code != 0 {
+			t.Fatalf("reference run: exit %d, want 0", code)
+		}
+		// The five trials need ~1.5k steps; 500 aborts after a couple.
+		if _, code := run(t, bins["simulate"], "-scenario", "bounds",
+			"-journal", journal, "-max-iter", "500"); code != 3 {
+			t.Fatalf("aborted run: exit %d, want 3", code)
+		}
+		jb, err := os.ReadFile(journal)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(string(jb), "trial:") {
+			t.Fatalf("aborted run checkpointed no trials:\n%s", jb)
+		}
+		resumed, code := run(t, bins["simulate"], "-scenario", "bounds",
+			"-journal", journal, "-resume")
+		if code != 0 {
+			t.Fatalf("resumed run: exit %d, want 0", code)
+		}
+		if full != resumed {
+			t.Fatalf("resumed output differs from uninterrupted run\nfull:\n%s\nresumed:\n%s", full, resumed)
+		}
+	})
 }

@@ -38,13 +38,16 @@ func main() {
 		ascii  = flag.Bool("ascii", true, "also render an ASCII chart (figures 4 and 5)")
 		svg    = flag.String("svg", "", "also write an SVG chart to this file (figures 4, 5, acceptance, preemptions)")
 	)
-	limits := cli.Flags()
+	limits := cli.Flags().SweepFlags()
 	flag.Parse()
 	g := limits.Guard()
 
 	p, err := pickParams(*params)
 	if err != nil {
 		fatal(err)
+	}
+	if limits.Journal != "" && *fig != "5" {
+		fatal(cli.Usagef("-journal supports -fig 5 only (got -fig %s)", *fig))
 	}
 
 	switch *fig {
@@ -75,7 +78,26 @@ func main() {
 			fatal(err)
 		}
 	case "5":
-		tb, err := eval.Figure5(g, p, nil)
+		// The Figure 5 sweep runs under the crash-safe batch runtime:
+		// transient per-point failures are retried with backoff before
+		// degrading, and with -journal every completed grid point is
+		// checkpointed so an aborted run (crash, Ctrl-C, budget) can
+		// continue with -resume, byte-identical to an uninterrupted run.
+		j, resume, err := limits.OpenJournal()
+		if err != nil {
+			fatal(err)
+		}
+		cli.Checkpoint(g, j)
+		tb, err := eval.Figure5Opts(g, p, nil, eval.SweepOptions{
+			Retry:   eval.DefaultSweepRetry(limits.Seed),
+			Journal: j,
+			Resume:  resume,
+		})
+		if j != nil {
+			if cerr := j.Close(); cerr != nil && err == nil {
+				err = cerr
+			}
+		}
 		if err != nil {
 			fatal(err)
 		}
@@ -84,6 +106,7 @@ func main() {
 		}
 	case "acceptance":
 		ap := eval.DefaultAcceptanceParams()
+		ap.Seed = limits.Seed
 		tb, err := eval.Acceptance(g, ap)
 		if err != nil {
 			fatal(err)

@@ -1,0 +1,184 @@
+package chaos
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"fnpr/internal/core"
+	"fnpr/internal/delay"
+	"fnpr/internal/guard"
+)
+
+func base(t *testing.T) *delay.Piecewise {
+	t.Helper()
+	f, err := delay.NewPiecewise([]float64{0, 5, 10, 40}, []float64{2, 6, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// TestPanicAtQTargetsOneGridPoint: the fault fires for the targeted Q on
+// every attempt and leaves other grid points untouched.
+func TestPanicAtQTargetsOneGridPoint(t *testing.T) {
+	in := NewInjector(1)
+	f := in.Wrap(base(t), Fault{PanicAtQ: 20})
+	for _, q := range []float64{15, 25} {
+		if _, err := core.UpperBound(f, q); err != nil {
+			t.Fatalf("untargeted Q=%g failed: %v", q, err)
+		}
+	}
+	for attempt := 1; attempt <= 2; attempt++ {
+		_, err := guard.Run(nil, "probe", func() (float64, error) {
+			return core.UpperBound(f, 20)
+		})
+		if !errors.Is(err, guard.ErrPanic) || !strings.Contains(err.Error(), "chaos: injected panic at Q=20") {
+			t.Fatalf("attempt %d at targeted Q: err = %v, want injected chaos panic", attempt, err)
+		}
+	}
+	if in.Fired() != 2 {
+		t.Fatalf("injector fired %d faults, want 2", in.Fired())
+	}
+}
+
+// TestHealMakesFaultTransient: with Heal=2 the first two attempts panic and
+// the third succeeds with the clean value.
+func TestHealMakesFaultTransient(t *testing.T) {
+	clean, err := core.UpperBound(base(t), 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := NewInjector(1)
+	f := in.Wrap(base(t), Fault{PanicAtQ: 20, Heal: 2})
+	for attempt := 0; attempt < 2; attempt++ {
+		if _, err := guard.Run(nil, "probe", func() (float64, error) {
+			return core.UpperBound(f, 20)
+		}); !errors.Is(err, guard.ErrPanic) {
+			t.Fatalf("attempt %d: err = %v, want panic", attempt, err)
+		}
+	}
+	v, err := core.UpperBound(f, 20)
+	if err != nil {
+		t.Fatalf("healed attempt failed: %v", err)
+	}
+	if v != clean {
+		t.Fatalf("healed value %g differs from clean %g", v, clean)
+	}
+	if in.Fired() != 2 {
+		t.Fatalf("fired %d, want exactly the 2 pre-heal panics", in.Fired())
+	}
+}
+
+// TestPanicFallbackHitsOnlyEq4: the full-domain MaxOn query panics while the
+// Algorithm 1 walk (windows starting at Q > 0) runs clean.
+func TestPanicFallbackHitsOnlyEq4(t *testing.T) {
+	in := NewInjector(1)
+	f := in.Wrap(base(t), Fault{PanicFallback: true})
+	if _, err := core.UpperBound(f, 20); err != nil {
+		t.Fatalf("Algorithm 1 walk hit the fallback fault: %v", err)
+	}
+	_, err := guard.Run(nil, "fallback", func() (float64, error) {
+		return core.StateOfTheArt(f, 20)
+	})
+	if !errors.Is(err, guard.ErrPanic) || !strings.Contains(err.Error(), "Eq.4 fallback") {
+		t.Fatalf("fallback err = %v, want injected fallback panic", err)
+	}
+}
+
+// TestBurnExhaustsSharedBudget: per-query step burn trips the guard budget
+// inside the analysis.
+func TestBurnExhaustsSharedBudget(t *testing.T) {
+	g := guard.New(context.Background()).WithBudget(50)
+	in := NewInjector(1)
+	f := in.Wrap(base(t), Fault{Burn: 40, Guard: g})
+	_, err := core.UpperBoundCtx(g, f, 20)
+	if !errors.Is(err, guard.ErrBudgetExceeded) {
+		t.Fatalf("burned analysis: err = %v, want ErrBudgetExceeded", err)
+	}
+}
+
+// TestCancelAfterQueries: delayed cancellation lands mid-analysis.
+func TestCancelAfterQueries(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	g := guard.New(ctx)
+	in := NewInjector(1)
+	f := in.Wrap(base(t), Fault{CancelAfter: 2, Cancel: cancel})
+	// A couple of grid points: the first queries pass, then the cancel
+	// fires and a later poll observes it.
+	var lastErr error
+	for _, q := range []float64{15, 20, 25, 30} {
+		if _, err := core.UpperBoundCtx(g, f, q); err != nil {
+			lastErr = err
+			break
+		}
+	}
+	if !errors.Is(lastErr, guard.ErrCanceled) {
+		t.Fatalf("delayed cancel: err = %v, want ErrCanceled", lastErr)
+	}
+	if in.Fired() != 1 {
+		t.Fatalf("fired %d, want 1 (the cancel)", in.Fired())
+	}
+}
+
+// TestRandomPanicSeededReproducibly: the same seed injects at the same query
+// under a fixed query order.
+func TestRandomPanicSeededReproducibly(t *testing.T) {
+	run := func(seed int64) []bool {
+		in := NewInjector(seed)
+		f := in.Wrap(base(t), Fault{PanicProb: 0.3})
+		var fired []bool
+		for i := 0; i < 40; i++ {
+			_, err := guard.Run(nil, "probe", func() (float64, error) {
+				return f.Eval(float64(i)), nil
+			})
+			fired = append(fired, errors.Is(err, guard.ErrPanic))
+		}
+		return fired
+	}
+	a, b := run(7), run(7)
+	any := false
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at query %d", i)
+		}
+		any = any || a[i]
+	}
+	if !any {
+		t.Fatal("probability 0.3 over 40 queries never fired")
+	}
+	c := run(8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical fault sequences")
+	}
+}
+
+// TestZeroFaultIsTransparent: a zero Fault wrapper changes nothing but
+// counts queries.
+func TestZeroFaultIsTransparent(t *testing.T) {
+	in := NewInjector(1)
+	f := in.Wrap(base(t), Fault{})
+	clean, err := core.UpperBound(base(t), 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := core.UpperBound(f, 20)
+	if err != nil || got != clean {
+		t.Fatalf("wrapped bound (%g, %v), want (%g, nil)", got, err, clean)
+	}
+	if f.Queries() == 0 {
+		t.Fatal("query counter did not advance")
+	}
+	if in.Fired() != 0 {
+		t.Fatalf("zero fault fired %d times", in.Fired())
+	}
+}

@@ -1,6 +1,7 @@
 // Package cli holds the plumbing shared by every command-line tool: the
 // -timeout / -max-iter resource-limit flags that build a guard scope, the
-// usage-error sentinel, and the exit-code contract
+// batch-runtime flags (-journal / -resume / -seed) of the sweep-running
+// tools, the usage-error sentinel, and the exit-code contract
 //
 //	0  success
 //	1  analysis error (divergent bound, invariant violation, I/O failure, ...)
@@ -9,17 +10,26 @@
 //
 // so scripts can distinguish "the analysis says no" from "you asked wrong"
 // from "it did not finish in the allotted resources".
+//
+// Journaled runs are crash-safe end to end: the guard scope observes SIGINT
+// and SIGTERM (a Ctrl-C aborts with exit code 3 instead of killing the
+// process mid-write), completed work is checkpointed as it finishes, and the
+// same command re-run with -resume picks up where the journal left off.
 package cli
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"fnpr/internal/guard"
+	"fnpr/internal/journal"
 )
 
 // Exit codes of the contract above.
@@ -39,28 +49,53 @@ func Usagef(format string, args ...any) error {
 	return fmt.Errorf("%w: %s", ErrUsage, fmt.Sprintf(format, args...))
 }
 
-// Limits receives the shared resource-limit flags.
+// Limits receives the shared resource-limit and batch-runtime flags.
 type Limits struct {
 	Timeout time.Duration
 	MaxIter int64
+
+	// Journal, Resume and Seed are registered only by SweepFlags — the
+	// batch-runtime surface of the sweep-running tools.
+	Journal string
+	Resume  bool
+	Seed    int64
 }
 
 // Flags registers -timeout and -max-iter on the default flag set and returns
 // the destination. Call before flag.Parse.
 func Flags() *Limits {
-	l := &Limits{}
+	l := &Limits{Seed: 1}
 	flag.DurationVar(&l.Timeout, "timeout", 0, "abort the analysis after this wall-clock time (e.g. 30s; 0 = no limit)")
 	flag.Int64Var(&l.MaxIter, "max-iter", 0, "abort after this many analysis steps across all loops (0 = no limit)")
 	return l
 }
 
+// SweepFlags additionally registers the batch-runtime flags — -journal,
+// -resume and -seed — used by the commands that run long sweeps. Call
+// between Flags and flag.Parse; it returns l for chaining.
+func (l *Limits) SweepFlags() *Limits {
+	flag.StringVar(&l.Journal, "journal", "", "checkpoint journal file: completed grid points are appended so an aborted run can continue with -resume")
+	flag.BoolVar(&l.Resume, "resume", false, "resume from the -journal file, restoring the grid points it already holds")
+	flag.Int64Var(&l.Seed, "seed", 1, "random seed for synthetic task-set generation and retry jitter")
+	return l
+}
+
 // Guard builds the guard scope the flags describe: nil (no limits, zero
-// bookkeeping) when neither flag was set.
+// bookkeeping) when neither resource flag nor a journal was given. Journaled
+// runs always get a scope, and theirs observes SIGINT/SIGTERM, so an
+// interrupted sweep aborts through the normal cancellation path — partial
+// results checkpointed, exit code 3 — instead of dying mid-write.
 func (l *Limits) Guard() *guard.Ctx {
-	if l == nil || (l.Timeout <= 0 && l.MaxIter <= 0) {
+	if l == nil || (l.Timeout <= 0 && l.MaxIter <= 0 && l.Journal == "") {
 		return nil
 	}
-	g := guard.New(context.Background())
+	ctx := context.Background()
+	if l.Journal != "" {
+		// The stop function is deliberately dropped: the notification
+		// must stay installed for the whole process lifetime.
+		ctx, _ = signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
+	}
+	g := guard.New(ctx)
 	if l.Timeout > 0 {
 		g = g.WithTimeout(l.Timeout)
 	}
@@ -68,6 +103,44 @@ func (l *Limits) Guard() *guard.Ctx {
 		g = g.WithBudget(l.MaxIter)
 	}
 	return g
+}
+
+// OpenJournal opens the checkpoint journal the flags describe and returns it
+// together with the resume view (nil unless -resume). Without -journal it
+// returns all nils; -resume without -journal is a usage error. A fresh (non
+// -resume) run removes any stale journal first, so the file always describes
+// exactly one sweep.
+func (l *Limits) OpenJournal() (*journal.Journal, map[string]json.RawMessage, error) {
+	if l.Journal == "" {
+		if l.Resume {
+			return nil, nil, Usagef("-resume requires -journal")
+		}
+		return nil, nil, nil
+	}
+	if !l.Resume {
+		if err := os.Remove(l.Journal); err != nil && !errors.Is(err, os.ErrNotExist) {
+			return nil, nil, fmt.Errorf("removing stale journal: %w", err)
+		}
+	}
+	j, recs, err := journal.Open(l.Journal)
+	if err != nil {
+		return nil, nil, err
+	}
+	if l.Resume {
+		return j, journal.Latest(recs), nil
+	}
+	return j, nil, nil
+}
+
+// Checkpoint wires the journal's periodic durability sync into the guard
+// scope: the analysis loops invoke it through guard's amortised poll,
+// bounding how much checkpointed work a power loss can lose. A nil scope or
+// journal is a no-op.
+func Checkpoint(g *guard.Ctx, j *journal.Journal) {
+	if g == nil || j == nil {
+		return
+	}
+	g.WithCheckpoint(func(int64) { j.Sync() })
 }
 
 // Code maps an error to the exit-code contract.

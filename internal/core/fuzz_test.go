@@ -74,9 +74,15 @@ func FuzzAlgorithm1Soundness(f *testing.F) {
 		if err != nil {
 			t.Fatal(err)
 		}
+		if bound < 0 || math.IsNaN(bound) || math.IsInf(bound, 0) {
+			t.Fatalf("bound not a finite non-negative value: %v (Q=%g, f=%v)", bound, qq, fn)
+		}
 		soa, err := StateOfTheArt(fn, qq)
 		if err != nil {
 			t.Fatal(err)
+		}
+		if soa < 0 || math.IsNaN(soa) || math.IsInf(soa, 0) {
+			t.Fatalf("soa bound not a finite non-negative value: %v (Q=%g, f=%v)", soa, qq, fn)
 		}
 		if bound > soa+1e-6 {
 			t.Fatalf("dominance violated: alg1 %g > soa %g (Q=%g, f=%v)", bound, soa, qq, fn)

@@ -68,6 +68,16 @@ func DefaultQGrid() []float64 {
 // emit the common max-10 line as "State of the Art" and the max-14 variant
 // separately (indistinguishable at log scale).
 func Figure5(g *guard.Ctx, params delay.BenchmarkParams, qs []float64) (*textplot.Table, error) {
+	return Figure5Opts(g, params, qs, SweepOptions{})
+}
+
+// Figure5Opts is Figure5 under the crash-safe batch runtime: the options
+// attach a per-point retry policy, a checkpoint journal and a resume view
+// (see SweepOptions). On abort the error is a *PartialError — the completed
+// grid points are already checkpointed when a journal is attached, so the
+// same call with the journal's resume view continues where this one stopped
+// and produces output byte-identical to an uninterrupted run.
+func Figure5Opts(g *guard.Ctx, params delay.BenchmarkParams, qs []float64, opts SweepOptions) (*textplot.Table, error) {
 	if len(qs) == 0 {
 		qs = DefaultQGrid()
 	}
@@ -76,7 +86,7 @@ func Figure5(g *guard.Ctx, params delay.BenchmarkParams, qs []float64) (*textplo
 	for _, name := range delay.BenchmarkOrder() {
 		specs = append(specs, SweepSpec{Name: name, F: fns[name]})
 	}
-	results, err := QSweep(g, specs, qs, 0)
+	results, err := QSweepOpts(g, specs, qs, opts)
 	if err != nil {
 		return nil, err
 	}

@@ -1,15 +1,20 @@
 package eval
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 	"math"
+	"math/rand"
 	"runtime"
 	"sync"
+	"time"
 
 	"fnpr/internal/core"
 	"fnpr/internal/delay"
 	"fnpr/internal/guard"
+	"fnpr/internal/journal"
+	"fnpr/internal/retry"
 )
 
 // SweepSpec names one curve of a Q sweep: a preemption delay function whose
@@ -19,16 +24,101 @@ type SweepSpec struct {
 	F    delay.Function
 }
 
-// SweepPoint is one (Q, bound) sample. When the primary analysis fails on
-// this point only (a panic inside the delay function, a per-point budget trip
-// inside the oracle, a genuine divergence error), the point degrades to the
-// Equation 4 state-of-the-art bound and is flagged — never silently. When
-// even the fallback fails, Value is NaN.
+// SweepPoint is one (Q, bound) sample, together with the full story of how it
+// was obtained — the degradation ladder every grid point walks down:
+//
+//  1. the primary Algorithm 1 analysis, retried per the sweep's backoff
+//     policy on transient failures (panics, per-point budget trips);
+//  2. the Equation 4 state-of-the-art fallback when the retries are
+//     exhausted (Degraded is set, Code records the primary failure class);
+//  3. quarantine when even the fallback fails (Quarantined is set, Value is
+//     NaN, Code records both failure classes).
+//
+// Nothing degrades silently: Code is the machine-readable reason ("panic",
+// "budget", "diverged", ... — see ReasonCode) and Reason the full error text.
 type SweepPoint struct {
 	Q        float64
 	Value    float64
 	Degraded bool
-	Reason   string
+	// Quarantined marks a point where both the primary analysis and the
+	// Equation 4 fallback failed; Value is NaN.
+	Quarantined bool
+	// Code is the machine-readable failure classification: empty for a
+	// clean point, "degraded:<class>" or "quarantined:<class>+<class>".
+	Code string
+	// Reason is the human-readable error chain behind Code.
+	Reason string
+	// Attempts counts the primary-analysis attempts spent on this point.
+	Attempts int
+	// Done marks the point as completed (cleanly, degraded or
+	// quarantined). Points of an aborted sweep that were never reached
+	// have Done == false.
+	Done bool
+}
+
+// sweepPointJSON is the journal encoding of a SweepPoint. Value is stored as
+// a JSON number for finite values and as the strings "NaN" / "+Inf" / "-Inf"
+// otherwise (encoding/json rejects non-finite floats). Finite numbers use
+// encoding/json's shortest-roundtrip form, so a replayed value is bit-exact.
+type sweepPointJSON struct {
+	Q           float64         `json:"q"`
+	Value       json.RawMessage `json:"value"`
+	Degraded    bool            `json:"degraded,omitempty"`
+	Quarantined bool            `json:"quarantined,omitempty"`
+	Code        string          `json:"code,omitempty"`
+	Reason      string          `json:"reason,omitempty"`
+	Attempts    int             `json:"attempts,omitempty"`
+	Done        bool            `json:"done,omitempty"`
+}
+
+// MarshalJSON implements json.Marshaler (see sweepPointJSON).
+func (p SweepPoint) MarshalJSON() ([]byte, error) {
+	var value json.RawMessage
+	switch {
+	case math.IsNaN(p.Value):
+		value = json.RawMessage(`"NaN"`)
+	case math.IsInf(p.Value, 1):
+		value = json.RawMessage(`"+Inf"`)
+	case math.IsInf(p.Value, -1):
+		value = json.RawMessage(`"-Inf"`)
+	default:
+		v, err := json.Marshal(p.Value)
+		if err != nil {
+			return nil, err
+		}
+		value = v
+	}
+	return json.Marshal(sweepPointJSON{
+		Q: p.Q, Value: value, Degraded: p.Degraded, Quarantined: p.Quarantined,
+		Code: p.Code, Reason: p.Reason, Attempts: p.Attempts, Done: p.Done,
+	})
+}
+
+// UnmarshalJSON implements json.Unmarshaler (see sweepPointJSON).
+func (p *SweepPoint) UnmarshalJSON(data []byte) error {
+	var enc sweepPointJSON
+	if err := json.Unmarshal(data, &enc); err != nil {
+		return err
+	}
+	*p = SweepPoint{
+		Q: enc.Q, Degraded: enc.Degraded, Quarantined: enc.Quarantined,
+		Code: enc.Code, Reason: enc.Reason, Attempts: enc.Attempts, Done: enc.Done,
+	}
+	var s string
+	if err := json.Unmarshal(enc.Value, &s); err == nil {
+		switch s {
+		case "NaN":
+			p.Value = math.NaN()
+		case "+Inf":
+			p.Value = math.Inf(1)
+		case "-Inf":
+			p.Value = math.Inf(-1)
+		default:
+			return fmt.Errorf("eval: unknown sweep point value %q", s)
+		}
+		return nil
+	}
+	return json.Unmarshal(enc.Value, &p.Value)
 }
 
 // SweepResult is one curve of the sweep.
@@ -37,32 +127,159 @@ type SweepResult struct {
 	Points []SweepPoint // indexed like the input Q grid
 }
 
+// PartialError wraps the abort cause of a sweep that completed some grid
+// points before stopping (cancellation, budget exhaustion). The completed
+// points are NOT discarded: QSweep returns them alongside this error, and
+// when a journal is attached they are already checkpointed on disk. Callers
+// classify the cause with errors.Is (it wraps a guard sentinel) and recover
+// the partial table with errors.As.
+type PartialError struct {
+	// Results holds every curve with the points completed so far
+	// (Done marks them); incomplete points carry only their Q.
+	Results []SweepResult
+	// Completed and Total count grid points across all curves.
+	Completed, Total int
+	// Err is the abort cause.
+	Err error
+}
+
+// Error implements error.
+func (e *PartialError) Error() string {
+	return fmt.Sprintf("sweep aborted after %d/%d grid points: %v", e.Completed, e.Total, e.Err)
+}
+
+// Unwrap exposes the abort cause for errors.Is classification.
+func (e *PartialError) Unwrap() error { return e.Err }
+
+// ReasonCode maps an analysis error to its machine-readable class, the
+// vocabulary of SweepPoint.Code and of the quarantine notes: "canceled",
+// "budget", "diverged", "invalid", "panic" or "error".
+func ReasonCode(err error) string {
+	switch {
+	case err == nil:
+		return ""
+	case errors.Is(err, guard.ErrCanceled):
+		return "canceled"
+	case errors.Is(err, guard.ErrBudgetExceeded):
+		return "budget"
+	case errors.Is(err, guard.ErrDiverged):
+		return "diverged"
+	case errors.Is(err, guard.ErrInvalidInput):
+		return "invalid"
+	case errors.Is(err, guard.ErrPanic):
+		return "panic"
+	default:
+		return "error"
+	}
+}
+
+// SweepOptions configures the crash-safe batch runtime around a Q sweep.
+// The zero value is a plain in-memory sweep: GOMAXPROCS workers, a single
+// attempt per point, no checkpointing.
+type SweepOptions struct {
+	// Workers is the size of the goroutine pool; <= 0 selects GOMAXPROCS.
+	Workers int
+
+	// Retry is the backoff policy applied to each grid point's primary
+	// analysis before it degrades to the Equation 4 fallback. Transient
+	// failures (recovered panics, per-point budget trips) are retried;
+	// deterministic failures (invalid input, divergence) and sweep-fatal
+	// conditions (cancellation, global budget exhaustion) are not. The
+	// policy's Rand must be safe for concurrent use when Jitter > 0
+	// (wrap with retry.Locked). The zero policy means one attempt.
+	Retry retry.Policy
+
+	// Journal, when non-nil, receives one checkpoint record per completed
+	// grid point, so an aborted sweep can resume. The first record
+	// fingerprints the grid (spec names and Q values); resuming against a
+	// journal from a different sweep is refused.
+	Journal *journal.Journal
+
+	// Resume is the replayed view of a prior run's journal
+	// (journal.Latest): grid points found here are restored instead of
+	// recomputed. The restored values are bit-exact, so a resumed sweep's
+	// output is byte-identical to an uninterrupted run's.
+	Resume map[string]json.RawMessage
+}
+
+// DefaultSweepRetry is the retry policy the command-line tools use: three
+// attempts with 5ms–100ms exponentially-growing, jittered backoff. The seed
+// makes the jitter sequence (and nothing else) reproducible.
+func DefaultSweepRetry(seed int64) retry.Policy {
+	return retry.Policy{
+		MaxAttempts: 3,
+		MinDelay:    5 * time.Millisecond,
+		MaxDelay:    100 * time.Millisecond,
+		Growth:      2,
+		Jitter:      0.25,
+		Rand:        retry.Locked(rand.New(rand.NewSource(seed))),
+	}
+}
+
+// gridKey is the journal key of one grid point; gridMetaKey fingerprints the
+// whole sweep.
+func gridKey(spec string, qi int, q float64) string {
+	return fmt.Sprintf("point:%s@%d:%g", spec, qi, q)
+}
+
+const gridMetaKey = "sweep:grid"
+
+// gridMeta is the journal fingerprint of a sweep's shape.
+type gridMeta struct {
+	Specs []string  `json:"specs"`
+	Qs    []float64 `json:"qs"`
+}
+
 // QSweep evaluates the Algorithm 1 bound of every spec at every Q of the grid
-// on a pool of worker goroutines sharing one guard scope: cancellation,
+// on a pool of worker goroutines sharing one guard scope. It is
+// QSweepOpts with only the worker count set; workers <= 0 selects GOMAXPROCS.
+func QSweep(g *guard.Ctx, specs []SweepSpec, qs []float64, workers int) ([]SweepResult, error) {
+	return QSweepOpts(g, specs, qs, SweepOptions{Workers: workers})
+}
+
+// QSweepOpts evaluates the Algorithm 1 bound of every spec at every Q of the
+// grid on a pool of worker goroutines sharing one guard scope: cancellation,
 // deadline and step budget are global to the sweep.
 //
-// Each grid point runs under its own panic-recovery scope (guard.Run), so a
-// pathological point degrades to the Equation 4 bound — itself recovered —
-// instead of killing the whole sweep. Only caller aborts (guard.ErrCanceled)
-// and exhaustion of the sweep's own global budget stop everything; the
-// partial results are discarded and the abort error is returned.
-//
-// workers <= 0 selects GOMAXPROCS workers.
-func QSweep(g *guard.Ctx, specs []SweepSpec, qs []float64, workers int) ([]SweepResult, error) {
+// Each grid point walks the degradation ladder documented on SweepPoint:
+// primary analysis with retries, Equation 4 fallback, quarantine — every
+// rung under its own panic-recovery scope (guard.Run), so a pathological
+// point never kills the sweep. Only caller aborts (guard.ErrCanceled) and
+// exhaustion of the sweep's own global budget stop everything; then the
+// completed points are returned alongside a *PartialError describing the
+// abort — partial results are never discarded, and with a journal attached
+// they are already checkpointed for a later resume.
+func QSweepOpts(g *guard.Ctx, specs []SweepSpec, qs []float64, opts SweepOptions) ([]SweepResult, error) {
 	if len(specs) == 0 {
 		return nil, guard.Invalidf("eval: sweep needs at least one function")
 	}
 	if len(qs) == 0 {
 		return nil, guard.Invalidf("eval: sweep needs a non-empty Q grid")
 	}
+	for i, q := range qs {
+		if math.IsNaN(q) || math.IsInf(q, 0) {
+			return nil, guard.Invalidf("eval: grid point %d is non-finite (%g)", i, q)
+		}
+	}
+	names := make([]string, len(specs))
 	for i, s := range specs {
 		if s.F == nil {
 			return nil, guard.Invalidf("eval: sweep spec %d (%q) has a nil function", i, s.Name)
 		}
+		names[i] = s.Name
+	}
+	// Surface a misconfigured retry policy before any worker starts
+	// (retry.Do would also catch it, but per-point, after work began).
+	if err := opts.Retry.Validate(); err != nil {
+		return nil, guard.Invalidf("eval: %v", err)
+	}
+	if err := checkGridMeta(opts, names, qs); err != nil {
+		return nil, err
 	}
 	if err := g.Err(); err != nil {
 		return nil, err
 	}
+	workers := opts.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -99,6 +316,27 @@ func QSweep(g *guard.Ctx, specs []SweepSpec, qs []float64, workers int) ([]Sweep
 		}
 		return errors.Is(err, guard.ErrBudgetExceeded) && g.Remaining() == 0
 	}
+	// settled classifies errors no retry can fix: sweep-fatal conditions,
+	// deterministic analysis outcomes (divergence) and rejected inputs.
+	// Only transient classes — recovered panics and per-point budget
+	// trips — are worth another attempt.
+	settled := func(err error) bool {
+		return fatal(err) ||
+			errors.Is(err, guard.ErrDiverged) ||
+			errors.Is(err, guard.ErrInvalidInput)
+	}
+	// checkpoint appends the completed point to the journal. A journal
+	// write failure is sweep-fatal: continuing would break the crash-
+	// safety contract the caller asked for.
+	checkpoint := func(jb job, pt *SweepPoint) {
+		if opts.Journal == nil {
+			return
+		}
+		key := gridKey(specs[jb.si].Name, jb.qi, qs[jb.qi])
+		if err := opts.Journal.Append(key, *pt); err != nil {
+			abort(err)
+		}
+	}
 
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -112,20 +350,28 @@ func QSweep(g *guard.Ctx, specs []SweepSpec, qs []float64, workers int) ([]Sweep
 				spec, q := specs[jb.si], qs[jb.qi]
 				pt := &results[jb.si].Points[jb.qi]
 				pt.Q = q
+				if restorePoint(opts.Resume, spec.Name, jb.qi, q, pt) {
+					continue
+				}
 				label := fmt.Sprintf("%s at Q=%g", spec.Name, q)
-				v, err := guard.Run(g, label, func() (float64, error) {
-					return core.UpperBoundCtx(g, spec.F, q)
+				v, err := retry.Do(opts.Retry, settled, func(attempt int) (float64, error) {
+					pt.Attempts = attempt + 1
+					return guard.Run(g, label, func() (float64, error) {
+						return core.UpperBoundCtx(g, spec.F, q)
+					})
 				})
 				if err == nil {
 					pt.Value = v
+					pt.Done = true
+					checkpoint(jb, pt)
 					continue
 				}
 				if fatal(err) {
 					abort(err)
 					continue
 				}
-				// Degrade to the Equation 4 bound, itself under a
-				// recovery scope (a poisoned function can panic in
+				// Rung 2: degrade to the Equation 4 bound, itself under
+				// a recovery scope (a poisoned function can panic in
 				// Domain/MaxOn too).
 				fb, ferr := guard.Run(g, label+" (Eq.4 fallback)", func() (float64, error) {
 					return core.StateOfTheArtCtx(g, spec.F, q)
@@ -135,11 +381,22 @@ func QSweep(g *guard.Ctx, specs []SweepSpec, qs []float64, workers int) ([]Sweep
 						abort(ferr)
 						continue
 					}
-					fb = math.NaN()
+					// Rung 3: quarantine.
+					pt.Value = math.NaN()
+					pt.Degraded = true
+					pt.Quarantined = true
+					pt.Code = fmt.Sprintf("quarantined:%s+%s", ReasonCode(err), ReasonCode(ferr))
+					pt.Reason = fmt.Sprintf("%v; fallback: %v", err, ferr)
+					pt.Done = true
+					checkpoint(jb, pt)
+					continue
 				}
 				pt.Value = fb
 				pt.Degraded = true
+				pt.Code = "degraded:" + ReasonCode(err)
 				pt.Reason = err.Error()
+				pt.Done = true
+				checkpoint(jb, pt)
 			}
 		}()
 	}
@@ -152,18 +409,97 @@ func QSweep(g *guard.Ctx, specs []SweepSpec, qs []float64, workers int) ([]Sweep
 	wg.Wait()
 
 	if abortErr != nil {
-		return nil, abortErr
+		completed := 0
+		for _, r := range results {
+			for _, pt := range r.Points {
+				if pt.Done {
+					completed++
+				}
+			}
+		}
+		return results, &PartialError{
+			Results:   results,
+			Completed: completed,
+			Total:     len(specs) * len(qs),
+			Err:       abortErr,
+		}
 	}
 	return results, nil
 }
 
-// Degraded collects the flagged points of a sweep as human-readable strings,
-// for surfacing in table notes and on stderr.
+// checkGridMeta verifies a resumed journal belongs to this sweep's grid and
+// fingerprints fresh journals.
+func checkGridMeta(opts SweepOptions, names []string, qs []float64) error {
+	meta := gridMeta{Specs: names, Qs: qs}
+	if opts.Resume != nil {
+		var prev gridMeta
+		ok, err := journal.Get(opts.Resume, gridMetaKey, &prev)
+		if err != nil {
+			return fmt.Errorf("eval: resume journal: %w", err)
+		}
+		if ok {
+			if !equalStrings(prev.Specs, names) || !equalFloats(prev.Qs, qs) {
+				return guard.Invalidf("eval: resume journal fingerprints a different sweep (specs %v, %d grid points)", prev.Specs, len(prev.Qs))
+			}
+			return nil // journal already fingerprinted; nothing to append
+		}
+	}
+	if opts.Journal != nil {
+		return opts.Journal.Append(gridMetaKey, meta)
+	}
+	return nil
+}
+
+// restorePoint loads a completed point from the resume view; it reports false
+// (recompute) for missing, undecodable or incomplete records.
+func restorePoint(resume map[string]json.RawMessage, spec string, qi int, q float64, pt *SweepPoint) bool {
+	if resume == nil {
+		return false
+	}
+	var prev SweepPoint
+	ok, err := journal.Get(resume, gridKey(spec, qi, q), &prev)
+	if err != nil || !ok || !prev.Done {
+		return false
+	}
+	*pt = prev
+	return true
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func equalFloats(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Degraded collects the flagged points of a sweep as human-readable strings
+// (quarantined points lead with their machine-readable code), for surfacing
+// in table notes and on stderr.
 func Degraded(results []SweepResult) []string {
 	var out []string
 	for _, r := range results {
 		for _, p := range r.Points {
-			if p.Degraded {
+			switch {
+			case p.Quarantined:
+				out = append(out, fmt.Sprintf("%s %s at Q=%g: %s", p.Code, r.Name, p.Q, p.Reason))
+			case p.Degraded:
 				out = append(out, fmt.Sprintf("degraded %s at Q=%g: %s", r.Name, p.Q, p.Reason))
 			}
 		}

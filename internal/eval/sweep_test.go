@@ -122,15 +122,45 @@ func TestFigure5CanceledPromptly(t *testing.T) {
 }
 
 // TestQSweepBudgetAborts: global budget exhaustion is fatal to the whole
-// sweep (every remaining point would fail identically), not a degradation.
+// sweep (every remaining point would fail identically), not a degradation —
+// but the grid points that finished before the budget ran out are returned
+// alongside the error in a *PartialError, not discarded.
 func TestQSweepBudgetAborts(t *testing.T) {
 	base, err := delay.NewPiecewise([]float64{0, 5, 10, 40}, []float64{2, 6, 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	g := guard.New(context.Background()).WithBudget(1)
-	_, err = QSweep(g, []SweepSpec{{Name: "f", F: base}}, []float64{15, 20, 25}, 1)
+	// The fixture's points charge 1-2 steps each: budget 3 lets the first
+	// point (Q=15, 2 steps) finish, then exhausts inside the second.
+	g := guard.New(context.Background()).WithBudget(3)
+	results, err := QSweep(g, []SweepSpec{{Name: "f", F: base}}, []float64{15, 20, 25}, 1)
 	if !errors.Is(err, guard.ErrBudgetExceeded) {
-		t.Fatalf("budget 1 sweep: got %v, want ErrBudgetExceeded", err)
+		t.Fatalf("budget 3 sweep: got %v, want ErrBudgetExceeded", err)
+	}
+	var pe *PartialError
+	if !errors.As(err, &pe) {
+		t.Fatalf("abort error %T does not carry a *PartialError", err)
+	}
+	if pe.Total != 3 {
+		t.Fatalf("PartialError.Total = %d, want 3", pe.Total)
+	}
+	if pe.Completed < 1 || pe.Completed >= pe.Total {
+		t.Fatalf("PartialError.Completed = %d, want mid-sweep (1 or 2 of 3)", pe.Completed)
+	}
+	if len(results) != 1 || len(results[0].Points) != 3 {
+		t.Fatalf("partial results missing: %v", results)
+	}
+	first := results[0].Points[0]
+	if !first.Done || first.Degraded || first.Value <= 0 {
+		t.Fatalf("first point not completed cleanly before abort: %+v", first)
+	}
+	var done int
+	for _, pt := range results[0].Points {
+		if pt.Done {
+			done++
+		}
+	}
+	if done != pe.Completed {
+		t.Fatalf("Done points %d disagree with PartialError.Completed %d", done, pe.Completed)
 	}
 }

@@ -1,0 +1,238 @@
+package journal
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+type point struct {
+	Q     float64 `json:"q"`
+	Value float64 `json:"value"`
+}
+
+func openOrDie(t *testing.T, path string) (*Journal, []Record) {
+	t.Helper()
+	j, recs, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return j, recs
+}
+
+func TestRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.log")
+	j, recs := openOrDie(t, path)
+	if len(recs) != 0 {
+		t.Fatalf("fresh journal replayed %d records", len(recs))
+	}
+	// Awkward floats must survive bit-exactly (shortest-roundtrip JSON).
+	pts := []point{
+		{Q: 15, Value: 1.0 / 3.0},
+		{Q: 16, Value: math.Nextafter(2, 3)},
+		{Q: 18, Value: 1e-300},
+	}
+	for i, p := range pts {
+		if err := j.Append(fmt.Sprintf("pt-%d", i), p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, recs2 := openOrDie(t, path)
+	defer j2.Close()
+	if len(recs2) != len(pts) {
+		t.Fatalf("replayed %d records, want %d", len(recs2), len(pts))
+	}
+	m := Latest(recs2)
+	for i, want := range pts {
+		var got point
+		ok, err := Get(m, fmt.Sprintf("pt-%d", i), &got)
+		if err != nil || !ok {
+			t.Fatalf("pt-%d: ok=%v err=%v", i, ok, err)
+		}
+		if got != want {
+			t.Fatalf("pt-%d round-tripped to %+v, want %+v (must be bit-exact)", i, got, want)
+		}
+	}
+}
+
+func TestLatestLastWriteWins(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.log")
+	j, _ := openOrDie(t, path)
+	for v := 1; v <= 3; v++ {
+		if err := j.Append("k", point{Value: float64(v)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j.Close()
+	_, recs := openOrDie(t, path)
+	var got point
+	if ok, err := Get(Latest(recs), "k", &got); err != nil || !ok {
+		t.Fatalf("Get: ok=%v err=%v", ok, err)
+	}
+	if got.Value != 3 {
+		t.Fatalf("latest value %g, want 3", got.Value)
+	}
+}
+
+// TestTornTailTruncated simulates a crash mid-append: a record line without
+// its newline (and with a broken checksum) must be dropped on open, the file
+// rewritten to the valid prefix, and appends must continue cleanly after it.
+func TestTornTailTruncated(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.log")
+	j, _ := openOrDie(t, path)
+	if err := j.Append("good-1", point{Q: 1, Value: 10}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append("good-2", point{Q: 2, Value: 20}); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	intact, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, tc := range []struct {
+		name string
+		tail string
+	}{
+		{"torn write without newline", `deadbeef {"k":"torn","v":{"q":3`},
+		{"checksum mismatch", "00000000 {\"k\":\"bad\",\"v\":{\"q\":3,\"value\":30}}\n"},
+		{"garbage line", "not a journal line at all\n"},
+		{"short checksum", "abc {\"k\":\"x\",\"v\":1}\n"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := os.WriteFile(path, append(append([]byte(nil), intact...), tc.tail...), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			j2, recs := openOrDie(t, path)
+			if len(recs) != 2 {
+				t.Fatalf("replayed %d records after corruption, want the 2 intact ones", len(recs))
+			}
+			// The file itself must have been truncated to the valid prefix.
+			now, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(now) != string(intact) {
+				t.Fatalf("journal not truncated to valid prefix:\n%q\nwant\n%q", now, intact)
+			}
+			// And appending afterwards yields a fully valid journal again.
+			if err := j2.Append("good-3", point{Q: 3, Value: 30}); err != nil {
+				t.Fatal(err)
+			}
+			j2.Close()
+			_, recs3 := openOrDie(t, path)
+			if len(recs3) != 3 {
+				t.Fatalf("after recovery append: %d records, want 3", len(recs3))
+			}
+			// Restore the 2-record journal for the next subcase.
+			if err := os.WriteFile(path, intact, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestCorruptionMidFile drops everything from the first bad record on, even
+// when intact-looking records follow it: a hole in the log makes the suffix
+// untrustworthy.
+func TestCorruptionMidFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.log")
+	j, _ := openOrDie(t, path)
+	for i := 0; i < 4; i++ {
+		if err := j.Append(fmt.Sprintf("pt-%d", i), point{Q: float64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j.Close()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.SplitAfter(string(raw), "\n")
+	// lines: header, pt-0..pt-3, "". Flip one byte inside pt-1's JSON.
+	lines[2] = strings.Replace(lines[2], "\"q\":1", "\"q\":9", 1)
+	if err := os.WriteFile(path, []byte(strings.Join(lines, "")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j2, recs := openOrDie(t, path)
+	j2.Close()
+	if len(recs) != 1 || recs[0].Key != "pt-0" {
+		t.Fatalf("replayed %v, want only pt-0 (suffix after corruption dropped)", recs)
+	}
+}
+
+func TestIncompatibleHeader(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.log")
+	if err := os.WriteFile(path, []byte("some other format v9\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err := Open(path)
+	if !errors.Is(err, ErrIncompatible) {
+		t.Fatalf("foreign file opened as journal: err=%v", err)
+	}
+}
+
+func TestEmptyFileReinitialised(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.log")
+	if err := os.WriteFile(path, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j, recs := openOrDie(t, path)
+	defer j.Close()
+	if len(recs) != 0 {
+		t.Fatalf("empty file replayed %d records", len(recs))
+	}
+	if err := j.Append("k", 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAppendAfterCloseFails(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.log")
+	j, _ := openOrDie(t, path)
+	j.Close()
+	if err := j.Append("k", 1); err == nil {
+		t.Fatal("append after close succeeded")
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("double close: %v", err)
+	}
+}
+
+// TestConcurrentAppend exercises the mutex under the race detector: parallel
+// workers appending like the sweep pool does must interleave whole records.
+func TestConcurrentAppend(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.log")
+	j, _ := openOrDie(t, path)
+	const workers, per = 8, 25
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if err := j.Append(fmt.Sprintf("w%d-%d", w, i), point{Q: float64(i)}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	j.Close()
+	_, recs := openOrDie(t, path)
+	if len(recs) != workers*per {
+		t.Fatalf("replayed %d records, want %d (torn interleaving?)", len(recs), workers*per)
+	}
+}

@@ -1,0 +1,195 @@
+package retry
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"testing"
+	"time"
+)
+
+// fixedRand returns a constant value, pinning the jitter.
+type fixedRand struct{ v float64 }
+
+func (r fixedRand) Float64() float64 { return r.v }
+
+func TestDelaySchedule(t *testing.T) {
+	unit := time.Millisecond
+	cases := []struct {
+		name string
+		p    Policy
+		want []time.Duration
+	}{
+		{
+			name: "constant when growth <= 1",
+			p:    Policy{MinDelay: 100 * unit, MaxDelay: 500 * unit, Growth: 1},
+			want: []time.Duration{100 * unit, 100 * unit, 100 * unit},
+		},
+		{
+			name: "exponential clamps at max",
+			p:    Policy{MinDelay: 100 * unit, MaxDelay: 1000 * unit, Growth: 2},
+			want: []time.Duration{100 * unit, 200 * unit, 400 * unit, 800 * unit, 1000 * unit, 1000 * unit},
+		},
+		{
+			name: "max below min collapses to max",
+			p:    Policy{MinDelay: 500 * unit, MaxDelay: 400 * unit, Growth: 2},
+			want: []time.Duration{400 * unit, 400 * unit},
+		},
+		{
+			name: "negative delays clamp to zero",
+			p:    Policy{MinDelay: -time.Second, MaxDelay: -time.Second, Growth: 2},
+			want: []time.Duration{0, 0},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			for n, want := range tc.want {
+				if got := tc.p.Delay(n); got != want {
+					t.Fatalf("Delay(%d) = %v, want %v", n, got, want)
+				}
+			}
+		})
+	}
+}
+
+func TestJitteredDelayBounds(t *testing.T) {
+	p := Policy{MinDelay: 100 * time.Millisecond, MaxDelay: time.Second, Growth: 2, Jitter: 0.5}
+	// Rand pinned low, mid and high: delay must span [d/2, 3d/2).
+	for _, rc := range []struct {
+		v    float64
+		want time.Duration
+	}{
+		{0, 50 * time.Millisecond},
+		{0.5, 100 * time.Millisecond},
+		{0.999999, 150 * time.Millisecond}, // just under the open upper bound
+	} {
+		p.Rand = fixedRand{rc.v}
+		got := p.JitteredDelay(0)
+		if d := got - rc.want; d < -time.Microsecond || d > time.Microsecond {
+			t.Fatalf("rand=%g: jittered delay %v, want ~%v", rc.v, got, rc.want)
+		}
+	}
+	// Jitter without a Rand source passes through unjittered.
+	p.Rand = nil
+	if got := p.JitteredDelay(0); got != 100*time.Millisecond {
+		t.Fatalf("nil Rand: got %v, want raw delay", got)
+	}
+}
+
+func TestDoRetriesThenSucceeds(t *testing.T) {
+	var slept []time.Duration
+	p := Policy{
+		MaxAttempts: 5,
+		MinDelay:    10 * time.Millisecond,
+		MaxDelay:    80 * time.Millisecond,
+		Growth:      2,
+		Sleep:       func(d time.Duration) { slept = append(slept, d) },
+	}
+	calls := 0
+	out, err := Do(p, nil, func(attempt int) (string, error) {
+		calls++
+		if attempt < 2 {
+			return "", fmt.Errorf("transient %d", attempt)
+		}
+		return "ok", nil
+	})
+	if err != nil || out != "ok" {
+		t.Fatalf("Do = (%q, %v), want (ok, nil)", out, err)
+	}
+	if calls != 3 {
+		t.Fatalf("fn called %d times, want 3", calls)
+	}
+	want := []time.Duration{10 * time.Millisecond, 20 * time.Millisecond}
+	if len(slept) != len(want) {
+		t.Fatalf("slept %v, want %v", slept, want)
+	}
+	for i := range want {
+		if slept[i] != want[i] {
+			t.Fatalf("sleep %d = %v, want %v", i, slept[i], want[i])
+		}
+	}
+}
+
+func TestDoExhaustsAttempts(t *testing.T) {
+	p := Policy{MaxAttempts: 3, Sleep: func(time.Duration) {}}
+	base := errors.New("still broken")
+	calls := 0
+	_, err := Do(p, nil, func(int) (int, error) {
+		calls++
+		return 0, base
+	})
+	if calls != 3 {
+		t.Fatalf("fn called %d times, want 3", calls)
+	}
+	if !errors.Is(err, base) {
+		t.Fatalf("exhausted error %v does not wrap the cause", err)
+	}
+}
+
+func TestDoPermanentStopsImmediately(t *testing.T) {
+	p := Policy{MaxAttempts: 5, Sleep: func(time.Duration) {}}
+	base := errors.New("bad input")
+	calls := 0
+	_, err := Do(p, nil, func(int) (int, error) {
+		calls++
+		return 0, Permanent(base)
+	})
+	if calls != 1 {
+		t.Fatalf("fn called %d times, want 1", calls)
+	}
+	// The Stop wrapper must be peeled off.
+	if !errors.Is(err, base) || err != base {
+		t.Fatalf("permanent error = %v, want the bare cause", err)
+	}
+}
+
+func TestDoStopClassifier(t *testing.T) {
+	p := Policy{MaxAttempts: 5, Sleep: func(time.Duration) {}}
+	fatal := errors.New("fatal")
+	calls := 0
+	_, err := Do(p, func(err error) bool { return errors.Is(err, fatal) }, func(int) (int, error) {
+		calls++
+		if calls == 2 {
+			return 0, fatal
+		}
+		return 0, errors.New("transient")
+	})
+	if calls != 2 {
+		t.Fatalf("fn called %d times, want 2 (stop on classifier)", calls)
+	}
+	if !errors.Is(err, fatal) {
+		t.Fatalf("err = %v, want the fatal cause", err)
+	}
+}
+
+func TestDoZeroPolicyIsSingleAttempt(t *testing.T) {
+	calls := 0
+	_, err := Do(Policy{}, nil, func(int) (int, error) {
+		calls++
+		return 0, errors.New("no")
+	})
+	if calls != 1 || err == nil {
+		t.Fatalf("zero policy: %d calls, err %v; want exactly one attempt", calls, err)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := (Policy{Jitter: 0.5}).Validate(); err == nil {
+		t.Fatal("jitter without Rand accepted")
+	}
+	if err := (Policy{Growth: math.NaN()}).Validate(); err == nil {
+		t.Fatal("NaN growth accepted")
+	}
+	if _, err := Do(Policy{Jitter: 0.5}, nil, func(int) (int, error) { return 1, nil }); err == nil {
+		t.Fatal("Do did not surface the invalid policy")
+	}
+	if err := (Policy{MaxAttempts: 3, Jitter: 0.2, Rand: fixedRand{0.5}, Growth: 2}).Validate(); err != nil {
+		t.Fatalf("valid policy rejected: %v", err)
+	}
+}
+
+func TestPermanentNil(t *testing.T) {
+	if Permanent(nil) != nil {
+		t.Fatal("Permanent(nil) != nil")
+	}
+}
