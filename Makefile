@@ -1,10 +1,13 @@
-# Developer entry points. `make check` is the CI gate: static analysis plus
-# the full test suite under the race detector (the guarded sweep pool and the
-# shared step budget are concurrent code paths).
+# Developer entry points. `make check` is the CI gate: static analysis, the
+# full test suite under the race detector (the guarded sweep pool and the
+# shared step budget are concurrent code paths), and a one-iteration bench
+# smoke proving the BENCH_PR3.json pipeline still produces a report.
 
 GO ?= go
+BENCH_OUT ?= bench.out
+BENCH_JSON ?= BENCH_PR3.json
 
-.PHONY: build test check race vet bench figures
+.PHONY: build test check race vet bench bench-smoke figures
 
 build:
 	$(GO) build ./...
@@ -18,10 +21,22 @@ vet:
 race:
 	$(GO) test -race ./...
 
-check: vet race
+check: vet race bench-smoke
 
+# bench runs the full suite at default benchtime and renders the
+# machine-readable report (per-benchmark ns/op, allocs/op and headline bound
+# metrics, plus the scan-vs-indexed kernel speedup table).
 bench:
-	$(GO) test -bench=. -benchmem
+	$(GO) test . -run '^$$' -bench . -benchmem > $(BENCH_OUT)
+	$(GO) run ./cmd/benchjson -in $(BENCH_OUT) -out $(BENCH_JSON)
+	@echo "wrote $(BENCH_JSON)"
+
+# bench-smoke is the CI variant: one iteration of the kernel-comparison
+# benchmarks, failing if the JSON report cannot be produced. Numbers from a
+# single iteration are not meaningful; only the pipeline is under test.
+bench-smoke:
+	$(GO) test . -run '^$$' -bench 'Figure5Sweep|IndexedKernel' -benchtime 1x -benchmem > $(BENCH_OUT)
+	$(GO) run ./cmd/benchjson -in $(BENCH_OUT) -out $(BENCH_JSON)
 
 figures:
 	$(GO) run ./cmd/figures -fig all

@@ -80,13 +80,23 @@ func BenchmarkFigure4Functions(b *testing.B) {
 // BenchmarkFigure5Sweep regenerates the full Figure 5 data: Algorithm 1 on
 // the three benchmark functions plus the state-of-the-art bound over the
 // default Q grid. Headline values at Q=100 are reported as metrics.
+//
+// Two families of sub-benchmarks:
+//
+//   - e2e/*: the full Figure 5 pipeline (worker pool, degradation ladder,
+//     state-of-the-art series, invariant checks) — the user-visible cost.
+//   - kernel=*/n=*: sequential Algorithm 1 over the default Q grid on
+//     Figure 4-derived functions resampled at n pieces, scan kernel vs
+//     indexed kernel with the index prebuilt (its amortized regime). This
+//     isolates the query-kernel cost from pool and harness overhead; the
+//     scan/indexed pairs feed the speedup table of BENCH_PR3.json.
 func BenchmarkFigure5Sweep(b *testing.B) {
 	for _, variant := range []struct {
 		name   string
 		params delay.BenchmarkParams
 	}{
-		{"literal", delay.LiteralParams()},
-		{"calibrated", delay.CalibratedParams()},
+		{"e2e/literal", delay.LiteralParams()},
+		{"e2e/calibrated", delay.CalibratedParams()},
 	} {
 		b.Run(variant.name, func(b *testing.B) {
 			var tbl = new(struct {
@@ -117,6 +127,86 @@ func BenchmarkFigure5Sweep(b *testing.B) {
 			b.ReportMetric(tbl.soaAt100, "soa(Q=100)")
 		})
 	}
+	params := delay.CalibratedParams()
+	names := delay.BenchmarkOrder()
+	qs := eval.DefaultQGrid()
+	for _, n := range []int{256, 1024, 4096, 16384} {
+		byName, err := params.BenchmarksAt(n)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, kernel := range []string{"scan", "indexed"} {
+			fns := make([]delay.Function, len(names))
+			for i, nm := range names {
+				p, ok := byName[nm]
+				if !ok {
+					b.Fatalf("missing benchmark function %q", nm)
+				}
+				if kernel == "indexed" {
+					fns[i] = delay.NewIndexed(p)
+				} else {
+					fns[i] = p
+				}
+			}
+			b.Run(fmt.Sprintf("kernel=%s/n=%d", kernel, n), func(b *testing.B) {
+				var g2At100 float64
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					for fi, f := range fns {
+						for _, q := range qs {
+							v, err := core.UpperBound(f, q)
+							if err != nil {
+								b.Fatal(err)
+							}
+							if q == 100 && names[fi] == "Gaussian 2" {
+								g2At100 = v
+							}
+						}
+					}
+				}
+				b.ReportMetric(g2At100, "alg1(G2,Q=100)")
+			})
+		}
+	}
+}
+
+// BenchmarkIndexedKernel micro-benchmarks the two Function queries Algorithm 1
+// is built from, scan vs indexed, on a large Figure 4-derived function, plus
+// the one-time index construction cost those speedups amortize.
+func BenchmarkIndexedKernel(b *testing.B) {
+	const n = 16384
+	byName, err := delay.CalibratedParams().BenchmarksAt(n)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := byName["Gaussian 2"]
+	ix := delay.NewIndexed(p)
+	c := p.Domain()
+	kernels := []struct {
+		name string
+		f    delay.Function
+	}{{"scan", p}, {"indexed", ix}}
+	for _, k := range kernels {
+		b.Run("MaxOn/kernel="+k.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				a := float64(i%97) / 97 * c / 2
+				k.f.MaxOn(a, a+c/2)
+			}
+		})
+	}
+	for _, k := range kernels {
+		b.Run("FirstReach/kernel="+k.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				a := float64(i%97) / 97 * c / 2
+				k.f.FirstReachDescending(a, a+c/2, a+c/2)
+			}
+		})
+	}
+	b.Run("Build", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			delay.NewIndexed(p)
+		}
+	})
 }
 
 // BenchmarkAlgorithm1 measures the core bound across Q (ablation: cost grows

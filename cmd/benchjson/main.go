@@ -1,0 +1,169 @@
+// Command benchjson converts `go test -bench` text output into the
+// machine-readable BENCH_PR3.json benchmark report: per-benchmark metrics
+// (ns/op, B/op, allocs/op and every b.ReportMetric custom unit, so headline
+// bound values ride along) plus a speedup table pairing each kernel=scan
+// benchmark with its kernel=indexed counterpart by ns/op ratio.
+//
+// Usage:
+//
+//	go test . -run '^$' -bench . -benchmem > bench.out
+//	go run ./cmd/benchjson -in bench.out -out BENCH_PR3.json
+//
+// Exit codes: 0 success, 1 I/O or parse failure (including input with no
+// benchmark lines at all, so a silently broken bench run fails CI), 2 bad
+// usage.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed result line.
+type Benchmark struct {
+	// Name is the benchmark name with the trailing -GOMAXPROCS suffix
+	// stripped, e.g. "BenchmarkFigure5Sweep/kernel=scan/n=256".
+	Name string `json:"name"`
+	// Iterations is b.N for the reported run.
+	Iterations int64 `json:"iterations"`
+	// Metrics maps unit -> value for every value/unit pair on the line:
+	// the standard ns/op, B/op, allocs/op plus custom ReportMetric units.
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Report is the BENCH_PR3.json document.
+type Report struct {
+	// Schema identifies this format for downstream tooling.
+	Schema string `json:"schema"`
+	// Go is the toolchain that produced the numbers.
+	Go string `json:"go"`
+	// Benchmarks lists every parsed benchmark in input order.
+	Benchmarks []Benchmark `json:"benchmarks"`
+	// Speedups maps a kernel-pair key (the scan benchmark's name with
+	// "kernel=scan" generalised to "kernel=*") to scan-ns/op divided by
+	// indexed-ns/op: >1 means the indexed kernel wins.
+	Speedups map[string]float64 `json:"speedups"`
+}
+
+var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
+
+func parse(r io.Reader) ([]Benchmark, error) {
+	var out []Benchmark
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 || len(fields)%2 != 0 {
+			continue // status lines like "BenchmarkX ... SKIP"
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		b := Benchmark{
+			Name:       gomaxprocsSuffix.ReplaceAllString(fields[0], ""),
+			Iterations: iters,
+			Metrics:    make(map[string]float64, (len(fields)-2)/2),
+		}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchjson: %q: bad value %q", b.Name, fields[i])
+			}
+			b.Metrics[fields[i+1]] = v
+		}
+		out = append(out, b)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// speedups pairs kernel=scan benchmarks with their kernel=indexed twins.
+func speedups(bs []Benchmark) map[string]float64 {
+	byName := make(map[string]Benchmark, len(bs))
+	for _, b := range bs {
+		byName[b.Name] = b
+	}
+	out := make(map[string]float64)
+	for _, b := range bs {
+		if !strings.Contains(b.Name, "kernel=scan") {
+			continue
+		}
+		twin, ok := byName[strings.Replace(b.Name, "kernel=scan", "kernel=indexed", 1)]
+		if !ok {
+			continue
+		}
+		scanNs, ok1 := b.Metrics["ns/op"]
+		indexNs, ok2 := twin.Metrics["ns/op"]
+		if !ok1 || !ok2 || indexNs <= 0 {
+			continue
+		}
+		key := strings.Replace(b.Name, "kernel=scan", "kernel=*", 1)
+		out[key] = scanNs / indexNs
+	}
+	return out
+}
+
+func run(inPath, outPath string) error {
+	in := io.Reader(os.Stdin)
+	if inPath != "-" {
+		f, err := os.Open(inPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	bs, err := parse(in)
+	if err != nil {
+		return err
+	}
+	if len(bs) == 0 {
+		return fmt.Errorf("benchjson: no benchmark result lines in input")
+	}
+	rep := Report{
+		Schema:     "fnpr-bench/1",
+		Go:         runtime.Version(),
+		Benchmarks: bs,
+		Speedups:   speedups(bs),
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if outPath == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(outPath, data, 0o644)
+}
+
+func main() {
+	inPath := flag.String("in", "-", "benchmark text input ('-' for stdin)")
+	outPath := flag.String("out", "-", "JSON output path ('-' for stdout)")
+	flag.Parse()
+	if flag.NArg() != 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: unexpected arguments")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*inPath, *outPath); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,108 @@
+package main
+
+import (
+	"encoding/json"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: fnpr
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkFigure5Sweep/e2e/literal-8         	       2	 512345678 ns/op	       159.0 alg1(G2,Q=100)	       500.0 soa(Q=100)
+BenchmarkFigure5Sweep/kernel=scan/n=256-8   	     423	   5570104 ns/op	       160.1 alg1(G2,Q=100)
+BenchmarkFigure5Sweep/kernel=indexed/n=256-8	     818	   1392526 ns/op	       160.1 alg1(G2,Q=100)
+BenchmarkIndexedKernel/MaxOn/kernel=scan-8  	   10000	     11000 ns/op	       0 B/op	       0 allocs/op
+BenchmarkIndexedKernel/MaxOn/kernel=indexed-8	 1000000	      1100 ns/op	       0 B/op	       0 allocs/op
+BenchmarkIndexedKernel/Build-8              	    1000	   1200000 ns/op
+PASS
+ok  	fnpr	12.630s
+`
+
+func TestParse(t *testing.T) {
+	bs, err := parse(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bs) != 6 {
+		t.Fatalf("parsed %d benchmarks, want 6", len(bs))
+	}
+	first := bs[0]
+	if first.Name != "BenchmarkFigure5Sweep/e2e/literal" {
+		t.Errorf("name %q kept its GOMAXPROCS suffix or lost its path", first.Name)
+	}
+	if first.Iterations != 2 {
+		t.Errorf("iterations = %d, want 2", first.Iterations)
+	}
+	if first.Metrics["ns/op"] != 512345678 || first.Metrics["alg1(G2,Q=100)"] != 159.0 || first.Metrics["soa(Q=100)"] != 500.0 {
+		t.Errorf("metrics = %v", first.Metrics)
+	}
+	if m := bs[3].Metrics; m["allocs/op"] != 0 || m["B/op"] != 0 {
+		t.Errorf("benchmem metrics not parsed: %v", m)
+	}
+}
+
+func TestSpeedups(t *testing.T) {
+	bs, err := parse(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := speedups(bs)
+	if len(sp) != 2 {
+		t.Fatalf("speedups = %v, want 2 scan/indexed pairs", sp)
+	}
+	got := sp["BenchmarkFigure5Sweep/kernel=*/n=256"]
+	if math.Abs(got-4.0) > 1e-9 {
+		t.Errorf("sweep speedup = %v, want 4.0", got)
+	}
+	if got := sp["BenchmarkIndexedKernel/MaxOn/kernel=*"]; math.Abs(got-10.0) > 1e-9 {
+		t.Errorf("MaxOn speedup = %v, want 10.0", got)
+	}
+}
+
+func TestParseRejectsEmpty(t *testing.T) {
+	bs, err := parse(strings.NewReader("goos: linux\nPASS\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bs) != 0 {
+		t.Fatalf("parsed %d benchmarks from benchmark-free input", len(bs))
+	}
+	// run() must turn an empty parse into a hard error so CI notices a
+	// broken bench invocation instead of shipping an empty report.
+	dir := t.TempDir()
+	in := filepath.Join(dir, "bench.out")
+	if err := os.WriteFile(in, []byte("PASS\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(in, filepath.Join(dir, "out.json")); err == nil {
+		t.Fatal("run accepted input without benchmarks")
+	}
+}
+
+func TestRunWritesReport(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "bench.out")
+	out := filepath.Join(dir, "BENCH.json")
+	if err := os.WriteFile(in, []byte(sampleBench), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(in, out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schema != "fnpr-bench/1" || rep.Go == "" || len(rep.Benchmarks) != 6 || len(rep.Speedups) != 2 {
+		t.Fatalf("report = %+v", rep)
+	}
+}

@@ -1,0 +1,98 @@
+package fnpr
+
+import (
+	"flag"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files from the scan-kernel output")
+
+// TestGoldenOutputs is the byte-level regression lock on the analysis
+// pipeline: the CSV of `figures -fig 5` and the stdout of `simulate
+// -scenario bounds` are captured against committed golden files, and each
+// command is run twice — once with the indexed delay kernel (the default)
+// and once with the scan kernel (FNPR_NO_INDEX=1) — asserting the two are
+// byte-identical to each other and to the golden. Any one-ulp divergence
+// between kernels, or any drift in the computed bounds, fails here.
+//
+// Regenerate with `go test . -run TestGoldenOutputs -update` (goldens are
+// written from the scan-kernel run, the pre-index reference semantics).
+// Skipped with -short.
+func TestGoldenOutputs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end CLI runs skipped in -short mode")
+	}
+	tmp := t.TempDir()
+	bins := map[string]string{}
+	for _, name := range []string{"figures", "simulate"} {
+		bin := filepath.Join(tmp, name)
+		out, err := exec.Command("go", "build", "-o", bin, "./cmd/"+name).CombinedOutput()
+		if err != nil {
+			t.Fatalf("building %s: %v\n%s", name, err, out)
+		}
+		bins[name] = bin
+	}
+
+	run := func(t *testing.T, bin string, noIndex bool, args ...string) string {
+		t.Helper()
+		cmd := exec.Command(bin, args...)
+		cmd.Env = os.Environ()
+		if noIndex {
+			cmd.Env = append(cmd.Env, "FNPR_NO_INDEX=1")
+		}
+		var stdout, stderr strings.Builder
+		cmd.Stdout = &stdout
+		cmd.Stderr = &stderr
+		if err := cmd.Run(); err != nil {
+			t.Fatalf("running %s %v (noIndex=%v): %v\nstderr: %s", filepath.Base(bin), args, noIndex, err, stderr.String())
+		}
+		return stdout.String()
+	}
+
+	cases := []struct {
+		name   string
+		bin    string
+		args   []string
+		golden string
+	}{
+		{
+			name:   "figures-fig5",
+			bin:    "figures",
+			args:   []string{"-fig", "5", "-ascii=false"},
+			golden: filepath.Join("internal", "eval", "testdata", "figures_fig5.golden"),
+		},
+		{
+			name:   "simulate-bounds",
+			bin:    "simulate",
+			args:   []string{"-scenario", "bounds"},
+			golden: filepath.Join("internal", "eval", "testdata", "simulate_bounds.golden"),
+		},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			t.Parallel()
+			indexed := run(t, bins[c.bin], false, c.args...)
+			scan := run(t, bins[c.bin], true, c.args...)
+			if indexed != scan {
+				t.Fatalf("indexed kernel changed the output bytes\nscan:\n%s\nindexed:\n%s", scan, indexed)
+			}
+			if *update {
+				if err := os.WriteFile(c.golden, []byte(scan), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want, err := os.ReadFile(c.golden)
+			if err != nil {
+				t.Fatalf("reading golden (regenerate with -update): %v", err)
+			}
+			if string(want) != indexed {
+				t.Fatalf("output drifted from %s\ngolden:\n%s\ngot:\n%s", c.golden, want, indexed)
+			}
+		})
+	}
+}

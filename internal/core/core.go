@@ -96,8 +96,12 @@ func UpperBound(f delay.Function, q float64) (float64, error) {
 // UpperBoundCtx is UpperBound under a guard scope: the Algorithm 1 walk
 // charges one guard step per iteration, so it can be canceled, time-bounded
 // and budget-bounded mid-analysis. A nil guard means no limits.
+//
+// This is the traceless fast path: no iteration records are kept, so the
+// walk performs zero heap allocations — the property the batched sweeps of
+// internal/eval rely on when they fan a whole Q grid over the worker pool.
 func UpperBoundCtx(g *guard.Ctx, f delay.Function, q float64) (float64, error) {
-	r, err := UpperBoundTraceCtx(g, f, q)
+	r, err := upperBoundFrom(g, f, q, q, nil)
 	if err != nil {
 		return 0, err
 	}
@@ -113,13 +117,17 @@ func UpperBoundTrace(f delay.Function, q float64) (Result, error) {
 func UpperBoundTraceCtx(g *guard.Ctx, f delay.Function, q float64) (Result, error) {
 	// Lines 1-4 of Algorithm 1: the first Q units of execution are
 	// preemption-free, so the first candidate preemption point is Q.
-	return upperBoundFrom(g, f, q, q)
+	var trace []Iteration
+	return upperBoundFrom(g, f, q, q, &trace)
 }
 
 // upperBoundFrom runs the Algorithm 1 loop with an explicit first candidate
-// preemption point, used by UpperBoundTrace (first = Q) and by
-// RemainingBound (first = Q - pending payback).
-func upperBoundFrom(g *guard.Ctx, f delay.Function, q, first float64) (Result, error) {
+// preemption point, used by the UpperBound variants (first = Q) and by
+// RemainingBound (first = Q - pending payback). When trace is non-nil the
+// per-iteration records are appended to it (reusing its capacity) and
+// returned as Result.Iterations; a nil trace skips the bookkeeping entirely,
+// making the walk allocation-free.
+func upperBoundFrom(g *guard.Ctx, f delay.Function, q, first float64, trace *[]Iteration) (Result, error) {
 	if f == nil {
 		return Result{}, guard.Invalidf("core: nil delay function")
 	}
@@ -163,14 +171,17 @@ func upperBoundFrom(g *guard.Ctx, f delay.Function, q, first float64) (Result, e
 		pnext = prog + q - delayMax
 		res.TotalDelay += delayMax
 		res.Preemptions++
-		res.Iterations = append(res.Iterations, Iteration{
-			Prog:       prog,
-			PIntersect: pIntersect,
-			PMax:       pmax,
-			DelayMax:   delayMax,
-			PNext:      pnext,
-			Total:      res.TotalDelay,
-		})
+		if trace != nil {
+			*trace = append(*trace, Iteration{
+				Prog:       prog,
+				PIntersect: pIntersect,
+				PMax:       pmax,
+				DelayMax:   delayMax,
+				PNext:      pnext,
+				Total:      res.TotalDelay,
+			})
+			res.Iterations = *trace
+		}
 
 		if q-delayMax <= epsilon {
 			// The whole window can be consumed by delay: no
@@ -352,7 +363,7 @@ func RemainingBoundCtx(g *guard.Ctx, f *delay.Piecewise, q, p float64) (float64,
 	if err != nil {
 		return 0, err
 	}
-	res, err := upperBoundFrom(g, suffix, q, q-current)
+	res, err := upperBoundFrom(g, suffix, q, q-current, nil)
 	if err != nil {
 		return 0, err
 	}

@@ -104,5 +104,28 @@ func FuzzAlgorithm1Soundness(f *testing.F) {
 		if greedy.TotalDelay > lim+1e-9 {
 			t.Fatalf("greedy %g beats limited bound %g at n=%d", greedy.TotalDelay, lim, greedy.Preemptions)
 		}
+		// The indexed kernel must reproduce the scan kernel's walk exactly:
+		// same bound, same preemption count, same per-iteration trace, bit
+		// for bit. Any drift here is a query-kernel equivalence bug, not a
+		// rounding nuance.
+		res, err := UpperBoundTrace(fn, qq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ires, err := UpperBoundTrace(delay.NewIndexed(fn), qq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.TotalDelay != ires.TotalDelay || res.Preemptions != ires.Preemptions || res.Diverged != ires.Diverged {
+			t.Fatalf("indexed walk differs: scan (%v, %d, %v) vs indexed (%v, %d, %v) (Q=%g, f=%v)",
+				res.TotalDelay, res.Preemptions, res.Diverged,
+				ires.TotalDelay, ires.Preemptions, ires.Diverged, qq, fn)
+		}
+		for i := range res.Iterations {
+			if res.Iterations[i] != ires.Iterations[i] {
+				t.Fatalf("iteration %d differs: scan %+v vs indexed %+v (Q=%g, f=%v)",
+					i, res.Iterations[i], ires.Iterations[i], qq, fn)
+			}
+		}
 	})
 }

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"testing"
+
+	"fnpr/internal/delay"
+)
+
+func walkerTestFn(t testing.TB) *delay.Piecewise {
+	t.Helper()
+	p, err := delay.NewPiecewise(
+		[]float64{0, 30, 80, 150, 200},
+		[]float64{2, 6, 1, 4},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestUpperBoundZeroAlloc pins the tentpole's allocation contract: the
+// traceless Algorithm 1 walk performs no heap allocations per run, on both
+// the scan and the indexed kernel.
+func TestUpperBoundZeroAlloc(t *testing.T) {
+	p := walkerTestFn(t)
+	for _, tc := range []struct {
+		name string
+		f    delay.Function
+	}{
+		{"scan", p},
+		{"indexed", delay.NewIndexed(p)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			if avg := testing.AllocsPerRun(200, func() {
+				if _, err := UpperBound(tc.f, 20); err != nil {
+					t.Fatal(err)
+				}
+			}); avg != 0 {
+				t.Errorf("UpperBound allocates %.1f objects per run, want 0", avg)
+			}
+		})
+	}
+}
+
+// TestWalkerTraceZeroAllocSteadyState asserts the Walker's reusable buffer
+// absorbs the trace: after a warm-up run grows it to the steady size,
+// subsequent traced runs allocate nothing.
+func TestWalkerTraceZeroAllocSteadyState(t *testing.T) {
+	p := walkerTestFn(t)
+	var w Walker
+	if _, err := w.Trace(nil, p, 20); err != nil { // warm up the buffer
+		t.Fatal(err)
+	}
+	if avg := testing.AllocsPerRun(200, func() {
+		if _, err := w.Trace(nil, p, 20); err != nil {
+			t.Fatal(err)
+		}
+	}); avg != 0 {
+		t.Errorf("steady-state Walker.Trace allocates %.1f objects per run, want 0", avg)
+	}
+}
+
+// TestWalkerMatchesUpperBoundTrace asserts Walker.Trace and Walker.UpperBound
+// are behaviour-identical to the plain entry points (only the buffer
+// ownership differs).
+func TestWalkerMatchesUpperBoundTrace(t *testing.T) {
+	p := walkerTestFn(t)
+	var w Walker
+	for _, q := range []float64{7, 20, 55, 300} {
+		want, err := UpperBoundTrace(p, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := w.Trace(nil, p, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.TotalDelay != want.TotalDelay || got.Preemptions != want.Preemptions || got.Diverged != want.Diverged {
+			t.Fatalf("Q=%g: walker (%v,%d,%v) vs trace (%v,%d,%v)",
+				q, got.TotalDelay, got.Preemptions, got.Diverged,
+				want.TotalDelay, want.Preemptions, want.Diverged)
+		}
+		if len(got.Iterations) != len(want.Iterations) {
+			t.Fatalf("Q=%g: walker %d iterations vs trace %d", q, len(got.Iterations), len(want.Iterations))
+		}
+		for i := range want.Iterations {
+			if got.Iterations[i] != want.Iterations[i] {
+				t.Fatalf("Q=%g iteration %d: walker %+v vs trace %+v", q, i, got.Iterations[i], want.Iterations[i])
+			}
+		}
+		b, err := w.UpperBound(nil, p, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b != want.TotalDelay {
+			t.Fatalf("Q=%g: Walker.UpperBound %v vs trace total %v", q, b, want.TotalDelay)
+		}
+	}
+}
+
+// TestWalkerBufferReuse documents the aliasing contract: a second Trace call
+// overwrites the iterations returned by the first.
+func TestWalkerBufferReuse(t *testing.T) {
+	p := walkerTestFn(t)
+	var w Walker
+	r1, err := w.Trace(nil, p, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r1.Iterations) == 0 {
+		t.Fatal("expected a non-empty trace")
+	}
+	first := r1.Iterations[0]
+	if _, err := w.Trace(nil, p, 50); err != nil {
+		t.Fatal(err)
+	}
+	if r1.Iterations[0] == first {
+		// Q=50's first window reaches the global max (delay 6, not 2), so
+		// the first record must have changed; if it did not, the buffer is
+		// not being reused.
+		t.Error("second Trace did not reuse the buffer (records unchanged)")
+	}
+}

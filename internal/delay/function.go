@@ -132,7 +132,13 @@ func (p *Piecewise) Max() (tmax, fmax float64) {
 	return p.MaxOn(0, p.Domain())
 }
 
-// MaxOn implements Function.
+// MaxOn implements Function. Tie-break contract (pinned by tests and
+// honored bit-for-bit by Indexed): when several pieces attain the maximum —
+// a plateau of equal-valued adjacent pieces, or equal values separated by a
+// dip — the earliest point wins. Concretely, the running maximum only
+// updates on strictly greater values, so tmax is the query start a when the
+// piece containing a attains the maximum, and otherwise the left breakpoint
+// of the earliest attaining piece.
 func (p *Piecewise) MaxOn(a, b float64) (tmax, fmax float64) {
 	a, b = p.clampRange(a, b)
 	i, j := p.pieceAt(a), p.pieceAt(b)
@@ -163,28 +169,40 @@ func (p *Piecewise) FirstReachDescending(a, b, c float64) (float64, bool) {
 	a, b = p.clampRange(a, b)
 	i, j := p.pieceAt(a), p.pieceAt(b)
 	for k := i; k <= j; k++ {
-		lo := math.Max(p.xs[k], a)
-		hi := math.Min(p.xs[k+1], b)
-		// hi is inclusive when it is the query end strictly inside the
-		// piece, or when this is the last piece (which owns its right
-		// endpoint); otherwise the next piece owns the breakpoint.
-		inclusive := b < p.xs[k+1] || k == len(p.vs)-1
-		if lo > hi {
-			continue
-		}
-		// Candidate: the first point of this piece where v >= c - x,
-		// i.e. x = max(lo, c-v). By construction the candidate
-		// satisfies the crossing condition (x = lo implies c-v <= lo,
-		// x = c-v is the equality point), so no value re-check is
-		// needed — re-deriving v >= c-x in floating point can fail by
-		// an ulp after the double rounding.
-		x := c - p.vs[k]
-		if x < lo {
-			x = lo
-		}
-		if x < hi || (inclusive && x == hi) {
+		if x, ok := p.reachInPiece(k, a, b, c); ok {
 			return x, true
 		}
+	}
+	return 0, false
+}
+
+// reachInPiece applies the descending-line crossing test to piece k of the
+// (already clamped) query [a, b] against the line c - x, reporting the first
+// crossing point inside the piece if there is one. Both the scan kernel
+// (FirstReachDescending above) and the indexed kernel run this exact code on
+// the same floats, so the two paths agree bit for bit.
+func (p *Piecewise) reachInPiece(k int, a, b, c float64) (float64, bool) {
+	lo := math.Max(p.xs[k], a)
+	hi := math.Min(p.xs[k+1], b)
+	// hi is inclusive when it is the query end strictly inside the
+	// piece, or when this is the last piece (which owns its right
+	// endpoint); otherwise the next piece owns the breakpoint.
+	inclusive := b < p.xs[k+1] || k == len(p.vs)-1
+	if lo > hi {
+		return 0, false
+	}
+	// Candidate: the first point of this piece where v >= c - x,
+	// i.e. x = max(lo, c-v). By construction the candidate
+	// satisfies the crossing condition (x = lo implies c-v <= lo,
+	// x = c-v is the equality point), so no value re-check is
+	// needed — re-deriving v >= c-x in floating point can fail by
+	// an ulp after the double rounding.
+	x := c - p.vs[k]
+	if x < lo {
+		x = lo
+	}
+	if x < hi || (inclusive && x == hi) {
+		return x, true
 	}
 	return 0, false
 }

@@ -2,6 +2,7 @@ package delay
 
 import (
 	"math"
+	"sort"
 	"testing"
 )
 
@@ -96,6 +97,74 @@ func FuzzMaxOn(f *testing.F) {
 			y := lo + (hi-lo)*float64(i)/100
 			if p.Eval(y) > fm+1e-9 {
 				t.Fatalf("MaxOn(%g,%g)=%g below f(%g)=%g", a, b, fm, y, p.Eval(y))
+			}
+		}
+	})
+}
+
+// FuzzIndexedEquivalence cross-checks the indexed kernel against the scan
+// kernel bit for bit on fuzzer-chosen functions and queries: same Eval, same
+// MaxOn maximizer and value, same FirstReachDescending crossing. Any one-ulp
+// disagreement here would surface as a byte-level diff in golden outputs, so
+// the comparison is exact equality, no tolerance.
+func FuzzIndexedEquivalence(f *testing.F) {
+	f.Add(40.0, 2.0, 7.0, 1.0, 5.0, 0.2, 0.5, 0.8, 3.0, 30.0, 25.0)
+	f.Add(100.0, 0.0, 0.0, 4.0, 4.0, 0.1, 0.4, 0.9, 0.0, 100.0, 60.0)
+	f.Add(7.5, 1.5, 1.5, 1.5, 0.25, 0.3, 0.6, 0.7, 2.0, 6.0, 8.0)
+	f.Fuzz(func(t *testing.T, c, v1, v2, v3, v4, s1, s2, s3, a, b, line float64) {
+		if math.IsNaN(c) || math.IsInf(c, 0) || c < 1 || c > 1e6 {
+			t.Skip()
+		}
+		for _, v := range []float64{v1, v2, v3, v4} {
+			if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 || v > 1e6 {
+				t.Skip()
+			}
+		}
+		for _, s := range []float64{s1, s2, s3} {
+			if math.IsNaN(s) || s <= 0 || s >= 1 {
+				t.Skip()
+			}
+		}
+		if math.IsNaN(a) || math.IsInf(a, 0) || math.IsNaN(b) || math.IsInf(b, 0) {
+			t.Skip()
+		}
+		if math.IsNaN(line) || math.IsInf(line, 0) || math.Abs(line) > 1e7 {
+			t.Skip()
+		}
+		xs := []float64{0, c * s1, c * s2, c * s3, c}
+		sort.Float64s(xs)
+		for i := 1; i < len(xs); i++ {
+			if xs[i] <= xs[i-1] {
+				t.Skip()
+			}
+		}
+		p, err := NewPiecewise(xs, []float64{v1, v2, v3, v4})
+		if err != nil {
+			t.Skip()
+		}
+		ix := NewIndexed(p)
+		probes := []float64{a, b, line}
+		for _, x := range p.Breakpoints() {
+			probes = append(probes, x,
+				math.Nextafter(x, math.Inf(1)), math.Nextafter(x, math.Inf(-1)))
+		}
+		for _, x := range probes {
+			if pe, ie := p.Eval(x), ix.Eval(x); pe != ie {
+				t.Fatalf("Eval(%v): scan %v, indexed %v (f=%v)", x, pe, ie, p)
+			}
+		}
+		for _, q := range [][2]float64{{a, b}, {b, a}, {0, c}, {a, a}} {
+			pt, pv := p.MaxOn(q[0], q[1])
+			it, iv := ix.MaxOn(q[0], q[1])
+			if pt != it || pv != iv {
+				t.Fatalf("MaxOn(%v,%v): scan (%v,%v), indexed (%v,%v) (f=%v)",
+					q[0], q[1], pt, pv, it, iv, p)
+			}
+			px, pok := p.FirstReachDescending(q[0], q[1], line)
+			ixx, iok := ix.FirstReachDescending(q[0], q[1], line)
+			if pok != iok || (pok && px != ixx) {
+				t.Fatalf("FirstReach(%v,%v,%v): scan (%v,%v), indexed (%v,%v) (f=%v)",
+					q[0], q[1], line, px, pok, ixx, iok, p)
 			}
 		}
 	})

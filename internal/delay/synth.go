@@ -117,6 +117,36 @@ func (p BenchmarkParams) Benchmarks() map[string]*Piecewise {
 	}
 }
 
+// BenchmarksAt is Benchmarks with an explicit envelope resolution (pieces
+// per function) instead of the paper's default. This is the knob the kernel
+// benchmarks sweep: the scan kernel's cost per Algorithm 1 window grows with
+// the piece count while the indexed kernel stays logarithmic. Coarser
+// envelopes dominate finer ones, so any resolution yields a sound (if less
+// tight) bound.
+func (p BenchmarkParams) BenchmarksAt(pieces int) (map[string]*Piecewise, error) {
+	g1, err := UpperEnvelope(Gaussian(p.Amp1, p.Mu, p.Sigma2A, p.Offset1), p.C, pieces, []float64{p.Mu})
+	if err != nil {
+		return nil, err
+	}
+	g2, err := UpperEnvelope(Gaussian(p.Amp, p.Mu, p.Sigma2B, 0), p.C, pieces, []float64{p.Mu})
+	if err != nil {
+		return nil, err
+	}
+	m1, m2 := p.C/4, 3*p.C/4
+	two, err := UpperEnvelope(GaussianMix(p.Amp,
+		Gaussian(p.Amp, m1, p.Sigma2B, 0),
+		Gaussian(p.Amp, m2, p.Sigma2B, 0),
+	), p.C, pieces, []float64{m1, m2})
+	if err != nil {
+		return nil, err
+	}
+	return map[string]*Piecewise{
+		"Gaussian 1":      g1,
+		"Gaussian 2":      g2,
+		"2 local maximum": two,
+	}, nil
+}
+
 // BenchmarkOrder lists the benchmark names in the paper's plotting order.
 func BenchmarkOrder() []string {
 	return []string{"Gaussian 1", "Gaussian 2", "2 local maximum"}

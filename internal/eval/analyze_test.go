@@ -1,0 +1,150 @@
+package eval
+
+import (
+	"math"
+	"testing"
+
+	"fnpr/internal/core"
+	"fnpr/internal/delay"
+	"fnpr/internal/task"
+)
+
+func analyzeTestSet(t *testing.T) (task.Set, []delay.Function) {
+	t.Helper()
+	f1, err := delay.NewPiecewise([]float64{0, 40, 120, 200}, []float64{3, 7, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2 := delay.Step(1, 6, 90, 9)
+	ts := task.Set{
+		{Name: "t1", C: 200, T: 1000, D: 1000},
+		{Name: "t2", C: 90, T: 500, D: 500},
+		{Name: "t3", C: 50, T: 400, D: 400},
+	}
+	return ts, []delay.Function{f1, f2, nil}
+}
+
+// TestAnalyzeSetMatchesDirectBounds asserts every (task, Q) point of a
+// batched analysis equals a direct core.UpperBound call on the raw function.
+func TestAnalyzeSetMatchesDirectBounds(t *testing.T) {
+	ts, fns := analyzeTestSet(t)
+	qs := []float64{10, 25, 60, 150}
+	res, err := AnalyzeSet(nil, ts, fns, qs, SweepOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != len(ts) {
+		t.Fatalf("%d curves for %d tasks", len(res), len(ts))
+	}
+	for i, r := range res {
+		if r.Name != ts[i].Name {
+			t.Fatalf("curve %d named %q, want %q", i, r.Name, ts[i].Name)
+		}
+		if len(r.Points) != len(qs) {
+			t.Fatalf("task %s: %d points for %d grid values", r.Name, len(r.Points), len(qs))
+		}
+		for k, pt := range r.Points {
+			if pt.Q != qs[k] || !pt.Done {
+				t.Fatalf("task %s point %d: Q=%g done=%v", r.Name, k, pt.Q, pt.Done)
+			}
+			want := 0.0
+			if fns[i] != nil {
+				var err error
+				want, err = core.UpperBound(fns[i], qs[k])
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+			if pt.Value != want {
+				t.Fatalf("task %s Q=%g: batched %v, direct %v", r.Name, qs[k], pt.Value, want)
+			}
+		}
+	}
+}
+
+// TestAnalyzeSetIndexTransparency asserts the auto-indexed run and the
+// NoIndex run produce bit-identical sweeps.
+func TestAnalyzeSetIndexTransparency(t *testing.T) {
+	ts, fns := analyzeTestSet(t)
+	qs := []float64{10, 25, 60, 150}
+	indexed, err := AnalyzeSet(nil, ts, fns, qs, SweepOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := AnalyzeSet(nil, ts, fns, qs, SweepOptions{NoIndex: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range indexed {
+		for k := range indexed[i].Points {
+			a, b := indexed[i].Points[k], plain[i].Points[k]
+			if a != b {
+				t.Fatalf("task %s Q=%g: indexed %+v vs plain %+v", ts[i].Name, qs[k], a, b)
+			}
+		}
+	}
+}
+
+// TestAnalyzeSetValidation covers the rejection paths.
+func TestAnalyzeSetValidation(t *testing.T) {
+	ts, fns := analyzeTestSet(t)
+	qs := []float64{10}
+	if _, err := AnalyzeSet(nil, nil, nil, qs, SweepOptions{}); err == nil {
+		t.Error("empty task set accepted")
+	}
+	if _, err := AnalyzeSet(nil, ts, fns[:2], qs, SweepOptions{}); err == nil {
+		t.Error("mismatched function count accepted")
+	}
+	if _, err := AnalyzeSet(nil, ts, fns, nil, SweepOptions{}); err == nil {
+		t.Error("empty Q grid accepted")
+	}
+	bad := []delay.Function{delay.Constant(1, 10), nil, nil} // domain 10 != C 200
+	if _, err := AnalyzeSet(nil, ts, bad, qs, SweepOptions{}); err == nil {
+		t.Error("domain/WCET mismatch accepted")
+	}
+}
+
+// TestAnalyzeSetAllNil: a set whose tasks all lack delay functions yields
+// all-zero curves without touching the sweep machinery.
+func TestAnalyzeSetAllNil(t *testing.T) {
+	ts, _ := analyzeTestSet(t)
+	res, err := AnalyzeSet(nil, ts, make([]delay.Function, len(ts)), []float64{5, 10}, SweepOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res {
+		for _, pt := range r.Points {
+			if pt.Value != 0 || !pt.Done {
+				t.Fatalf("task %s: %+v, want zero done point", r.Name, pt)
+			}
+		}
+	}
+}
+
+func TestEffectiveWCETs(t *testing.T) {
+	ts, fns := analyzeTestSet(t)
+	qs := []float64{10, 60}
+	res, err := AnalyzeSet(nil, ts, fns, qs, SweepOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eff, err := EffectiveWCETs(ts, res, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ts {
+		want := ts[i].C + res[i].Points[1].Value
+		if eff[i] != want || math.IsNaN(eff[i]) {
+			t.Fatalf("task %s: effective WCET %v, want %v", ts[i].Name, eff[i], want)
+		}
+	}
+	if eff[2] != ts[2].C {
+		t.Fatalf("nil-function task effective WCET %v, want bare C %v", eff[2], ts[2].C)
+	}
+	if _, err := EffectiveWCETs(ts, res[:1], 0); err == nil {
+		t.Error("mismatched curve count accepted")
+	}
+	if _, err := EffectiveWCETs(ts, res, 7); err == nil {
+		t.Error("out-of-range grid column accepted")
+	}
+}

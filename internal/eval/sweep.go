@@ -200,6 +200,14 @@ type SweepOptions struct {
 	// recomputed. The restored values are bit-exact, so a resumed sweep's
 	// output is byte-identical to an uninterrupted run's.
 	Resume map[string]json.RawMessage
+
+	// NoIndex disables the per-spec query index (delay.AutoIndex), forcing
+	// every grid point onto the linear-scan kernel. The indexed and scan
+	// kernels are bit-for-bit equivalent (proven by the differential and
+	// golden tests), so this only trades speed — it exists for those tests
+	// and for the scan side of the kernel benchmarks. The FNPR_NO_INDEX
+	// environment variable has the same effect process-wide.
+	NoIndex bool
 }
 
 // DefaultSweepRetry is the retry policy the command-line tools use: three
@@ -282,6 +290,18 @@ func QSweepOpts(g *guard.Ctx, specs []SweepSpec, qs []float64, opts SweepOptions
 	workers := opts.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
+	}
+	// Build each spec's query index once, up front, and share it across the
+	// whole Q grid and every worker (Indexed is immutable, hence safe for
+	// concurrent queries). Working on a copy keeps the caller's specs
+	// untouched.
+	if !opts.NoIndex {
+		indexed := make([]SweepSpec, len(specs))
+		copy(indexed, specs)
+		for i := range indexed {
+			indexed[i].F = delay.AutoIndex(indexed[i].F)
+		}
+		specs = indexed
 	}
 
 	type job struct{ si, qi int }
