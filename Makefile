@@ -7,7 +7,7 @@ GO ?= go
 BENCH_OUT ?= bench.out
 BENCH_JSON ?= BENCH_PR3.json
 
-.PHONY: build test check race vet bench bench-smoke figures
+.PHONY: build test check race vet lint-api bench bench-smoke figures
 
 build:
 	$(GO) build ./...
@@ -18,10 +18,16 @@ test:
 vet:
 	$(GO) vet ./...
 
+# lint-api rejects new exported X/XCtx or X/XOpts pairs (the ladder
+# anti-pattern the consolidated core.Analyze / eval.QSweep APIs replaced).
+# Pre-existing pairs are allowlisted in tools/lintapi/main.go.
+lint-api:
+	$(GO) run ./tools/lintapi .
+
 race:
 	$(GO) test -race ./...
 
-check: vet race bench-smoke
+check: vet lint-api race bench-smoke
 
 # bench runs the full suite at default benchtime and renders the
 # machine-readable report (per-benchmark ns/op, allocs/op and headline bound

@@ -103,7 +103,7 @@ func BenchmarkFigure5Sweep(b *testing.B) {
 				g2At100, soaAt100 float64
 			})
 			for i := 0; i < b.N; i++ {
-				t, err := eval.Figure5(nil, variant.params, nil)
+				t, err := eval.Figure5(nil, variant.params, eval.SweepOptions{})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -154,12 +154,12 @@ func BenchmarkFigure5Sweep(b *testing.B) {
 				for i := 0; i < b.N; i++ {
 					for fi, f := range fns {
 						for _, q := range qs {
-							v, err := core.UpperBound(f, q)
+							v, err := core.Analyze(nil, f, q, core.Options{})
 							if err != nil {
 								b.Fatal(err)
 							}
 							if q == 100 && names[fi] == "Gaussian 2" {
-								g2At100 = v
+								g2At100 = v.TotalDelay
 							}
 						}
 					}
@@ -216,7 +216,7 @@ func BenchmarkAlgorithm1(b *testing.B) {
 	for _, q := range []float64{20, 100, 500, 2000} {
 		b.Run(fmt.Sprintf("Q=%g", q), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := core.UpperBound(f, q); err != nil {
+				if _, err := core.Analyze(nil, f, q, core.Options{}); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -230,7 +230,7 @@ func BenchmarkEquation4(b *testing.B) {
 	for _, q := range []float64{20, 100, 500, 2000} {
 		b.Run(fmt.Sprintf("Q=%g", q), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := core.StateOfTheArt(f, q); err != nil {
+				if _, err := core.Analyze(nil, f, q, core.Options{Method: core.Equation4}); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -420,11 +420,11 @@ func BenchmarkFixedVsFloating(b *testing.B) {
 			b.Fatal(err)
 		}
 		fixed = sel.TotalCost
-		fl, err := core.UpperBound(f, qmax)
+		fl, err := core.Analyze(nil, f, qmax, core.Options{})
 		if err != nil {
 			b.Fatal(err)
 		}
-		floating = fl
+		floating = fl.TotalDelay
 	}
 	b.ReportMetric(fixed, "fixed-delay")
 	b.ReportMetric(floating, "floating-delay")
@@ -556,11 +556,11 @@ func BenchmarkEnvelopeResolution(b *testing.B) {
 			var bound float64
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				v, err := core.UpperBound(f, 100)
+				v, err := core.Analyze(nil, f, 100, core.Options{})
 				if err != nil {
 					b.Fatal(err)
 				}
-				bound = v
+				bound = v.TotalDelay
 			}
 			b.ReportMetric(bound, "bound(Q=100)")
 		})
@@ -584,7 +584,8 @@ func BenchmarkExactOracle(b *testing.B) {
 			b.Fatal(err)
 		}
 		exact = e
-		bound, _ = core.UpperBound(f, 10)
+		r, _ := core.Analyze(nil, f, 10, core.Options{})
+		bound = r.TotalDelay
 	}
 	b.ReportMetric(exact, "exact(Q=10)")
 	b.ReportMetric(bound, "alg1(Q=10)")

@@ -35,11 +35,11 @@ func main() {
 
 	if *file != "" {
 		analyseFile(gd, *file)
-		return
+		fatal(nil)
 	}
 	if *dot {
 		fmt.Print(cfg.Figure1().DOT("figure1"))
-		return
+		fatal(nil)
 	}
 	rep, err := eval.Figure1Report()
 	if err != nil {
@@ -47,7 +47,7 @@ func main() {
 	}
 	fmt.Print(rep)
 	if !*full {
-		return
+		fatal(nil)
 	}
 
 	g := cfg.Figure1()
@@ -68,16 +68,17 @@ func main() {
 	fmt.Printf("\nPreemption delay function from CRPD per block:\n  f = %v\n\n", f)
 	fmt.Printf("%8s %14s %18s\n", "Q", "Algorithm 1", "state of the art")
 	for _, q := range []float64{15, 20, 30, 50, 80, 120, 180} {
-		alg, err := core.UpperBoundCtx(gd, f, q)
+		alg, err := core.Analyze(gd, f, q, core.Options{})
 		if err != nil {
 			fatal(err)
 		}
-		soa, err := core.StateOfTheArtCtx(gd, f, q)
+		soa, err := core.Analyze(gd, f, q, core.Options{Method: core.Equation4})
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Printf("%8g %14.3f %18.3f\n", q, alg, soa)
+		fmt.Printf("%8g %14.3f %18.3f\n", q, alg.TotalDelay, soa.TotalDelay)
 	}
+	fatal(nil)
 }
 
 // analyseFile loads a CFG in the text format (with optional
@@ -161,15 +162,15 @@ func analyseFile(gd *guard.Ctx, path string) {
 		if q <= maxF {
 			continue
 		}
-		alg, err := core.UpperBoundCtx(gd, f, q)
+		alg, err := core.Analyze(gd, f, q, core.Options{})
 		if err != nil {
 			fatal(err)
 		}
-		soa, err := core.StateOfTheArtCtx(gd, f, q)
+		soa, err := core.Analyze(gd, f, q, core.Options{Method: core.Equation4})
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Printf("%8.2f %14.3f %18.3f\n", q, alg, soa)
+		fmt.Printf("%8.2f %14.3f %18.3f\n", q, alg.TotalDelay, soa.TotalDelay)
 	}
 }
 

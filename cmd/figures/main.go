@@ -88,11 +88,7 @@ func main() {
 			fatal(err)
 		}
 		cli.Checkpoint(g, j)
-		tb, err := eval.Figure5Opts(g, p, nil, eval.SweepOptions{
-			Retry:   eval.DefaultSweepRetry(limits.Seed),
-			Journal: j,
-			Resume:  resume,
-		})
+		tb, err := eval.Figure5(g, p, limits.SweepOptions(g, j, resume))
 		if j != nil {
 			if cerr := j.Close(); cerr != nil && err == nil {
 				err = cerr
@@ -148,6 +144,7 @@ func main() {
 	default:
 		fatal(cli.Usagef("unknown figure %q (want 1, 2, 3, 4, 5, acceptance, preemptions, tightness or all)", *fig))
 	}
+	fatal(nil)
 }
 
 func pickParams(name string) (delay.BenchmarkParams, error) {
@@ -214,7 +211,7 @@ func all(g *guard.Ctx, p delay.BenchmarkParams, dir string, ascii bool) error {
 	if err := writeCSVFile(tb4, filepath.Join(dir, "fig4.csv")); err != nil {
 		return err
 	}
-	tb5, err := eval.Figure5(g, p, nil)
+	tb5, err := eval.Figure5(g, p, eval.SweepOptions{Obs: g.Obs()})
 	if err != nil {
 		return err
 	}

@@ -46,22 +46,22 @@ func main() {
 	fmt.Printf("C = %g, max f = %g\n\n", f.Domain(), maxF)
 	fmt.Printf("%10s %14s %14s %12s %12s %10s\n", "Q", "Algorithm 1", "Equation 4", "C' (Alg 1)", "C' (Eq 4)", "preempts")
 	for _, q := range qList(*qlist) {
-		res, err := core.UpperBoundTraceCtx(g, f, q)
+		res, err := core.Analyze(g, f, q, core.Options{Trace: true})
 		if err != nil {
 			fatal(err)
 		}
-		soa, err := core.StateOfTheArtCtx(g, f, q)
+		soa, err := core.Analyze(g, f, q, core.Options{Method: core.Equation4})
 		if err != nil {
 			fatal(err)
 		}
 		fmt.Printf("%10g %14.3f %14.3f %12.3f %12.3f %10d\n",
-			q, res.TotalDelay, soa, res.EffectiveWCET(f.Domain()), f.Domain()+soa, res.Preemptions)
+			q, res.TotalDelay, soa.TotalDelay, res.EffectiveWCET(f.Domain()), f.Domain()+soa.TotalDelay, res.Preemptions)
 		if *limit >= 0 {
-			lb, err := core.UpperBoundLimitedCtx(g, f, q, *limit)
+			lb, err := core.Analyze(g, f, q, core.Options{Limited: true, MaxPreemptions: *limit})
 			if err != nil {
 				fatal(err)
 			}
-			fmt.Printf("%10s with at most %d preemptions: %.3f\n", "", *limit, lb)
+			fmt.Printf("%10s with at most %d preemptions: %.3f\n", "", *limit, lb.TotalDelay)
 		}
 		if *trace {
 			for k, it := range res.Iterations {
@@ -70,6 +70,7 @@ func main() {
 			}
 		}
 	}
+	fatal(nil)
 }
 
 func buildFunction(name, spec, params string) (*delay.Piecewise, error) {

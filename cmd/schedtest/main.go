@@ -47,7 +47,7 @@ func main() {
 
 	if *example {
 		printExample()
-		return
+		fatal(nil)
 	}
 	if *specPath == "" {
 		fatal(cli.Usagef("missing -spec (or use -example)"))
@@ -91,6 +91,7 @@ func main() {
 	if *simulate {
 		runSimulation(g, p, *horizon)
 	}
+	fatal(nil)
 }
 
 func analyseFP(g *guard.Ctx, p *spec.Problem) {

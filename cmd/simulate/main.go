@@ -56,9 +56,7 @@ func main() {
 	default:
 		err = cli.Usagef("unknown scenario %q", *scenario)
 	}
-	if err != nil {
-		cli.Exit("simulate", err)
-	}
+	cli.Exit("simulate", err)
 }
 
 func fig2() error {
@@ -171,16 +169,16 @@ func bounds(g *guard.Ctx, limits *cli.Limits) error {
 			return err
 		}
 		for i := range ts {
-			bound, err := core.UpperBoundCtx(g, fns[i], ts[i].Q)
+			r, err := core.Analyze(g, fns[i], ts[i].Q, core.Options{})
 			if err != nil {
 				return err
 			}
 			sound := "yes"
-			if res.Tasks[i].MaxDelayPerJob > bound+1e-9 {
+			if res.Tasks[i].MaxDelayPerJob > r.TotalDelay+1e-9 {
 				sound = "VIOLATED"
 			}
 			lines = append(lines, fmt.Sprintf("%6d %-8s %10.3f %14.3f %14.3f %8s\n",
-				trial, ts[i].Name, ts[i].Q, res.Tasks[i].MaxDelayPerJob, bound, sound))
+				trial, ts[i].Name, ts[i].Q, res.Tasks[i].MaxDelayPerJob, r.TotalDelay, sound))
 		}
 		for _, ln := range lines {
 			fmt.Print(ln)

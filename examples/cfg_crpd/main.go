@@ -76,15 +76,15 @@ func main() {
 
 	fmt.Printf("%8s %14s %18s\n", "Q", "Algorithm 1", "state of the art")
 	for _, q := range []float64{13, 16, 20, 30, 45} {
-		alg, err := core.UpperBound(f, q)
+		alg, err := core.Analyze(nil, f, q, core.Options{})
 		if err != nil {
 			log.Fatal(err)
 		}
-		soa, err := core.StateOfTheArt(f, q)
+		soa, err := core.Analyze(nil, f, q, core.Options{Method: core.Equation4})
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("%8g %14.2f %18.2f\n", q, alg, soa)
+		fmt.Printf("%8g %14.2f %18.2f\n", q, alg.TotalDelay, soa.TotalDelay)
 	}
 
 	// Against a small preempting task that only touches two cache sets,
@@ -94,10 +94,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	algE, err := core.UpperBound(fe, 16)
+	algE, err := core.Analyze(nil, fe, 16, core.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}
-	alg, _ := core.UpperBound(f, 16)
-	fmt.Printf("\nECB refinement at Q=16: %.2f (UCB-only: %.2f)\n", algE, alg)
+	alg, _ := core.Analyze(nil, f, 16, core.Options{})
+	fmt.Printf("\nECB refinement at Q=16: %.2f (UCB-only: %.2f)\n", algE.TotalDelay, alg.TotalDelay)
 }

@@ -43,11 +43,11 @@ func main() {
 			fmt.Printf("%8g %16s\n", q, "infeasible")
 			continue
 		}
-		floating, err := core.UpperBound(f, q)
+		floating, err := core.Analyze(nil, f, q, core.Options{})
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("%8g %16.2f %20.2f   %v\n", q, sel.TotalCost, floating, sel.Points)
+		fmt.Printf("%8g %16.2f %20.2f   %v\n", q, sel.TotalCost, floating.TotalDelay, sel.Points)
 	}
 
 	fmt.Println("\nReading: with small q the fixed model must enable expensive")

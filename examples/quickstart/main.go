@@ -29,7 +29,7 @@ func main() {
 	const q = 25 // floating non-preemptive region length
 
 	// The paper's contribution: Algorithm 1.
-	res, err := core.UpperBoundTrace(f, q)
+	res, err := core.Analyze(nil, f, q, core.Options{Trace: true})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -43,12 +43,12 @@ func main() {
 	}
 
 	// The state of the art charges max f for every possible preemption.
-	soa, err := core.StateOfTheArt(f, q)
+	soa, err := core.Analyze(nil, f, q, core.Options{Method: core.Equation4})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("\nState of the art: total delay <= %.2f (Equation 4)\n", soa)
-	fmt.Printf("improvement:      %.1fx tighter\n", soa/res.TotalDelay)
+	fmt.Printf("\nState of the art: total delay <= %.2f (Equation 4)\n", soa.TotalDelay)
+	fmt.Printf("improvement:      %.1fx tighter\n", soa.TotalDelay/res.TotalDelay)
 
 	// Theorem 1 in action: an adversarial run never exceeds the bound.
 	_, worst := core.PeakSeekingScenario(f, q)

@@ -46,10 +46,11 @@ func main() {
 		log.Fatal(err)
 	}
 
-	bound, err := core.UpperBound(f, ts[2].Q)
+	r, err := core.Analyze(nil, f, ts[2].Q, core.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}
+	bound := r.TotalDelay
 
 	fmt.Println("floating-NPR schedule over 6000 time units:")
 	fmt.Print(res.Summary())

@@ -26,13 +26,14 @@ func TestPanicAtQTargetsOneGridPoint(t *testing.T) {
 	in := NewInjector(1)
 	f := in.Wrap(base(t), Fault{PanicAtQ: 20})
 	for _, q := range []float64{15, 25} {
-		if _, err := core.UpperBound(f, q); err != nil {
+		if _, err := core.Analyze(nil, f, q, core.Options{}); err != nil {
 			t.Fatalf("untargeted Q=%g failed: %v", q, err)
 		}
 	}
 	for attempt := 1; attempt <= 2; attempt++ {
 		_, err := guard.Run(nil, "probe", func() (float64, error) {
-			return core.UpperBound(f, 20)
+			r, err := core.Analyze(nil, f, 20, core.Options{})
+			return r.TotalDelay, err
 		})
 		if !errors.Is(err, guard.ErrPanic) || !strings.Contains(err.Error(), "chaos: injected panic at Q=20") {
 			t.Fatalf("attempt %d at targeted Q: err = %v, want injected chaos panic", attempt, err)
@@ -46,24 +47,26 @@ func TestPanicAtQTargetsOneGridPoint(t *testing.T) {
 // TestHealMakesFaultTransient: with Heal=2 the first two attempts panic and
 // the third succeeds with the clean value.
 func TestHealMakesFaultTransient(t *testing.T) {
-	clean, err := core.UpperBound(base(t), 20)
+	cr, err := core.Analyze(nil, base(t), 20, core.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
+	clean := cr.TotalDelay
 	in := NewInjector(1)
 	f := in.Wrap(base(t), Fault{PanicAtQ: 20, Heal: 2})
 	for attempt := 0; attempt < 2; attempt++ {
 		if _, err := guard.Run(nil, "probe", func() (float64, error) {
-			return core.UpperBound(f, 20)
+			r, err := core.Analyze(nil, f, 20, core.Options{})
+			return r.TotalDelay, err
 		}); !errors.Is(err, guard.ErrPanic) {
 			t.Fatalf("attempt %d: err = %v, want panic", attempt, err)
 		}
 	}
-	v, err := core.UpperBound(f, 20)
+	vr, err := core.Analyze(nil, f, 20, core.Options{})
 	if err != nil {
 		t.Fatalf("healed attempt failed: %v", err)
 	}
-	if v != clean {
+	if v := vr.TotalDelay; v != clean {
 		t.Fatalf("healed value %g differs from clean %g", v, clean)
 	}
 	if in.Fired() != 2 {
@@ -76,11 +79,12 @@ func TestHealMakesFaultTransient(t *testing.T) {
 func TestPanicFallbackHitsOnlyEq4(t *testing.T) {
 	in := NewInjector(1)
 	f := in.Wrap(base(t), Fault{PanicFallback: true})
-	if _, err := core.UpperBound(f, 20); err != nil {
+	if _, err := core.Analyze(nil, f, 20, core.Options{}); err != nil {
 		t.Fatalf("Algorithm 1 walk hit the fallback fault: %v", err)
 	}
 	_, err := guard.Run(nil, "fallback", func() (float64, error) {
-		return core.StateOfTheArt(f, 20)
+		r, err := core.Analyze(nil, f, 20, core.Options{Method: core.Equation4})
+		return r.TotalDelay, err
 	})
 	if !errors.Is(err, guard.ErrPanic) || !strings.Contains(err.Error(), "Eq.4 fallback") {
 		t.Fatalf("fallback err = %v, want injected fallback panic", err)
@@ -93,7 +97,7 @@ func TestBurnExhaustsSharedBudget(t *testing.T) {
 	g := guard.New(context.Background()).WithBudget(50)
 	in := NewInjector(1)
 	f := in.Wrap(base(t), Fault{Burn: 40, Guard: g})
-	_, err := core.UpperBoundCtx(g, f, 20)
+	_, err := core.Analyze(g, f, 20, core.Options{})
 	if !errors.Is(err, guard.ErrBudgetExceeded) {
 		t.Fatalf("burned analysis: err = %v, want ErrBudgetExceeded", err)
 	}
@@ -110,7 +114,7 @@ func TestCancelAfterQueries(t *testing.T) {
 	// fires and a later poll observes it.
 	var lastErr error
 	for _, q := range []float64{15, 20, 25, 30} {
-		if _, err := core.UpperBoundCtx(g, f, q); err != nil {
+		if _, err := core.Analyze(g, f, q, core.Options{}); err != nil {
 			lastErr = err
 			break
 		}
@@ -167,13 +171,14 @@ func TestRandomPanicSeededReproducibly(t *testing.T) {
 func TestZeroFaultIsTransparent(t *testing.T) {
 	in := NewInjector(1)
 	f := in.Wrap(base(t), Fault{})
-	clean, err := core.UpperBound(base(t), 20)
+	cr, err := core.Analyze(nil, base(t), 20, core.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := core.UpperBound(f, 20)
-	if err != nil || got != clean {
-		t.Fatalf("wrapped bound (%g, %v), want (%g, nil)", got, err, clean)
+	clean := cr.TotalDelay
+	gr, err := core.Analyze(nil, f, 20, core.Options{})
+	if err != nil || gr.TotalDelay != clean {
+		t.Fatalf("wrapped bound (%g, %v), want (%g, nil)", gr.TotalDelay, err, clean)
 	}
 	if f.Queries() == 0 {
 		t.Fatal("query counter did not advance")

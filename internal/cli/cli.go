@@ -28,8 +28,10 @@ import (
 	"syscall"
 	"time"
 
+	"fnpr/internal/eval"
 	"fnpr/internal/guard"
 	"fnpr/internal/journal"
+	"fnpr/internal/obs"
 )
 
 // Exit codes of the contract above.
@@ -49,10 +51,21 @@ func Usagef(format string, args ...any) error {
 	return fmt.Errorf("%w: %s", ErrUsage, fmt.Sprintf(format, args...))
 }
 
-// Limits receives the shared resource-limit and batch-runtime flags.
+// Limits receives the shared resource-limit, batch-runtime and observability
+// flags.
 type Limits struct {
 	Timeout time.Duration
 	MaxIter int64
+
+	// Metrics, MetricsOut and DebugAddr are the observability surface every
+	// tool shares: -metrics dumps the registry snapshot at exit (JSON plus a
+	// human table, on stderr so golden-checked stdout stays untouched),
+	// -metrics-out writes the JSON snapshot to a file, and -debug-addr
+	// serves live /debug/vars (expvar) and /debug/pprof/* while the tool
+	// runs.
+	Metrics    bool
+	MetricsOut string
+	DebugAddr  string
 
 	// Journal, Resume and Seed are registered only by SweepFlags — the
 	// batch-runtime surface of the sweep-running tools.
@@ -61,13 +74,29 @@ type Limits struct {
 	Seed    int64
 }
 
-// Flags registers -timeout and -max-iter on the default flag set and returns
-// the destination. Call before flag.Parse.
+// active is the Limits most recently registered by Flags; Exit consults it so
+// the metrics snapshot is dumped on every exit path, success and failure
+// alike.
+var active *Limits
+
+// Flags registers -timeout, -max-iter and the observability flags (-metrics,
+// -metrics-out, -debug-addr) on the default flag set and returns the
+// destination. Call before flag.Parse.
 func Flags() *Limits {
 	l := &Limits{Seed: 1}
 	flag.DurationVar(&l.Timeout, "timeout", 0, "abort the analysis after this wall-clock time (e.g. 30s; 0 = no limit)")
 	flag.Int64Var(&l.MaxIter, "max-iter", 0, "abort after this many analysis steps across all loops (0 = no limit)")
+	flag.BoolVar(&l.Metrics, "metrics", false, "dump the metrics snapshot (JSON and a text table) to stderr at exit")
+	flag.StringVar(&l.MetricsOut, "metrics-out", "", "write the metrics snapshot as JSON to this file at exit")
+	flag.StringVar(&l.DebugAddr, "debug-addr", "", "serve /debug/vars and /debug/pprof on this address (e.g. localhost:6060) while running")
+	active = l
 	return l
+}
+
+// observed reports whether any observability flag was given — the condition
+// under which Guard attaches a scope and enables the gated instrumentation.
+func (l *Limits) observed() bool {
+	return l != nil && (l.Metrics || l.MetricsOut != "" || l.DebugAddr != "")
 }
 
 // SweepFlags additionally registers the batch-runtime flags — -journal,
@@ -86,7 +115,7 @@ func (l *Limits) SweepFlags() *Limits {
 // interrupted sweep aborts through the normal cancellation path — partial
 // results checkpointed, exit code 3 — instead of dying mid-write.
 func (l *Limits) Guard() *guard.Ctx {
-	if l == nil || (l.Timeout <= 0 && l.MaxIter <= 0 && l.Journal == "") {
+	if l == nil || (l.Timeout <= 0 && l.MaxIter <= 0 && l.Journal == "" && !l.observed()) {
 		return nil
 	}
 	ctx := context.Background()
@@ -102,7 +131,65 @@ func (l *Limits) Guard() *guard.Ctx {
 	if l.MaxIter > 0 {
 		g = g.WithBudget(l.MaxIter)
 	}
+	if l.observed() {
+		// One process-wide scope over the default registry: everything the
+		// analyses report lands in the snapshot the -metrics/-debug-addr
+		// surfaces read. Enable() switches on the gated hot-path counters
+		// (kernel query accounting) for the whole process.
+		obs.Enable()
+		g = g.WithObs(obs.NewScope(nil))
+		if l.DebugAddr != "" {
+			srv, err := obs.StartDebugServer(l.DebugAddr, nil)
+			if err != nil {
+				// A dead diagnostics endpoint must not kill the analysis;
+				// say so and carry on.
+				fmt.Fprintf(os.Stderr, "warning: %v\n", err)
+			} else {
+				fmt.Fprintf(os.Stderr, "debug server listening on http://%s/debug/vars\n", srv.Addr)
+			}
+		}
+	}
 	return g
+}
+
+// SweepOptions assembles the eval.SweepOptions the batch-runtime flags
+// describe: the seeded default retry policy, the journal and resume view from
+// OpenJournal, and the guard's observability scope. Callers fill Qs (and
+// anything else sweep-specific) on the returned value.
+func (l *Limits) SweepOptions(g *guard.Ctx, j *journal.Journal, resume map[string]json.RawMessage) eval.SweepOptions {
+	return eval.SweepOptions{
+		Retry:   eval.DefaultSweepRetry(l.Seed),
+		Journal: j,
+		Resume:  resume,
+		Obs:     g.Obs(),
+	}
+}
+
+// DumpMetrics writes the process-global registry snapshot to the sinks the
+// flags name: stderr (JSON, then a text table) for -metrics, a JSON file for
+// -metrics-out. Exit calls it on every path; calling it with no metrics flag
+// set is a no-op.
+func (l *Limits) DumpMetrics() error {
+	if l == nil || (!l.Metrics && l.MetricsOut == "") {
+		return nil
+	}
+	snap := obs.Default().Snapshot()
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return fmt.Errorf("encoding metrics snapshot: %w", err)
+	}
+	if l.Metrics {
+		fmt.Fprintf(os.Stderr, "%s\n", data)
+		if err := snap.WriteTable(os.Stderr); err != nil {
+			return err
+		}
+	}
+	if l.MetricsOut != "" {
+		if err := os.WriteFile(l.MetricsOut, append(data, '\n'), 0o644); err != nil {
+			return fmt.Errorf("writing metrics snapshot: %w", err)
+		}
+	}
+	return nil
 }
 
 // OpenJournal opens the checkpoint journal the flags describe and returns it
@@ -157,9 +244,17 @@ func Code(err error) int {
 	}
 }
 
-// Exit prints "prog: err" on stderr (for non-nil err) and exits with
-// Code(err).
+// Exit prints "prog: err" on stderr (for non-nil err), dumps the metrics
+// snapshot when the observability flags ask for one, and exits with
+// Code(err). Success paths call Exit(prog, nil) so the snapshot covers clean
+// runs too.
 func Exit(prog string, err error) {
+	if merr := active.DumpMetrics(); merr != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", prog, merr)
+		if err == nil {
+			err = merr
+		}
+	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "%s: %v\n", prog, err)
 	}

@@ -27,8 +27,16 @@
 //
 // Divergence: when the charged delay consumes the entire window
 // (delaymax >= Q), no progression can be guaranteed and the bound diverges;
-// UpperBound then returns +Inf, exactly as Equation 4's fixpoint does when
+// the analysis then reports +Inf, exactly as Equation 4's fixpoint does when
 // max f >= Q.
+//
+// # Entry point
+//
+// Analyze is the package's single entry point; Options selects the method
+// (Algorithm 1, the Equation 4 baseline, the naive demonstration bound), the
+// trace, the preemption-count refinement and the run-time remaining-delay
+// refinement. The UpperBound*/StateOfTheArt*/NaivePointSelection*/
+// RemainingBound* families below are deprecated wrappers kept for one PR.
 package core
 
 import (
@@ -37,6 +45,7 @@ import (
 
 	"fnpr/internal/delay"
 	"fnpr/internal/guard"
+	"fnpr/internal/obs"
 )
 
 // Epsilon guards the progression loop: a guaranteed progression per window
@@ -74,7 +83,7 @@ type Result struct {
 	TotalDelay float64
 	// Preemptions is the number of preemptions charged (iterations).
 	Preemptions int
-	// Iterations is the step-by-step trace.
+	// Iterations is the step-by-step trace (only with Options.Trace).
 	Iterations []Iteration
 	// Diverged reports whether the analysis hit a zero-progress window.
 	Diverged bool
@@ -86,48 +95,18 @@ func (r Result) EffectiveWCET(c float64) float64 {
 	return c + r.TotalDelay
 }
 
-// UpperBound runs Algorithm 1 on the preemption delay function f with
-// non-preemptive region length Q and returns the bound on the cumulative
-// preemption delay over one job whose isolated WCET is f.Domain().
-func UpperBound(f delay.Function, q float64) (float64, error) {
-	return UpperBoundCtx(nil, f, q)
-}
-
-// UpperBoundCtx is UpperBound under a guard scope: the Algorithm 1 walk
-// charges one guard step per iteration, so it can be canceled, time-bounded
-// and budget-bounded mid-analysis. A nil guard means no limits.
-//
-// This is the traceless fast path: no iteration records are kept, so the
-// walk performs zero heap allocations — the property the batched sweeps of
-// internal/eval rely on when they fan a whole Q grid over the worker pool.
-func UpperBoundCtx(g *guard.Ctx, f delay.Function, q float64) (float64, error) {
-	r, err := upperBoundFrom(g, f, q, q, nil)
-	if err != nil {
-		return 0, err
-	}
-	return r.TotalDelay, nil
-}
-
-// UpperBoundTrace is UpperBound with the full iteration trace.
-func UpperBoundTrace(f delay.Function, q float64) (Result, error) {
-	return UpperBoundTraceCtx(nil, f, q)
-}
-
-// UpperBoundTraceCtx is UpperBoundTrace under a guard scope.
-func UpperBoundTraceCtx(g *guard.Ctx, f delay.Function, q float64) (Result, error) {
-	// Lines 1-4 of Algorithm 1: the first Q units of execution are
-	// preemption-free, so the first candidate preemption point is Q.
-	var trace []Iteration
-	return upperBoundFrom(g, f, q, q, &trace)
-}
-
 // upperBoundFrom runs the Algorithm 1 loop with an explicit first candidate
-// preemption point, used by the UpperBound variants (first = Q) and by
-// RemainingBound (first = Q - pending payback). When trace is non-nil the
-// per-iteration records are appended to it (reusing its capacity) and
-// returned as Result.Iterations; a nil trace skips the bookkeeping entirely,
-// making the walk allocation-free.
-func upperBoundFrom(g *guard.Ctx, f delay.Function, q, first float64, trace *[]Iteration) (Result, error) {
+// preemption point, used by Analyze (first = Q) and its remaining-delay mode
+// (first = Q - pending payback). When trace is non-nil the per-iteration
+// records are appended to it (reusing its capacity) and returned as
+// Result.Iterations; a nil trace skips the bookkeeping entirely, making the
+// walk allocation-free.
+//
+// Observability: iteration and kernel-query counts are accumulated in locals
+// and flushed to the scope's counters once per return site, so the hot loop
+// performs no atomic operations and the walk stays allocation-free whether or
+// not a scope is attached (nil instruments make the flush a no-op).
+func upperBoundFrom(g *guard.Ctx, sc *obs.Scope, f delay.Function, q, first float64, trace *[]Iteration) (Result, error) {
 	if f == nil {
 		return Result{}, guard.Invalidf("core: nil delay function")
 	}
@@ -142,6 +121,11 @@ func upperBoundFrom(g *guard.Ctx, f delay.Function, q, first float64, trace *[]I
 		return Result{}, err
 	}
 
+	sc.Counter("core.alg1.runs").Inc()
+	itc := sc.Counter("core.alg1.iterations")
+	qc := kernelQueryCounter(sc, f)
+	var iters int64
+
 	var res Result
 	if first <= 0 {
 		// The pending payback consumes the whole protected window:
@@ -149,6 +133,7 @@ func upperBoundFrom(g *guard.Ctx, f delay.Function, q, first float64, trace *[]I
 		// the bound diverges.
 		res.TotalDelay = math.Inf(1)
 		res.Diverged = true
+		sc.Counter("core.alg1.diverged").Inc()
 		return res, nil
 	}
 	prog := 0.0
@@ -156,8 +141,11 @@ func upperBoundFrom(g *guard.Ctx, f delay.Function, q, first float64, trace *[]I
 
 	for pnext < c {
 		if err := g.Tick(); err != nil {
+			itc.Add(iters)
+			qc.Add(2 * iters)
 			return res, err
 		}
+		iters++
 		prog = pnext
 
 		// p∩: first crossing of f with D(x) = prog + Q - x on
@@ -188,95 +176,33 @@ func upperBoundFrom(g *guard.Ctx, f delay.Function, q, first float64, trace *[]I
 			// guaranteed progression, the bound diverges.
 			res.TotalDelay = math.Inf(1)
 			res.Diverged = true
-			return res, nil
+			break
 		}
 		if res.Preemptions >= maxIterations {
 			res.TotalDelay = math.Inf(1)
 			res.Diverged = true
-			return res, nil
+			break
 		}
+	}
+	itc.Add(iters)
+	qc.Add(2 * iters)
+	if res.Diverged {
+		sc.Counter("core.alg1.diverged").Inc()
 	}
 	return res, nil
 }
 
-// StateOfTheArt computes the baseline bound of Equation 4: every possible
-// preemption is charged the global maximum of f, and the preemption count is
-// the fixpoint of
-//
-//	C'(0) = C;  C'(k) = C + ceil(C'(k-1)/Q) * max_t f(t)
-//
-// The returned value is the cumulative delay C' - C (so it is directly
-// comparable with UpperBound); +Inf when the fixpoint diverges (max f >= Q).
-func StateOfTheArt(f delay.Function, q float64) (float64, error) {
-	return StateOfTheArtCtx(nil, f, q)
-}
-
-// StateOfTheArtCtx is StateOfTheArt under a guard scope.
-func StateOfTheArtCtx(g *guard.Ctx, f delay.Function, q float64) (float64, error) {
-	if f == nil {
-		return 0, guard.Invalidf("core: nil delay function")
-	}
-	if q <= 0 || math.IsNaN(q) || math.IsInf(q, 0) {
-		return 0, guard.Invalidf("core: Q must be positive and finite, got %g", q)
-	}
-	c := f.Domain()
-	_, maxF := f.MaxOn(0, c)
-	return StateOfTheArtRawCtx(g, c, q, maxF)
-}
-
-// StateOfTheArtRaw is StateOfTheArt for callers that already know C and the
-// maximum preemption delay.
-func StateOfTheArtRaw(c, q, maxDelay float64) (float64, error) {
-	return StateOfTheArtRawCtx(nil, c, q, maxDelay)
-}
-
-// StateOfTheArtRawCtx is StateOfTheArtRaw under a guard scope; the fixpoint
-// charges one guard step per iteration.
-func StateOfTheArtRawCtx(g *guard.Ctx, c, q, maxDelay float64) (float64, error) {
-	if c <= 0 || q <= 0 || maxDelay < 0 ||
-		math.IsNaN(c) || math.IsNaN(q) || math.IsNaN(maxDelay) ||
-		math.IsInf(c, 0) || math.IsInf(q, 0) || math.IsInf(maxDelay, 0) {
-		return 0, guard.Invalidf("core: invalid parameters C=%g Q=%g max=%g", c, q, maxDelay)
-	}
-	if maxDelay == 0 {
-		return 0, nil
-	}
-	if maxDelay >= q {
-		// Each iteration adds at least one extra preemption's worth of
-		// delay per window: the fixpoint diverges.
-		return math.Inf(1), nil
-	}
-	cur := c
-	for i := 0; i < maxIterations; i++ {
-		if err := g.Tick(); err != nil {
-			return 0, err
-		}
-		next := c + math.Ceil(cur/q)*maxDelay
-		if next <= cur {
-			return cur - c, nil
-		}
-		cur = next
-	}
-	return math.Inf(1), nil
-}
-
-// NaivePointSelection computes the (unsound!) bound discussed at the top of
+// naivePointSelection computes the (unsound!) bound discussed at the top of
 // Section V and refuted by Figure 2: select preemption points at least Q
 // apart in *progression* maximising the sum of f. It underestimates the real
 // worst case because time spent repaying delay lets the adversary fit more
-// preemptions than progression-spacing suggests. It is retained only to
-// reproduce the paper's counter-example; never use it for analysis.
+// preemptions than progression-spacing suggests.
 //
 // The maximisation is performed by dynamic programming over a candidate grid
 // containing every breakpoint of f plus shifted copies at multiples of Q, so
-// for piecewise-constant f the result is exact.
-func NaivePointSelection(f *delay.Piecewise, q float64) (float64, error) {
-	return NaivePointSelectionCtx(nil, f, q)
-}
-
-// NaivePointSelectionCtx is NaivePointSelection under a guard scope; the DP
-// charges one guard step per candidate point.
-func NaivePointSelectionCtx(g *guard.Ctx, f *delay.Piecewise, q float64) (float64, error) {
+// for piecewise-constant f the result is exact. The DP charges one guard step
+// per candidate point.
+func naivePointSelection(g *guard.Ctx, f *delay.Piecewise, q float64) (float64, error) {
 	if f == nil {
 		return 0, guard.Invalidf("core: nil delay function")
 	}
@@ -331,41 +257,4 @@ func NaivePointSelectionCtx(g *guard.Ctx, f *delay.Piecewise, q float64) (float6
 		}
 	}
 	return ans, nil
-}
-
-// RemainingBound bounds the delay still ahead of a job that was just
-// preempted at progression p: the current preemption's cost f(p) plus the
-// cumulative cost of further preemptions over the remaining execution.
-// The next preemption can strike Q execution-time units after the current
-// one, of which f(p) are consumed repaying the current delay, so the first
-// protected window of the suffix analysis shrinks to Q - f(p); when the
-// payback swallows the whole window (f(p) >= Q) the bound diverges, exactly
-// like the whole-job analysis with delay >= Q.
-//
-// This is the run-time refinement hook the paper's model enables: a
-// scheduler that knows the observed preemption progression can re-bound the
-// job's remaining WCET online.
-func RemainingBound(f *delay.Piecewise, q, p float64) (float64, error) {
-	return RemainingBoundCtx(nil, f, q, p)
-}
-
-// RemainingBoundCtx is RemainingBound under a guard scope.
-func RemainingBoundCtx(g *guard.Ctx, f *delay.Piecewise, q, p float64) (float64, error) {
-	if f == nil {
-		return 0, guard.Invalidf("core: nil delay function")
-	}
-	c := f.Domain()
-	if p < 0 || p >= c || math.IsNaN(p) {
-		return 0, guard.Invalidf("core: progression %g outside [0, %g)", p, c)
-	}
-	current := f.Eval(p)
-	suffix, err := f.Suffix(p)
-	if err != nil {
-		return 0, err
-	}
-	res, err := upperBoundFrom(g, suffix, q, q-current, nil)
-	if err != nil {
-		return 0, err
-	}
-	return current + res.TotalDelay, nil
 }

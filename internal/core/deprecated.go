@@ -1,0 +1,131 @@
+package core
+
+import (
+	"fnpr/internal/delay"
+	"fnpr/internal/guard"
+)
+
+// This file holds the pre-Analyze entry-point ladder as thin wrappers. They
+// survive exactly one PR as a deprecation window (DESIGN.md §10) so that
+// out-of-tree callers get a compile-clean release with staticcheck warnings
+// before the removal; nothing inside this repository calls them outside the
+// tests that pin their equivalence to Analyze.
+
+// UpperBound runs Algorithm 1 on the preemption delay function f with
+// non-preemptive region length Q and returns the bound on the cumulative
+// preemption delay over one job whose isolated WCET is f.Domain().
+//
+// Deprecated: use Analyze(nil, f, q, Options{}).
+func UpperBound(f delay.Function, q float64) (float64, error) {
+	return UpperBoundCtx(nil, f, q)
+}
+
+// UpperBoundCtx is UpperBound under a guard scope.
+//
+// Deprecated: use Analyze(g, f, q, Options{}).
+func UpperBoundCtx(g *guard.Ctx, f delay.Function, q float64) (float64, error) {
+	r, err := Analyze(g, f, q, Options{})
+	return r.TotalDelay, err
+}
+
+// UpperBoundTrace is UpperBound with the full iteration trace.
+//
+// Deprecated: use Analyze(nil, f, q, Options{Trace: true}).
+func UpperBoundTrace(f delay.Function, q float64) (Result, error) {
+	return UpperBoundTraceCtx(nil, f, q)
+}
+
+// UpperBoundTraceCtx is UpperBoundTrace under a guard scope.
+//
+// Deprecated: use Analyze(g, f, q, Options{Trace: true}).
+func UpperBoundTraceCtx(g *guard.Ctx, f delay.Function, q float64) (Result, error) {
+	return Analyze(g, f, q, Options{Trace: true})
+}
+
+// StateOfTheArt computes the baseline bound of Equation 4: every possible
+// preemption is charged the global maximum of f, and the preemption count is
+// the fixpoint of
+//
+//	C'(0) = C;  C'(k) = C + ceil(C'(k-1)/Q) * max_t f(t)
+//
+// The returned value is the cumulative delay C' - C (so it is directly
+// comparable with Algorithm 1); +Inf when the fixpoint diverges (max f >= Q).
+//
+// Deprecated: use Analyze(nil, f, q, Options{Method: Equation4}).
+func StateOfTheArt(f delay.Function, q float64) (float64, error) {
+	return StateOfTheArtCtx(nil, f, q)
+}
+
+// StateOfTheArtCtx is StateOfTheArt under a guard scope.
+//
+// Deprecated: use Analyze(g, f, q, Options{Method: Equation4}).
+func StateOfTheArtCtx(g *guard.Ctx, f delay.Function, q float64) (float64, error) {
+	r, err := Analyze(g, f, q, Options{Method: Equation4})
+	return r.TotalDelay, err
+}
+
+// StateOfTheArtRaw is StateOfTheArt for callers that already know C and the
+// maximum preemption delay.
+//
+// Deprecated: use Eq4Fixpoint(nil, c, q, maxDelay).
+func StateOfTheArtRaw(c, q, maxDelay float64) (float64, error) {
+	return Eq4Fixpoint(nil, c, q, maxDelay)
+}
+
+// StateOfTheArtRawCtx is StateOfTheArtRaw under a guard scope; the fixpoint
+// charges one guard step per iteration.
+//
+// Deprecated: use Eq4Fixpoint(g, c, q, maxDelay).
+func StateOfTheArtRawCtx(g *guard.Ctx, c, q, maxDelay float64) (float64, error) {
+	return Eq4Fixpoint(g, c, q, maxDelay)
+}
+
+// NaivePointSelection computes the unsound point-selection bound retained
+// only to reproduce the paper's Figure 2 counter-example.
+//
+// Deprecated: use Analyze(nil, f, q, Options{Method: NaiveUnsound}).
+func NaivePointSelection(f *delay.Piecewise, q float64) (float64, error) {
+	return NaivePointSelectionCtx(nil, f, q)
+}
+
+// NaivePointSelectionCtx is NaivePointSelection under a guard scope.
+//
+// Deprecated: use Analyze(g, f, q, Options{Method: NaiveUnsound}).
+func NaivePointSelectionCtx(g *guard.Ctx, f *delay.Piecewise, q float64) (float64, error) {
+	r, err := Analyze(g, f, q, Options{Method: NaiveUnsound})
+	return r.TotalDelay, err
+}
+
+// RemainingBound bounds the delay still ahead of a job that was just
+// preempted at progression p: the current preemption's cost f(p) plus the
+// cumulative cost of further preemptions over the remaining execution.
+//
+// Deprecated: use Analyze(nil, f, q, Options{Remaining: true, From: p}).
+func RemainingBound(f *delay.Piecewise, q, p float64) (float64, error) {
+	return RemainingBoundCtx(nil, f, q, p)
+}
+
+// RemainingBoundCtx is RemainingBound under a guard scope.
+//
+// Deprecated: use Analyze(g, f, q, Options{Remaining: true, From: p}).
+func RemainingBoundCtx(g *guard.Ctx, f *delay.Piecewise, q, p float64) (float64, error) {
+	r, err := Analyze(g, f, q, Options{Remaining: true, From: p})
+	return r.TotalDelay, err
+}
+
+// UpperBoundLimited bounds the cumulative preemption delay of a job that can
+// be preempted at most maxPreemptions times, under FNPR semantics with
+// region length q. maxPreemptions < 0 means unlimited (plain Algorithm 1).
+//
+// Deprecated: use Analyze(nil, f, q, Options{Limited: true, MaxPreemptions: n}).
+func UpperBoundLimited(f delay.Function, q float64, maxPreemptions int) (float64, error) {
+	return UpperBoundLimitedCtx(nil, f, q, maxPreemptions)
+}
+
+// UpperBoundLimitedCtx is UpperBoundLimited under a guard scope.
+//
+// Deprecated: use Analyze(g, f, q, Options{Limited: true, MaxPreemptions: n}).
+func UpperBoundLimitedCtx(g *guard.Ctx, f delay.Function, q float64, maxPreemptions int) (float64, error) {
+	r, err := Analyze(g, f, q, Options{Limited: maxPreemptions >= 0, MaxPreemptions: maxPreemptions})
+	return r.TotalDelay, err
+}

@@ -3,13 +3,9 @@ package core
 import (
 	"fmt"
 	"math"
-	"sort"
-
-	"fnpr/internal/delay"
-	"fnpr/internal/guard"
 )
 
-// This file implements the refinement the paper lists as future work (ii)
+// This file supports the refinement the paper lists as future work (ii)
 // in Section VII: "reducing the number of preemptions (i.e., the number of
 // iterations) considered in Algorithm 1 — it is indeed impossible for a
 // task to get preempted every Qi time units ... unless the periods of the
@@ -18,56 +14,17 @@ import (
 // When the environment can cause at most n preemptions of a job (e.g. n
 // bounds the higher-priority releases within the job's response time), the
 // cumulative delay is bounded by the sum of the n largest per-iteration
-// charges of Algorithm 1. The argument extends Theorem 1's induction: each
-// scenario preemption is absorbed by exactly one algorithm iteration (case 2
-// of the proof), distinct preemptions by distinct iterations (two
-// preemptions are >= Q apart on the job's execution clock while an iteration
-// window spans Q execution time), and each absorbed preemption is charged at
-// most that iteration's delaymax. With at most n preemptions, at most n
-// iterations absorb anything, so the total is bounded by the n largest
-// charges. The result is also trivially <= min(full Algorithm 1 bound,
-// n x max f). The test suite validates the bound against adversarial
-// scenarios restricted to n preemptions.
-
-// UpperBoundLimited bounds the cumulative preemption delay of a job that can
-// be preempted at most maxPreemptions times, under FNPR semantics with
-// region length q. maxPreemptions < 0 means unlimited (plain Algorithm 1).
-func UpperBoundLimited(f delay.Function, q float64, maxPreemptions int) (float64, error) {
-	return UpperBoundLimitedCtx(nil, f, q, maxPreemptions)
-}
-
-// UpperBoundLimitedCtx is UpperBoundLimited under a guard scope.
-func UpperBoundLimitedCtx(g *guard.Ctx, f delay.Function, q float64, maxPreemptions int) (float64, error) {
-	res, err := UpperBoundTraceCtx(g, f, q)
-	if err != nil {
-		return 0, err
-	}
-	if maxPreemptions < 0 || res.Diverged {
-		// For a divergent trace the per-iteration charges are still
-		// valid for the iterations recorded, but the trace is
-		// truncated; only the n-largest refinement over a complete
-		// trace is safe. Fall back to n x max f, which needs no
-		// trace.
-		if res.Diverged && maxPreemptions >= 0 {
-			_, maxF := f.MaxOn(0, f.Domain())
-			return float64(maxPreemptions) * maxF, nil
-		}
-		return res.TotalDelay, nil
-	}
-	if maxPreemptions >= len(res.Iterations) {
-		return res.TotalDelay, nil
-	}
-	charges := make([]float64, len(res.Iterations))
-	for i, it := range res.Iterations {
-		charges[i] = it.DelayMax
-	}
-	sort.Sort(sort.Reverse(sort.Float64Slice(charges)))
-	var total float64
-	for i := 0; i < maxPreemptions; i++ {
-		total += charges[i]
-	}
-	return total, nil
-}
+// charges of Algorithm 1 (Analyze with Options.Limited; the charge selection
+// itself is limitCharges in analyze.go). The argument extends Theorem 1's
+// induction: each scenario preemption is absorbed by exactly one algorithm
+// iteration (case 2 of the proof), distinct preemptions by distinct
+// iterations (two preemptions are >= Q apart on the job's execution clock
+// while an iteration window spans Q execution time), and each absorbed
+// preemption is charged at most that iteration's delaymax. With at most n
+// preemptions, at most n iterations absorb anything, so the total is bounded
+// by the n largest charges. The result is also trivially <= min(full
+// Algorithm 1 bound, n x max f). The test suite validates the bound against
+// adversarial scenarios restricted to n preemptions.
 
 // PreemptionCount bounds the number of preemptions a job with response time
 // r can suffer from higher-priority tasks with the given periods (and

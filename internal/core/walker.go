@@ -11,24 +11,25 @@ import (
 // same task, a response-time fixpoint re-bounding a task per iteration).
 //
 // A Walker is NOT safe for concurrent use: each sweep worker owns its own.
-// The traceless UpperBoundCtx needs no Walker at all — it is already
+// The traceless Analyze needs no Walker at all — it is already
 // allocation-free.
 type Walker struct {
 	buf []Iteration
 }
 
-// UpperBound is core.UpperBoundCtx: traceless, allocation-free. It exists on
-// Walker so call sites holding a Walker can stay uniform.
+// UpperBound is the traceless, allocation-free Algorithm 1 bound. It exists
+// on Walker so call sites holding a Walker can stay uniform.
 func (w *Walker) UpperBound(g *guard.Ctx, f delay.Function, q float64) (float64, error) {
-	return UpperBoundCtx(g, f, q)
+	r, err := Analyze(g, f, q, Options{})
+	return r.TotalDelay, err
 }
 
-// Trace is core.UpperBoundTraceCtx with the iteration records written into
+// Trace is Analyze with Options.Trace and the iteration records written into
 // the Walker's reusable buffer: after the buffer has grown to the steady
 // size, subsequent runs allocate nothing. The returned Result.Iterations
 // aliases the buffer and is only valid until the next call on this Walker;
 // callers that need to keep a trace must copy it.
 func (w *Walker) Trace(g *guard.Ctx, f delay.Function, q float64) (Result, error) {
 	w.buf = w.buf[:0]
-	return upperBoundFrom(g, f, q, q, &w.buf)
+	return Analyze(g, f, q, Options{Trace: true, buf: &w.buf})
 }

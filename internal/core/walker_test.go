@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"fnpr/internal/delay"
+	"fnpr/internal/obs"
 )
 
 func walkerTestFn(t testing.TB) *delay.Piecewise {
@@ -119,5 +120,35 @@ func TestWalkerBufferReuse(t *testing.T) {
 		// the first record must have changed; if it did not, the buffer is
 		// not being reused.
 		t.Error("second Trace did not reuse the buffer (records unchanged)")
+	}
+}
+
+// TestAnalyzeZeroAllocWithScope pins the observability overhead contract of
+// DESIGN.md §10: a traceless Analyze run with a live scope attached is still
+// allocation-free — the walk accumulates its iteration and kernel-query
+// counts in locals and flushes them into the registry at exit.
+func TestAnalyzeZeroAllocWithScope(t *testing.T) {
+	p := walkerTestFn(t)
+	rec := obs.NewTestRecorder()
+	sc := rec.Scope()
+	for _, tc := range []struct {
+		name string
+		f    delay.Function
+	}{
+		{"scan", p},
+		{"indexed", delay.NewIndexed(p)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			if avg := testing.AllocsPerRun(200, func() {
+				if _, err := Analyze(nil, tc.f, 20, Options{Obs: sc}); err != nil {
+					t.Fatal(err)
+				}
+			}); avg != 0 {
+				t.Errorf("Analyze with scope allocates %.1f objects per run, want 0", avg)
+			}
+		})
+	}
+	if rec.Counter("core.alg1.runs") == 0 || rec.Counter("core.alg1.iterations") == 0 {
+		t.Fatal("scope recorded no runs/iterations despite being attached")
 	}
 }

@@ -4,6 +4,9 @@ import (
 	"math"
 	"math/bits"
 	"os"
+	"time"
+
+	"fnpr/internal/obs"
 )
 
 // This file implements the query-accelerated view of a Piecewise function:
@@ -64,6 +67,10 @@ type Indexed struct {
 // storage; p must not be mutated afterwards (Piecewise has no mutating
 // methods, so this only matters for code reaching into unexported state).
 func NewIndexed(p *Piecewise) *Indexed {
+	var start time.Time
+	if obs.Enabled() {
+		start = time.Now()
+	}
 	n := len(p.vs)
 	levels := bits.Len(uint(n))
 	ix := &Indexed{
@@ -112,6 +119,9 @@ func NewIndexed(p *Piecewise) *Indexed {
 	// answer.
 	const eps = 2.220446049250313e-16
 	ix.slack = 8 * eps * math.Max(1, maxSum)
+	if obs.Enabled() {
+		flushIndexBuild(time.Since(start).Nanoseconds())
+	}
 	return ix
 }
 
@@ -216,25 +226,38 @@ func (ix *Indexed) MaxOn(a, b float64) (tmax, fmax float64) {
 // of the threshold are re-checked exactly. Pieces skipped by the pre-filter
 // provably fail the exact test, so the first accepted crossing is the same
 // one the scan finds.
-func (ix *Indexed) FirstReachDescending(a, b, c float64) (float64, bool) {
+func (ix *Indexed) FirstReachDescending(a, b, c float64) (x float64, found bool) {
+	// Plain local tallies (register increments) keep the query loop free of
+	// atomics; the single flush at the end is skipped unless obs.Enable()
+	// has been called, so the uninstrumented cost is one atomic bool load.
+	var rechecks, bisections int64
+	defer func() {
+		if obs.Enabled() {
+			flushIndexQuery(rechecks, bisections)
+		}
+	}()
 	p := ix.p
 	a, b = p.clampRange(a, b)
 	i, j := p.pieceAt(a), p.pieceAt(b)
+	rechecks++
 	if x, ok := p.reachInPiece(i, a, b, c); ok {
 		return x, true
 	}
 	if j > i {
 		cLo := c - ix.slack
 		for lo, hi := i+1, j-1; lo <= hi; {
+			bisections++
 			k := ix.firstReachAtLeast(lo, hi, cLo)
 			if k < 0 {
 				break
 			}
+			rechecks++
 			if x, ok := p.reachInPiece(k, a, b, c); ok {
 				return x, true
 			}
 			lo = k + 1
 		}
+		rechecks++
 		if x, ok := p.reachInPiece(j, a, b, c); ok {
 			return x, true
 		}

@@ -1,0 +1,48 @@
+package delay
+
+import (
+	"sync"
+
+	"fnpr/internal/obs"
+)
+
+// The delay kernels sit below the guard scope (Function has no room for a
+// per-call scope), so their instrumentation reports into the process-global
+// registry and is gated on obs.Enabled(): an uninstrumented run pays one
+// atomic bool load per query and nothing else. Queries accumulate plain local
+// counters and flush once per call, never inside the bisection loop.
+
+var (
+	delayInstOnce sync.Once
+	cIndexBuilds  *obs.Counter
+	hIndexBuildNs *obs.Histogram
+	cRechecks     *obs.Counter
+	cBisections   *obs.Counter
+)
+
+// delayInstruments resolves the package-level instruments once; until
+// obs.Enable() has been called every path using them is skipped entirely.
+func delayInstruments() {
+	delayInstOnce.Do(func() {
+		r := obs.Default()
+		cIndexBuilds = r.Counter("delay.index.builds")
+		hIndexBuildNs = r.Histogram("delay.index.build_ns")
+		cRechecks = r.Counter("delay.index.rechecks")
+		cBisections = r.Counter("delay.index.bisections")
+	})
+}
+
+// flushIndexBuild records one index construction of the given duration.
+func flushIndexBuild(ns int64) {
+	delayInstruments()
+	cIndexBuilds.Inc()
+	hIndexBuildNs.Observe(ns)
+}
+
+// flushIndexQuery records one FirstReachDescending call's exact re-checks and
+// range-maximum bisections.
+func flushIndexQuery(rechecks, bisections int64) {
+	delayInstruments()
+	cRechecks.Add(rechecks)
+	cBisections.Add(bisections)
+}

@@ -23,12 +23,13 @@ import (
 // ts[i].C (within 1e-9, the same tolerance internal/sched applies).
 //
 // The returned slice is indexed like ts; each curve's points are indexed
-// like qs. Every grid point walks the SweepOptions degradation ladder
+// like opts.Qs. Every grid point walks the SweepOptions degradation ladder
 // (retry, Equation 4 fallback, quarantine), and task names key the
 // checkpoint journal, so sets with duplicate names cannot be journaled
 // coherently. On abort the completed points are returned alongside a
-// *PartialError, exactly like QSweepOpts.
-func AnalyzeSet(g *guard.Ctx, ts task.Set, fns []delay.Function, qs []float64, opts SweepOptions) ([]SweepResult, error) {
+// *PartialError, exactly like QSweep.
+func AnalyzeSet(g *guard.Ctx, ts task.Set, fns []delay.Function, opts SweepOptions) ([]SweepResult, error) {
+	qs := opts.Qs
 	if len(ts) == 0 {
 		return nil, guard.Invalidf("eval: empty task set")
 	}
@@ -63,7 +64,7 @@ func AnalyzeSet(g *guard.Ctx, ts task.Set, fns []delay.Function, qs []float64, o
 	if len(specs) == 0 {
 		return out, nil
 	}
-	res, err := QSweepOpts(g, specs, qs, opts)
+	res, err := QSweep(g, specs, opts)
 	for k := range res {
 		out[live[k]] = res[k]
 	}

@@ -29,7 +29,7 @@ func analyzeTestSet(t *testing.T) (task.Set, []delay.Function) {
 func TestAnalyzeSetMatchesDirectBounds(t *testing.T) {
 	ts, fns := analyzeTestSet(t)
 	qs := []float64{10, 25, 60, 150}
-	res, err := AnalyzeSet(nil, ts, fns, qs, SweepOptions{})
+	res, err := AnalyzeSet(nil, ts, fns, SweepOptions{Qs: qs})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -49,11 +49,11 @@ func TestAnalyzeSetMatchesDirectBounds(t *testing.T) {
 			}
 			want := 0.0
 			if fns[i] != nil {
-				var err error
-				want, err = core.UpperBound(fns[i], qs[k])
-				if err != nil {
-					t.Fatal(err)
+				wr, werr := core.Analyze(nil, fns[i], qs[k], core.Options{})
+				if werr != nil {
+					t.Fatal(werr)
 				}
+				want = wr.TotalDelay
 			}
 			if pt.Value != want {
 				t.Fatalf("task %s Q=%g: batched %v, direct %v", r.Name, qs[k], pt.Value, want)
@@ -67,11 +67,11 @@ func TestAnalyzeSetMatchesDirectBounds(t *testing.T) {
 func TestAnalyzeSetIndexTransparency(t *testing.T) {
 	ts, fns := analyzeTestSet(t)
 	qs := []float64{10, 25, 60, 150}
-	indexed, err := AnalyzeSet(nil, ts, fns, qs, SweepOptions{})
+	indexed, err := AnalyzeSet(nil, ts, fns, SweepOptions{Qs: qs})
 	if err != nil {
 		t.Fatal(err)
 	}
-	plain, err := AnalyzeSet(nil, ts, fns, qs, SweepOptions{NoIndex: true})
+	plain, err := AnalyzeSet(nil, ts, fns, SweepOptions{Qs: qs, NoIndex: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,17 +89,17 @@ func TestAnalyzeSetIndexTransparency(t *testing.T) {
 func TestAnalyzeSetValidation(t *testing.T) {
 	ts, fns := analyzeTestSet(t)
 	qs := []float64{10}
-	if _, err := AnalyzeSet(nil, nil, nil, qs, SweepOptions{}); err == nil {
+	if _, err := AnalyzeSet(nil, nil, nil, SweepOptions{Qs: qs}); err == nil {
 		t.Error("empty task set accepted")
 	}
-	if _, err := AnalyzeSet(nil, ts, fns[:2], qs, SweepOptions{}); err == nil {
+	if _, err := AnalyzeSet(nil, ts, fns[:2], SweepOptions{Qs: qs}); err == nil {
 		t.Error("mismatched function count accepted")
 	}
-	if _, err := AnalyzeSet(nil, ts, fns, nil, SweepOptions{}); err == nil {
+	if _, err := AnalyzeSet(nil, ts, fns, SweepOptions{}); err == nil {
 		t.Error("empty Q grid accepted")
 	}
 	bad := []delay.Function{delay.Constant(1, 10), nil, nil} // domain 10 != C 200
-	if _, err := AnalyzeSet(nil, ts, bad, qs, SweepOptions{}); err == nil {
+	if _, err := AnalyzeSet(nil, ts, bad, SweepOptions{Qs: qs}); err == nil {
 		t.Error("domain/WCET mismatch accepted")
 	}
 }
@@ -108,7 +108,7 @@ func TestAnalyzeSetValidation(t *testing.T) {
 // all-zero curves without touching the sweep machinery.
 func TestAnalyzeSetAllNil(t *testing.T) {
 	ts, _ := analyzeTestSet(t)
-	res, err := AnalyzeSet(nil, ts, make([]delay.Function, len(ts)), []float64{5, 10}, SweepOptions{})
+	res, err := AnalyzeSet(nil, ts, make([]delay.Function, len(ts)), SweepOptions{Qs: []float64{5, 10}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,7 +124,7 @@ func TestAnalyzeSetAllNil(t *testing.T) {
 func TestEffectiveWCETs(t *testing.T) {
 	ts, fns := analyzeTestSet(t)
 	qs := []float64{10, 60}
-	res, err := AnalyzeSet(nil, ts, fns, qs, SweepOptions{})
+	res, err := AnalyzeSet(nil, ts, fns, SweepOptions{Qs: qs})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -6,6 +6,7 @@ import (
 	"math"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -13,6 +14,7 @@ import (
 	"fnpr/internal/delay"
 	"fnpr/internal/guard"
 	"fnpr/internal/journal"
+	"fnpr/internal/obs"
 	"fnpr/internal/retry"
 )
 
@@ -41,17 +43,17 @@ func TestChaosTransientFaultAbsorbedByRetry(t *testing.T) {
 	in := chaos.NewInjector(1)
 	qs := []float64{15, 20, 25}
 	specs := []SweepSpec{{Name: "flaky", F: in.Wrap(base, chaos.Fault{PanicAtQ: 20, Heal: 1})}}
-	results, err := QSweepOpts(nil, specs, qs, SweepOptions{Workers: 1, Retry: noSleepRetry(3)})
+	results, err := QSweep(nil, specs, SweepOptions{Qs: qs, Workers: 1, Retry: noSleepRetry(3)})
 	if err != nil {
-		t.Fatalf("QSweepOpts: %v", err)
+		t.Fatalf("QSweep: %v", err)
 	}
-	clean, err := QSweep(nil, []SweepSpec{{Name: "clean", F: base}}, qs, 1)
+	clean, err := QSweep(nil, []SweepSpec{{Name: "clean", F: base}}, SweepOptions{Qs: qs, Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
 	for i, pt := range results[0].Points {
 		if pt.Degraded || pt.Quarantined {
-			t.Fatalf("Q=%g: transient fault degraded the point (%s)", pt.Q, pt.Code)
+			t.Fatalf("Q=%g: transient fault degraded the point (%s)", pt.Q, pt.Code())
 		}
 		if pt.Value != clean[0].Points[i].Value {
 			t.Fatalf("Q=%g: value %g differs from clean %g", pt.Q, pt.Value, clean[0].Points[i].Value)
@@ -70,16 +72,16 @@ func TestChaosPermanentFaultDegradesToEq4(t *testing.T) {
 	in := chaos.NewInjector(1)
 	qs := []float64{15, 20, 25}
 	specs := []SweepSpec{{Name: "broken", F: in.Wrap(base, chaos.Fault{PanicAtQ: 20})}}
-	results, err := QSweepOpts(nil, specs, qs, SweepOptions{Workers: 1, Retry: noSleepRetry(3)})
+	results, err := QSweep(nil, specs, SweepOptions{Qs: qs, Workers: 1, Retry: noSleepRetry(3)})
 	if err != nil {
-		t.Fatalf("QSweepOpts: %v", err)
+		t.Fatalf("QSweep: %v", err)
 	}
 	pt := results[0].Points[1]
 	if !pt.Degraded || pt.Quarantined {
 		t.Fatalf("permanent fault: point = %+v, want degraded (not quarantined)", pt)
 	}
-	if pt.Code != "degraded:panic" {
-		t.Fatalf("Code = %q, want degraded:panic", pt.Code)
+	if pt.Code() != "degraded:panic" {
+		t.Fatalf("Code = %q, want degraded:panic", pt.Code())
 	}
 	if pt.Attempts != 3 {
 		t.Fatalf("attempts = %d, want the full retry budget of 3", pt.Attempts)
@@ -88,7 +90,7 @@ func TestChaosPermanentFaultDegradesToEq4(t *testing.T) {
 		t.Fatalf("injector fired %d faults, want one per attempt", in.Fired())
 	}
 	// The degraded value is the real Equation 4 bound.
-	fallback, err := QSweep(nil, []SweepSpec{{Name: "clean", F: base}}, qs, 1)
+	fallback, err := QSweep(nil, []SweepSpec{{Name: "clean", F: base}}, SweepOptions{Qs: qs, Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,7 +100,7 @@ func TestChaosPermanentFaultDegradesToEq4(t *testing.T) {
 	// Unfaulted points of the same curve stay clean.
 	for _, i := range []int{0, 2} {
 		if results[0].Points[i].Degraded {
-			t.Fatalf("clean Q=%g degraded: %s", qs[i], results[0].Points[i].Reason)
+			t.Fatalf("clean Q=%g degraded: %s", qs[i], results[0].Points[i].Note)
 		}
 	}
 }
@@ -113,9 +115,9 @@ func TestChaosFallbackFaultQuarantines(t *testing.T) {
 		t.Fatal(err)
 	}
 	specs := []SweepSpec{{Name: "doomed", F: in.Wrap(base, chaos.Fault{PanicAtQ: 20, PanicFallback: true})}}
-	results, err := QSweepOpts(nil, specs, qs, SweepOptions{Workers: 1, Retry: noSleepRetry(2), Journal: j})
+	results, err := QSweep(nil, specs, SweepOptions{Qs: qs, Workers: 1, Retry: noSleepRetry(2), Journal: j})
 	if err != nil {
-		t.Fatalf("QSweepOpts: %v", err)
+		t.Fatalf("QSweep: %v", err)
 	}
 	if err := j.Close(); err != nil {
 		t.Fatal(err)
@@ -127,17 +129,17 @@ func TestChaosFallbackFaultQuarantines(t *testing.T) {
 	if !math.IsNaN(pt.Value) {
 		t.Fatalf("quarantined value = %g, want NaN", pt.Value)
 	}
-	if pt.Code != "quarantined:panic+panic" {
-		t.Fatalf("Code = %q, want quarantined:panic+panic", pt.Code)
+	if pt.Code() != "quarantined:panic+panic" {
+		t.Fatalf("Code = %q, want quarantined:panic+panic", pt.Code())
 	}
-	if !strings.Contains(pt.Reason, "fallback") {
-		t.Fatalf("Reason %q does not name the fallback failure", pt.Reason)
+	if !strings.Contains(pt.Note, "fallback") {
+		t.Fatalf("Reason %q does not name the fallback failure", pt.Note)
 	}
 	// Only the faulted point quarantines: PanicFallback fires on every
 	// Eq.4 query, but clean points never reach the fallback.
 	for _, i := range []int{0, 2} {
 		if results[0].Points[i].Degraded {
-			t.Fatalf("clean Q=%g degraded: %s", qs[i], results[0].Points[i].Reason)
+			t.Fatalf("clean Q=%g degraded: %s", qs[i], results[0].Points[i].Note)
 		}
 	}
 	// The quarantine surfaces machine-readably in the notes.
@@ -156,7 +158,7 @@ func TestChaosFallbackFaultQuarantines(t *testing.T) {
 	if err != nil || !ok {
 		t.Fatalf("quarantined point not journaled: ok=%v err=%v", ok, err)
 	}
-	if !math.IsNaN(stored.Value) || stored.Code != pt.Code || !stored.Done {
+	if !math.IsNaN(stored.Value) || stored.Code() != pt.Code() || !stored.Done {
 		t.Fatalf("journaled quarantine = %+v, want %+v", stored, pt)
 	}
 }
@@ -175,7 +177,7 @@ func TestChaosBudgetBurnAbortsWithPartialResultsAndIntactJournal(t *testing.T) {
 		{Name: "clean", F: base},
 		{Name: "burner", F: in.Wrap(base, chaos.Fault{Burn: 200000, Guard: g})},
 	}
-	results, err := QSweepOpts(g, specs, qs, SweepOptions{Workers: 1, Journal: j})
+	results, err := QSweep(g, specs, SweepOptions{Qs: qs, Workers: 1, Journal: j})
 	j.Close()
 	if !errors.Is(err, guard.ErrBudgetExceeded) {
 		t.Fatalf("burned sweep: err = %v, want ErrBudgetExceeded", err)
@@ -225,7 +227,7 @@ func TestChaosDelayedCancelAbortsWithPartialResults(t *testing.T) {
 		{Name: "clean", F: base},
 		{Name: "canceller", F: in.Wrap(base, chaos.Fault{CancelAfter: 1, Cancel: cancel})},
 	}
-	_, err := QSweepOpts(g, specs, qs, SweepOptions{Workers: 1})
+	_, err := QSweep(g, specs, SweepOptions{Qs: qs, Workers: 1})
 	if !errors.Is(err, guard.ErrCanceled) {
 		t.Fatalf("canceled sweep: err = %v, want ErrCanceled", err)
 	}
@@ -255,7 +257,7 @@ func TestSweepJournalResume(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "sweep.journal")
 
 	// Reference: uninterrupted clean run.
-	want, err := QSweep(nil, []SweepSpec{{Name: "curve", F: base}}, qs, 1)
+	want, err := QSweep(nil, []SweepSpec{{Name: "curve", F: base}}, SweepOptions{Qs: qs, Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -276,7 +278,7 @@ func TestSweepJournalResume(t *testing.T) {
 	// completes (cancellation is polled at scope entry and every poll
 	// interval), and the next point's entry check aborts the sweep.
 	specs1 := []SweepSpec{{Name: "curve", F: in.Wrap(base, chaos.Fault{CancelAfter: 2, Cancel: cancel})}}
-	_, err = QSweepOpts(g, specs1, qs, SweepOptions{Workers: 1, Journal: j})
+	_, err = QSweep(g, specs1, SweepOptions{Qs: qs, Workers: 1, Journal: j})
 	j.Close()
 	if !errors.Is(err, guard.ErrCanceled) {
 		t.Fatalf("run 1: err = %v, want ErrCanceled", err)
@@ -294,7 +296,7 @@ func TestSweepJournalResume(t *testing.T) {
 	}
 	in2 := chaos.NewInjector(1)
 	specs2 := []SweepSpec{{Name: "curve", F: in2.Wrap(base, chaos.Fault{PanicAtQ: qs[0]})}}
-	got, err := QSweepOpts(nil, specs2, qs, SweepOptions{
+	got, err := QSweep(nil, specs2, SweepOptions{Qs: qs,
 		Workers: 1, Journal: j2, Resume: journal.Latest(recs2),
 	})
 	j2.Close()
@@ -324,7 +326,7 @@ func TestSweepResumeRejectsForeignJournal(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := QSweepOpts(nil, []SweepSpec{{Name: "a", F: base}}, []float64{15, 20}, SweepOptions{Workers: 1, Journal: j}); err != nil {
+	if _, err := QSweep(nil, []SweepSpec{{Name: "a", F: base}}, SweepOptions{Qs: []float64{15, 20}, Workers: 1, Journal: j}); err != nil {
 		t.Fatal(err)
 	}
 	j.Close()
@@ -333,10 +335,130 @@ func TestSweepResumeRejectsForeignJournal(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer j2.Close()
-	_, err = QSweepOpts(nil, []SweepSpec{{Name: "b", F: base}}, []float64{15, 20}, SweepOptions{
+	_, err = QSweep(nil, []SweepSpec{{Name: "b", F: base}}, SweepOptions{Qs: []float64{15, 20},
 		Workers: 1, Journal: j2, Resume: journal.Latest(recs),
 	})
 	if !errors.Is(err, guard.ErrInvalidInput) {
 		t.Fatalf("foreign journal accepted: err = %v", err)
+	}
+}
+
+// TestChaosObservabilityInvariants attaches a TestRecorder to a sweep that
+// exercises every rung of the degradation ladder and asserts the metric and
+// event invariants of DESIGN.md §10: the ladder counters partition the grid,
+// the retry counter agrees with the PointRetried events, and a quarantined
+// point emits exactly one PointQuarantined event.
+func TestChaosObservabilityInvariants(t *testing.T) {
+	base := chaosBase(t)
+	rec := obs.NewTestRecorder()
+	qs := []float64{15, 20, 25}
+	specs := []SweepSpec{
+		{Name: "clean", F: base},
+		{Name: "flaky", F: chaos.NewInjector(1).Wrap(base, chaos.Fault{PanicAtQ: 20, Heal: 1})},
+		{Name: "perma", F: chaos.NewInjector(1).Wrap(base, chaos.Fault{PanicAtQ: 15})},
+		{Name: "doomed", F: chaos.NewInjector(1).Wrap(base, chaos.Fault{PanicAtQ: 25, PanicFallback: true})},
+	}
+	results, err := QSweep(nil, specs, SweepOptions{
+		Qs: qs, Workers: 2, Retry: noSleepRetry(3), Obs: rec.Scope(),
+	})
+	if err != nil {
+		t.Fatalf("QSweep: %v", err)
+	}
+
+	// The ladder counters partition the grid: every point settles exactly once.
+	total := int64(len(specs) * len(qs))
+	clean := rec.Counter("sweep.points.clean")
+	degraded := rec.Counter("sweep.points.degraded")
+	quarantined := rec.Counter("sweep.points.quarantined")
+	if clean+degraded+quarantined != total {
+		t.Fatalf("ladder counters %d+%d+%d do not partition the %d grid points",
+			clean, degraded, quarantined, total)
+	}
+	if degraded != 1 || quarantined != 1 {
+		t.Fatalf("degraded=%d quarantined=%d, want exactly 1 each", degraded, quarantined)
+	}
+
+	// Retry accounting: flaky heals after 1 panic (1 retry); perma and doomed
+	// burn the full 3-attempt budget at their faulted point (2 retries each).
+	if got := rec.Counter("sweep.retries"); got != 5 {
+		t.Fatalf("sweep.retries = %d, want 5", got)
+	}
+	if got := rec.CountEvents(obs.PointRetried); got != 5 {
+		t.Fatalf("%d PointRetried events, want 5", got)
+	}
+
+	// Every grid point emits exactly one PointDone; the sweep brackets them
+	// with one SweepStarted and one SweepFinished.
+	if got := rec.CountEvents(obs.PointDone); got != int(total) {
+		t.Fatalf("%d PointDone events for %d grid points", got, total)
+	}
+	if rec.CountEvents(obs.SweepStarted) != 1 || rec.CountEvents(obs.SweepFinished) != 1 {
+		t.Fatal("sweep did not emit exactly one SweepStarted/SweepFinished pair")
+	}
+	fin := rec.FilterEvents(obs.SweepFinished)[0]
+	if fin.Completed != int(total) || fin.Total != int(total) || fin.Err != "" {
+		t.Fatalf("SweepFinished = %+v, want %d/%d clean", fin, total, total)
+	}
+
+	// Exactly one PointQuarantined, and it names the quarantined point.
+	quar := rec.FilterEvents(obs.PointQuarantined)
+	if len(quar) != 1 {
+		t.Fatalf("%d PointQuarantined events, want 1", len(quar))
+	}
+	if quar[0].Spec != "doomed" || quar[0].Q != 25 || quar[0].Code != "quarantined:panic+panic" {
+		t.Fatalf("PointQuarantined = %+v, want doomed@25 quarantined:panic+panic", quar[0])
+	}
+	deg := rec.FilterEvents(obs.PointDegraded)
+	if len(deg) != 1 || deg[0].Spec != "perma" || deg[0].Q != 15 || deg[0].Code != "degraded:panic" {
+		t.Fatalf("PointDegraded = %+v, want one perma@15 degraded:panic", deg)
+	}
+
+	// The events agree with the returned points.
+	for si, r := range results {
+		for _, pt := range r.Points {
+			if pt.Quarantined != (specs[si].Name == "doomed" && pt.Q == 25) {
+				t.Fatalf("%s@%g: Quarantined=%v disagrees with the event log", r.Name, pt.Q, pt.Quarantined)
+			}
+		}
+	}
+	if got := rec.Registry().Gauge("sweep.workers").Value(); got != 2 {
+		t.Fatalf("sweep.workers gauge = %g, want 2", got)
+	}
+}
+
+// TestSweepSharedRegistryRace hammers one registry from the full worker pool
+// while a reader snapshots it concurrently; the race detector (tier-1 runs
+// with -race) guards every counter, gauge and histogram touched by the sweep.
+func TestSweepSharedRegistryRace(t *testing.T) {
+	base := chaosBase(t)
+	reg := obs.NewRegistry()
+	sc := obs.NewScope(reg)
+	qs := make([]float64, 32)
+	for i := range qs {
+		qs[i] = 15 + float64(i)
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				_ = reg.Snapshot()
+			}
+		}
+	}()
+	specs := []SweepSpec{{Name: "a", F: base}, {Name: "b", F: base}}
+	_, err := QSweep(nil, specs, SweepOptions{Qs: qs, Workers: 4, Obs: sc})
+	close(stop)
+	wg.Wait()
+	if err != nil {
+		t.Fatalf("QSweep: %v", err)
+	}
+	if got := reg.Counter("sweep.points.clean").Value(); got != int64(len(specs)*len(qs)) {
+		t.Fatalf("clean counter %d, want %d", got, len(specs)*len(qs))
 	}
 }

@@ -53,40 +53,39 @@ func DefaultQGrid() []float64 {
 	}
 }
 
-// Figure5 computes, for every Q in the grid, the cumulative preemption delay
-// bound of Algorithm 1 on each benchmark function, plus the state-of-the-art
-// bound of Equation 4 — the data behind Figure 5.
+// Figure5 computes, for every Q in the grid (opts.Qs, defaulting to
+// DefaultQGrid), the cumulative preemption delay bound of Algorithm 1 on
+// each benchmark function, plus the state-of-the-art bound of Equation 4 —
+// the data behind Figure 5.
 //
 // The Algorithm 1 curves are evaluated on the parallel guarded sweep pool
-// (QSweep): the guard's cancellation, deadline and budget apply globally,
-// and a grid point whose primary analysis fails degrades to the Equation 4
-// bound, flagged in the table's Notes. A nil guard means no limits.
+// (QSweep) under the full crash-safe batch runtime: the guard's
+// cancellation, deadline and budget apply globally; the options attach a
+// per-point retry policy, a checkpoint journal and a resume view (see
+// SweepOptions). A grid point whose primary analysis fails degrades to the
+// Equation 4 bound, flagged in the table's Notes. On abort the error is a
+// *PartialError — the completed grid points are already checkpointed when a
+// journal is attached, so the same call with the journal's resume view
+// continues where this one stopped and produces output byte-identical to an
+// uninterrupted run. A nil guard means no limits.
 //
 // The paper plots a single state-of-the-art line, noting it is identical for
 // all functions "since they all have the same C and maximum value"; under
 // the offset reading of Gaussian 1 its maximum is 14 rather than 10, so we
 // emit the common max-10 line as "State of the Art" and the max-14 variant
 // separately (indistinguishable at log scale).
-func Figure5(g *guard.Ctx, params delay.BenchmarkParams, qs []float64) (*textplot.Table, error) {
-	return Figure5Opts(g, params, qs, SweepOptions{})
-}
-
-// Figure5Opts is Figure5 under the crash-safe batch runtime: the options
-// attach a per-point retry policy, a checkpoint journal and a resume view
-// (see SweepOptions). On abort the error is a *PartialError — the completed
-// grid points are already checkpointed when a journal is attached, so the
-// same call with the journal's resume view continues where this one stopped
-// and produces output byte-identical to an uninterrupted run.
-func Figure5Opts(g *guard.Ctx, params delay.BenchmarkParams, qs []float64, opts SweepOptions) (*textplot.Table, error) {
+func Figure5(g *guard.Ctx, params delay.BenchmarkParams, opts SweepOptions) (*textplot.Table, error) {
+	qs := opts.Qs
 	if len(qs) == 0 {
 		qs = DefaultQGrid()
+		opts.Qs = qs
 	}
 	var specs []SweepSpec
 	fns := params.Benchmarks()
 	for _, name := range delay.BenchmarkOrder() {
 		specs = append(specs, SweepSpec{Name: name, F: fns[name]})
 	}
-	results, err := QSweepOpts(g, specs, qs, opts)
+	results, err := QSweep(g, specs, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -107,7 +106,7 @@ func Figure5Opts(g *guard.Ctx, params delay.BenchmarkParams, qs []float64, opts 
 	soa := func(name string, maxDelay float64) (textplot.Series, error) {
 		s := textplot.Series{Name: name}
 		for _, q := range qs {
-			b, err := core.StateOfTheArtRawCtx(g, params.C, q, maxDelay)
+			b, err := core.Eq4Fixpoint(g, params.C, q, maxDelay)
 			if err != nil {
 				return s, err
 			}
@@ -226,17 +225,17 @@ func Figure2() (*Figure2Report, error) {
 		return nil, err
 	}
 	const q = 10
-	naive, err := core.NaivePointSelection(f, q)
+	naive, err := core.Analyze(nil, f, q, core.Options{Method: core.NaiveUnsound})
 	if err != nil {
 		return nil, err
 	}
 	_, greedy := core.GreedyScenario(f, q)
 	_, peak := core.PeakSeekingScenario(f, q)
-	alg, err := core.UpperBound(f, q)
+	alg, err := core.Analyze(nil, f, q, core.Options{})
 	if err != nil {
 		return nil, err
 	}
-	return &Figure2Report{F: f, Q: q, Naive: naive, Greedy: greedy, Peak: peak, Algorithm1: alg}, nil
+	return &Figure2Report{F: f, Q: q, Naive: naive.TotalDelay, Greedy: greedy, Peak: peak, Algorithm1: alg.TotalDelay}, nil
 }
 
 // String renders the report.
@@ -273,7 +272,7 @@ func Figure3Report() (string, error) {
 		return "", err
 	}
 	const q = 12.0
-	res, err := core.UpperBoundTrace(f, q)
+	res, err := core.Analyze(nil, f, q, core.Options{Trace: true})
 	if err != nil {
 		return "", err
 	}

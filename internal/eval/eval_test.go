@@ -47,7 +47,7 @@ func TestFigure5QualitativeClaims(t *testing.T) {
 	}
 	for _, c := range cases {
 		params := c.params
-		tb, err := Figure5(nil, params, nil)
+		tb, err := Figure5(nil, params, SweepOptions{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -71,7 +71,7 @@ func TestFigure5QualitativeClaims(t *testing.T) {
 func TestFigure5SOAConstantAcrossFunctions(t *testing.T) {
 	// The SOA series depends only on C, Q and max f: recomputing it for
 	// Gaussian 2 and the two-peak function gives the same values.
-	tb, err := Figure5(nil, delay.LiteralParams(), []float64{20, 100, 500})
+	tb, err := Figure5(nil, delay.LiteralParams(), SweepOptions{Qs: []float64{20, 100, 500}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,7 +95,7 @@ func TestFigure5SOAConstantAcrossFunctions(t *testing.T) {
 }
 
 func TestFigure5ChecksDetectsViolation(t *testing.T) {
-	tb, err := Figure5(nil, delay.LiteralParams(), []float64{20, 100})
+	tb, err := Figure5(nil, delay.LiteralParams(), SweepOptions{Qs: []float64{20, 100}})
 	if err != nil {
 		t.Fatal(err)
 	}

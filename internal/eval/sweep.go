@@ -7,6 +7,7 @@ import (
 	"math"
 	"math/rand"
 	"runtime"
+	"strings"
 	"sync"
 	"time"
 
@@ -14,6 +15,7 @@ import (
 	"fnpr/internal/delay"
 	"fnpr/internal/guard"
 	"fnpr/internal/journal"
+	"fnpr/internal/obs"
 	"fnpr/internal/retry"
 )
 
@@ -24,18 +26,92 @@ type SweepSpec struct {
 	F    delay.Function
 }
 
+// Reason classifies why a degradation-ladder rung failed — the typed form of
+// the failure vocabulary that SweepPoint carries and the journal encodes.
+// The zero value ReasonNone means "no failure".
+type Reason uint8
+
+const (
+	// ReasonNone: the rung did not fail (or was never reached).
+	ReasonNone Reason = iota
+	// ReasonCanceled: the caller aborted (context cancel or deadline).
+	ReasonCanceled
+	// ReasonBudget: a step budget ran out.
+	ReasonBudget
+	// ReasonDiverged: the analysis has no finite answer on this input.
+	ReasonDiverged
+	// ReasonInvalid: the input failed validation.
+	ReasonInvalid
+	// ReasonPanic: a panic was recovered inside the guarded rung.
+	ReasonPanic
+	// ReasonError: any other failure.
+	ReasonError
+)
+
+// reasonNames is the stable wire vocabulary; it must never be reordered —
+// journal records and golden files spell these strings.
+var reasonNames = [...]string{"", "canceled", "budget", "diverged", "invalid", "panic", "error"}
+
+// String returns the machine-readable class name ("" for ReasonNone).
+func (r Reason) String() string {
+	if int(r) < len(reasonNames) {
+		return reasonNames[r]
+	}
+	return "error"
+}
+
+// reasonFromString inverts String; unknown spellings collapse to ReasonError
+// (a journal written by a future version still restores as a failure).
+func reasonFromString(s string) Reason {
+	for i, n := range reasonNames {
+		if s == n {
+			return Reason(i)
+		}
+	}
+	return ReasonError
+}
+
+// ReasonOf maps an analysis error to its failure class; nil maps to
+// ReasonNone.
+func ReasonOf(err error) Reason {
+	switch {
+	case err == nil:
+		return ReasonNone
+	case errors.Is(err, guard.ErrCanceled):
+		return ReasonCanceled
+	case errors.Is(err, guard.ErrBudgetExceeded):
+		return ReasonBudget
+	case errors.Is(err, guard.ErrDiverged):
+		return ReasonDiverged
+	case errors.Is(err, guard.ErrInvalidInput):
+		return ReasonInvalid
+	case errors.Is(err, guard.ErrPanic):
+		return ReasonPanic
+	default:
+		return ReasonError
+	}
+}
+
+// ReasonCode maps an analysis error to its machine-readable class name.
+//
+// Deprecated: use ReasonOf(err).String().
+func ReasonCode(err error) string {
+	return ReasonOf(err).String()
+}
+
 // SweepPoint is one (Q, bound) sample, together with the full story of how it
 // was obtained — the degradation ladder every grid point walks down:
 //
 //  1. the primary Algorithm 1 analysis, retried per the sweep's backoff
 //     policy on transient failures (panics, per-point budget trips);
 //  2. the Equation 4 state-of-the-art fallback when the retries are
-//     exhausted (Degraded is set, Code records the primary failure class);
+//     exhausted (Degraded is set, Primary records the failure class);
 //  3. quarantine when even the fallback fails (Quarantined is set, Value is
-//     NaN, Code records both failure classes).
+//     NaN, Fallback records the second failure class).
 //
-// Nothing degrades silently: Code is the machine-readable reason ("panic",
-// "budget", "diverged", ... — see ReasonCode) and Reason the full error text.
+// Nothing degrades silently: Primary/Fallback are the typed failure classes,
+// Code derives the wire string ("degraded:panic", "quarantined:panic+budget",
+// ...) and Note keeps the full error text.
 type SweepPoint struct {
 	Q        float64
 	Value    float64
@@ -43,11 +119,14 @@ type SweepPoint struct {
 	// Quarantined marks a point where both the primary analysis and the
 	// Equation 4 fallback failed; Value is NaN.
 	Quarantined bool
-	// Code is the machine-readable failure classification: empty for a
-	// clean point, "degraded:<class>" or "quarantined:<class>+<class>".
-	Code string
-	// Reason is the human-readable error chain behind Code.
-	Reason string
+	// Primary is the failure class of the primary Algorithm 1 rung
+	// (ReasonNone for a clean point).
+	Primary Reason
+	// Fallback is the failure class of the Equation 4 rung; only
+	// quarantined points have it set.
+	Fallback Reason
+	// Note is the human-readable error chain behind Primary/Fallback.
+	Note string
 	// Attempts counts the primary-analysis attempts spent on this point.
 	Attempts int
 	// Done marks the point as completed (cleanly, degraded or
@@ -56,10 +135,28 @@ type SweepPoint struct {
 	Done bool
 }
 
+// Code derives the machine-readable failure string from the typed classes:
+// empty for a clean point, "degraded:<class>" for a degraded one,
+// "quarantined:<class>+<class>" for a quarantined one. This is the exact
+// vocabulary journal records and quarantine notes have always used.
+func (p SweepPoint) Code() string {
+	switch {
+	case p.Quarantined:
+		return "quarantined:" + p.Primary.String() + "+" + p.Fallback.String()
+	case p.Degraded:
+		return "degraded:" + p.Primary.String()
+	default:
+		return ""
+	}
+}
+
 // sweepPointJSON is the journal encoding of a SweepPoint. Value is stored as
 // a JSON number for finite values and as the strings "NaN" / "+Inf" / "-Inf"
 // otherwise (encoding/json rejects non-finite floats). Finite numbers use
 // encoding/json's shortest-roundtrip form, so a replayed value is bit-exact.
+// The failure classes travel as the derived code string under the original
+// "code" key, keeping journals from previous versions replayable and their
+// bytes stable.
 type sweepPointJSON struct {
 	Q           float64         `json:"q"`
 	Value       json.RawMessage `json:"value"`
@@ -90,7 +187,7 @@ func (p SweepPoint) MarshalJSON() ([]byte, error) {
 	}
 	return json.Marshal(sweepPointJSON{
 		Q: p.Q, Value: value, Degraded: p.Degraded, Quarantined: p.Quarantined,
-		Code: p.Code, Reason: p.Reason, Attempts: p.Attempts, Done: p.Done,
+		Code: p.Code(), Reason: p.Note, Attempts: p.Attempts, Done: p.Done,
 	})
 }
 
@@ -102,7 +199,19 @@ func (p *SweepPoint) UnmarshalJSON(data []byte) error {
 	}
 	*p = SweepPoint{
 		Q: enc.Q, Degraded: enc.Degraded, Quarantined: enc.Quarantined,
-		Code: enc.Code, Reason: enc.Reason, Attempts: enc.Attempts, Done: enc.Done,
+		Note: enc.Reason, Attempts: enc.Attempts, Done: enc.Done,
+	}
+	if enc.Code != "" {
+		body := enc.Code
+		if rest, ok := strings.CutPrefix(body, "quarantined:"); ok {
+			prim, fb, _ := strings.Cut(rest, "+")
+			p.Primary = reasonFromString(prim)
+			p.Fallback = reasonFromString(fb)
+		} else if rest, ok := strings.CutPrefix(body, "degraded:"); ok {
+			p.Primary = reasonFromString(rest)
+		} else {
+			p.Primary = reasonFromString(body)
+		}
 	}
 	var s string
 	if err := json.Unmarshal(enc.Value, &s); err == nil {
@@ -151,32 +260,16 @@ func (e *PartialError) Error() string {
 // Unwrap exposes the abort cause for errors.Is classification.
 func (e *PartialError) Unwrap() error { return e.Err }
 
-// ReasonCode maps an analysis error to its machine-readable class, the
-// vocabulary of SweepPoint.Code and of the quarantine notes: "canceled",
-// "budget", "diverged", "invalid", "panic" or "error".
-func ReasonCode(err error) string {
-	switch {
-	case err == nil:
-		return ""
-	case errors.Is(err, guard.ErrCanceled):
-		return "canceled"
-	case errors.Is(err, guard.ErrBudgetExceeded):
-		return "budget"
-	case errors.Is(err, guard.ErrDiverged):
-		return "diverged"
-	case errors.Is(err, guard.ErrInvalidInput):
-		return "invalid"
-	case errors.Is(err, guard.ErrPanic):
-		return "panic"
-	default:
-		return "error"
-	}
-}
-
-// SweepOptions configures the crash-safe batch runtime around a Q sweep.
-// The zero value is a plain in-memory sweep: GOMAXPROCS workers, a single
-// attempt per point, no checkpointing.
+// SweepOptions configures one Q sweep end to end: the grid, the worker pool,
+// the crash-safe batch runtime around it and the observability scope it
+// reports into. The zero value (plus a non-empty Qs grid) is a plain
+// in-memory sweep: GOMAXPROCS workers, a single attempt per point, no
+// checkpointing, no events.
 type SweepOptions struct {
+	// Qs is the Q grid every spec is evaluated on. QSweep requires it
+	// non-empty; figure-level wrappers default it to DefaultQGrid().
+	Qs []float64
+
 	// Workers is the size of the goroutine pool; <= 0 selects GOMAXPROCS.
 	Workers int
 
@@ -208,6 +301,23 @@ type SweepOptions struct {
 	// and for the scan side of the kernel benchmarks. The FNPR_NO_INDEX
 	// environment variable has the same effect process-wide.
 	NoIndex bool
+
+	// Obs is the observability scope the sweep reports into: progress
+	// events (SweepStarted, PointDone, PointRetried, PointDegraded,
+	// PointQuarantined, SweepResumed, SweepFinished), per-worker
+	// utilisation and the ladder-transition counters (DESIGN.md §10).
+	// When nil the guard's attached scope is used; a nil scope collects
+	// nothing and costs nothing beyond a few nil checks.
+	Obs *obs.Scope
+}
+
+// scope resolves the sweep's observability scope: the explicit option wins,
+// then the guard's attached scope.
+func (o SweepOptions) scope(g *guard.Ctx) *obs.Scope {
+	if o.Obs != nil {
+		return o.Obs
+	}
+	return g.Obs()
 }
 
 // DefaultSweepRetry is the retry policy the command-line tools use: three
@@ -238,16 +348,9 @@ type gridMeta struct {
 	Qs    []float64 `json:"qs"`
 }
 
-// QSweep evaluates the Algorithm 1 bound of every spec at every Q of the grid
-// on a pool of worker goroutines sharing one guard scope. It is
-// QSweepOpts with only the worker count set; workers <= 0 selects GOMAXPROCS.
-func QSweep(g *guard.Ctx, specs []SweepSpec, qs []float64, workers int) ([]SweepResult, error) {
-	return QSweepOpts(g, specs, qs, SweepOptions{Workers: workers})
-}
-
-// QSweepOpts evaluates the Algorithm 1 bound of every spec at every Q of the
-// grid on a pool of worker goroutines sharing one guard scope: cancellation,
-// deadline and step budget are global to the sweep.
+// QSweep evaluates the Algorithm 1 bound of every spec at every Q of
+// opts.Qs on a pool of worker goroutines sharing one guard scope:
+// cancellation, deadline and step budget are global to the sweep.
 //
 // Each grid point walks the degradation ladder documented on SweepPoint:
 // primary analysis with retries, Equation 4 fallback, quarantine — every
@@ -257,7 +360,11 @@ func QSweep(g *guard.Ctx, specs []SweepSpec, qs []float64, workers int) ([]Sweep
 // completed points are returned alongside a *PartialError describing the
 // abort — partial results are never discarded, and with a journal attached
 // they are already checkpointed for a later resume.
-func QSweepOpts(g *guard.Ctx, specs []SweepSpec, qs []float64, opts SweepOptions) ([]SweepResult, error) {
+//
+// This is the package's only sweep entry point; it absorbed the former
+// positional QSweep(g, specs, qs, workers) and QSweepOpts variants.
+func QSweep(g *guard.Ctx, specs []SweepSpec, opts SweepOptions) ([]SweepResult, error) {
+	qs := opts.Qs
 	if len(specs) == 0 {
 		return nil, guard.Invalidf("eval: sweep needs at least one function")
 	}
@@ -303,6 +410,20 @@ func QSweepOpts(g *guard.Ctx, specs []SweepSpec, qs []float64, opts SweepOptions
 		}
 		specs = indexed
 	}
+
+	sc := opts.scope(g)
+	total := len(specs) * len(qs)
+	sc.Emit(obs.Event{Type: obs.SweepStarted, Total: total})
+	if opts.Resume != nil {
+		restorable := 0
+		for key := range opts.Resume {
+			if strings.HasPrefix(key, "point:") {
+				restorable++
+			}
+		}
+		sc.Emit(obs.Event{Type: obs.SweepResumed, Restored: restorable, Total: total})
+	}
+	sc.Gauge("sweep.workers").Set(float64(workers))
 
 	type job struct{ si, qi int }
 	jobs := make(chan job)
@@ -357,66 +478,139 @@ func QSweepOpts(g *guard.Ctx, specs []SweepSpec, qs []float64, opts SweepOptions
 			abort(err)
 		}
 	}
+	// finish settles a point: ladder counters, the point's progress events
+	// and the checkpoint write. Every rung of the ladder funnels through
+	// here exactly once per point.
+	finish := func(jb job, pt *SweepPoint, restored bool) {
+		pt.Done = true
+		switch {
+		case restored:
+			sc.Counter("sweep.points.restored").Inc()
+		case pt.Quarantined:
+			sc.Counter("sweep.points.quarantined").Inc()
+			sc.Emit(obs.Event{Type: obs.PointQuarantined, Spec: results[jb.si].Name, Q: pt.Q, Attempt: pt.Attempts, Code: pt.Code(), Err: pt.Note})
+		case pt.Degraded:
+			sc.Counter("sweep.points.degraded").Inc()
+			sc.Emit(obs.Event{Type: obs.PointDegraded, Spec: results[jb.si].Name, Q: pt.Q, Attempt: pt.Attempts, Code: pt.Code(), Err: pt.Note})
+		default:
+			sc.Counter("sweep.points.clean").Inc()
+		}
+		sc.Emit(obs.Event{Type: obs.PointDone, Spec: results[jb.si].Name, Q: pt.Q, Attempt: pt.Attempts, Code: pt.Code()})
+		if !restored {
+			checkpoint(jb, pt)
+		}
+	}
 
+	timed := sc != nil
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			var busyNs, waitNs, points int64
+			var idleSince time.Time
+			if timed {
+				idleSince = time.Now()
+			}
 			for jb := range jobs {
+				var jobStart time.Time
+				if timed {
+					jobStart = time.Now()
+					waitNs += jobStart.Sub(idleSince).Nanoseconds()
+				}
 				if aborted() {
+					if timed {
+						idleSince = time.Now()
+					}
 					continue // drain
 				}
 				spec, q := specs[jb.si], qs[jb.qi]
 				pt := &results[jb.si].Points[jb.qi]
 				pt.Q = q
 				if restorePoint(opts.Resume, spec.Name, jb.qi, q, pt) {
+					finish(jb, pt, true)
+					if timed {
+						idleSince = time.Now()
+					}
 					continue
 				}
 				label := fmt.Sprintf("%s at Q=%g", spec.Name, q)
-				v, err := retry.Do(opts.Retry, settled, func(attempt int) (float64, error) {
+				pol := opts.Retry
+				if timed {
+					pol.OnBackoff = func(n int, d time.Duration) {
+						sc.Counter("sweep.retries").Inc()
+						sc.Histogram("sweep.backoff_ns").Observe(d.Nanoseconds())
+						sc.Emit(obs.Event{Type: obs.PointRetried, Spec: spec.Name, Q: q, Attempt: n + 1})
+					}
+				}
+				v, err := retry.Do(pol, settled, func(attempt int) (float64, error) {
 					pt.Attempts = attempt + 1
 					return guard.Run(g, label, func() (float64, error) {
-						return core.UpperBoundCtx(g, spec.F, q)
+						r, err := core.Analyze(g, spec.F, q, core.Options{Obs: sc})
+						return r.TotalDelay, err
 					})
 				})
 				if err == nil {
 					pt.Value = v
-					pt.Done = true
-					checkpoint(jb, pt)
+					finish(jb, pt, false)
+					if timed {
+						busyNs += time.Since(jobStart).Nanoseconds()
+						points++
+						sc.Histogram("sweep.point.ns").Observe(time.Since(jobStart).Nanoseconds())
+						idleSince = time.Now()
+					}
 					continue
 				}
 				if fatal(err) {
 					abort(err)
+					if timed {
+						idleSince = time.Now()
+					}
 					continue
 				}
 				// Rung 2: degrade to the Equation 4 bound, itself under
 				// a recovery scope (a poisoned function can panic in
 				// Domain/MaxOn too).
 				fb, ferr := guard.Run(g, label+" (Eq.4 fallback)", func() (float64, error) {
-					return core.StateOfTheArtCtx(g, spec.F, q)
+					r, rerr := core.Analyze(g, spec.F, q, core.Options{Method: core.Equation4, Obs: sc})
+					return r.TotalDelay, rerr
 				})
 				if ferr != nil {
 					if fatal(ferr) {
 						abort(ferr)
+						if timed {
+							idleSince = time.Now()
+						}
 						continue
 					}
 					// Rung 3: quarantine.
 					pt.Value = math.NaN()
 					pt.Degraded = true
 					pt.Quarantined = true
-					pt.Code = fmt.Sprintf("quarantined:%s+%s", ReasonCode(err), ReasonCode(ferr))
-					pt.Reason = fmt.Sprintf("%v; fallback: %v", err, ferr)
-					pt.Done = true
-					checkpoint(jb, pt)
-					continue
+					pt.Primary = ReasonOf(err)
+					pt.Fallback = ReasonOf(ferr)
+					pt.Note = fmt.Sprintf("%v; fallback: %v", err, ferr)
+				} else {
+					pt.Value = fb
+					pt.Degraded = true
+					pt.Primary = ReasonOf(err)
+					pt.Note = err.Error()
 				}
-				pt.Value = fb
-				pt.Degraded = true
-				pt.Code = "degraded:" + ReasonCode(err)
-				pt.Reason = err.Error()
-				pt.Done = true
-				checkpoint(jb, pt)
+				finish(jb, pt, false)
+				if timed {
+					busyNs += time.Since(jobStart).Nanoseconds()
+					points++
+					sc.Histogram("sweep.point.ns").Observe(time.Since(jobStart).Nanoseconds())
+					idleSince = time.Now()
+				}
+			}
+			if timed {
+				sc.Histogram("sweep.worker.busy_ns").Observe(busyNs)
+				sc.Histogram("sweep.worker.wait_ns").Observe(waitNs)
+				sc.Histogram("sweep.worker.points").Observe(points)
+				if busyNs+waitNs > 0 {
+					sc.Histogram("sweep.worker.utilization_pct").Observe(100 * busyNs / (busyNs + waitNs))
+				}
 			}
 		}()
 	}
@@ -428,22 +622,24 @@ func QSweepOpts(g *guard.Ctx, specs []SweepSpec, qs []float64, opts SweepOptions
 	close(jobs)
 	wg.Wait()
 
-	if abortErr != nil {
-		completed := 0
-		for _, r := range results {
-			for _, pt := range r.Points {
-				if pt.Done {
-					completed++
-				}
+	completed := 0
+	for _, r := range results {
+		for _, pt := range r.Points {
+			if pt.Done {
+				completed++
 			}
 		}
+	}
+	if abortErr != nil {
+		sc.Emit(obs.Event{Type: obs.SweepFinished, Completed: completed, Total: total, Err: abortErr.Error()})
 		return results, &PartialError{
 			Results:   results,
 			Completed: completed,
-			Total:     len(specs) * len(qs),
+			Total:     total,
 			Err:       abortErr,
 		}
 	}
+	sc.Emit(obs.Event{Type: obs.SweepFinished, Completed: completed, Total: total})
 	return results, nil
 }
 
@@ -511,16 +707,17 @@ func equalFloats(a, b []float64) bool {
 
 // Degraded collects the flagged points of a sweep as human-readable strings
 // (quarantined points lead with their machine-readable code), for surfacing
-// in table notes and on stderr.
+// in table notes and on stderr. The text is derived from the typed failure
+// classes, so it always agrees with the journal encoding.
 func Degraded(results []SweepResult) []string {
 	var out []string
 	for _, r := range results {
 		for _, p := range r.Points {
 			switch {
 			case p.Quarantined:
-				out = append(out, fmt.Sprintf("%s %s at Q=%g: %s", p.Code, r.Name, p.Q, p.Reason))
+				out = append(out, fmt.Sprintf("%s %s at Q=%g: %s", p.Code(), r.Name, p.Q, p.Note))
 			case p.Degraded:
-				out = append(out, fmt.Sprintf("degraded %s at Q=%g: %s", r.Name, p.Q, p.Reason))
+				out = append(out, fmt.Sprintf("degraded %s at Q=%g: %s", r.Name, p.Q, p.Note))
 			}
 		}
 	}

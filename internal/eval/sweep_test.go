@@ -42,14 +42,14 @@ func TestQSweepDegradesPoisonedPoint(t *testing.T) {
 		{Name: "poisoned", F: poisonedFunction{base, poisonQ}},
 		{Name: "healthy", F: base},
 	}
-	results, err := QSweep(nil, specs, qs, 2)
+	results, err := QSweep(nil, specs, SweepOptions{Qs: qs, Workers: 2})
 	if err != nil {
 		t.Fatalf("QSweep: %v", err)
 	}
 	healthy := results[1]
 	for i, pt := range healthy.Points {
 		if pt.Degraded {
-			t.Fatalf("healthy curve degraded at Q=%g: %s", qs[i], pt.Reason)
+			t.Fatalf("healthy curve degraded at Q=%g: %s", qs[i], pt.Note)
 		}
 	}
 	var degraded int
@@ -60,8 +60,8 @@ func TestQSweepDegradesPoisonedPoint(t *testing.T) {
 			if !pt.Degraded {
 				t.Fatalf("poisoned point Q=%g not flagged", poisonQ)
 			}
-			if !strings.Contains(pt.Reason, "injected fault") {
-				t.Fatalf("reason %q does not surface the panic", pt.Reason)
+			if !strings.Contains(pt.Note, "injected fault") {
+				t.Fatalf("reason %q does not surface the panic", pt.Note)
 			}
 			// The fallback is the Equation 4 bound, which dominates
 			// Algorithm 1 — so the degraded value must be at least the
@@ -70,7 +70,7 @@ func TestQSweepDegradesPoisonedPoint(t *testing.T) {
 				t.Fatalf("degraded value %g below Algorithm 1 value %g", pt.Value, healthy.Points[i].Value)
 			}
 		case pt.Degraded:
-			t.Fatalf("unpoisoned point Q=%g degraded: %s", qs[i], pt.Reason)
+			t.Fatalf("unpoisoned point Q=%g degraded: %s", qs[i], pt.Note)
 		default:
 			if pt.Value != healthy.Points[i].Value {
 				t.Fatalf("poisoned curve differs from healthy at clean Q=%g: %g vs %g",
@@ -95,7 +95,7 @@ func TestQSweepCanceled(t *testing.T) {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	_, err = QSweep(guard.New(ctx), []SweepSpec{{Name: "f", F: base}}, []float64{15, 20}, 2)
+	_, err = QSweep(guard.New(ctx), []SweepSpec{{Name: "f", F: base}}, SweepOptions{Qs: []float64{15, 20}, Workers: 2})
 	if !errors.Is(err, guard.ErrCanceled) {
 		t.Fatalf("canceled sweep: got %v, want ErrCanceled", err)
 	}
@@ -109,7 +109,7 @@ func TestFigure5CanceledPromptly(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	g := guard.New(ctx)
-	tb, err := Figure5(g, delay.CalibratedParams(), nil)
+	tb, err := Figure5(g, delay.CalibratedParams(), SweepOptions{})
 	if !errors.Is(err, guard.ErrCanceled) {
 		t.Fatalf("canceled Figure5: got %v, want ErrCanceled", err)
 	}
@@ -133,7 +133,7 @@ func TestQSweepBudgetAborts(t *testing.T) {
 	// The fixture's points charge 1-2 steps each: budget 3 lets the first
 	// point (Q=15, 2 steps) finish, then exhausts inside the second.
 	g := guard.New(context.Background()).WithBudget(3)
-	results, err := QSweep(g, []SweepSpec{{Name: "f", F: base}}, []float64{15, 20, 25}, 1)
+	results, err := QSweep(g, []SweepSpec{{Name: "f", F: base}}, SweepOptions{Qs: []float64{15, 20, 25}, Workers: 1})
 	if !errors.Is(err, guard.ErrBudgetExceeded) {
 		t.Fatalf("budget 3 sweep: got %v, want ErrBudgetExceeded", err)
 	}

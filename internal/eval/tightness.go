@@ -67,10 +67,11 @@ func Tightness(g *guard.Ctx, p TightnessParams) (*textplot.Table, error) {
 	}
 	for _, q := range p.Qs {
 		f := victim
-		bound, err := core.UpperBoundCtx(g, f, q)
+		res1, err := core.Analyze(g, f, q, core.Options{})
 		if err != nil {
 			return nil, err
 		}
+		bound := res1.TotalDelay
 		_, peak := core.PeakSeekingScenario(f, q)
 		ts := task.Set{
 			{Name: "fast", C: 1, T: 7, Q: 1, Prio: 0},

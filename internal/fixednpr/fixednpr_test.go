@@ -136,12 +136,12 @@ func TestFixedVsFloatingNonDominance(t *testing.T) {
 		t.Fatal(err)
 	}
 	fa, _ := a.DelayFunction()
-	floatA, err := core.UpperBound(fa, qa)
+	floatA, err := core.Analyze(nil, fa, qa, core.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !(selA.TotalCost > floatA) {
-		t.Fatalf("expected fixed (%g) > floating (%g) on task A", selA.TotalCost, floatA)
+	if !(selA.TotalCost > floatA.TotalDelay) {
+		t.Fatalf("expected fixed (%g) > floating (%g) on task A", selA.TotalCost, floatA.TotalDelay)
 	}
 
 	// Fixed wins: a long task with many cheap boundaries; fixed places a
@@ -154,12 +154,12 @@ func TestFixedVsFloatingNonDominance(t *testing.T) {
 		t.Fatal(err)
 	}
 	fb, _ := b.DelayFunction()
-	floatB, err := core.UpperBound(fb, qb)
+	floatB, err := core.Analyze(nil, fb, qb, core.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !(selB.TotalCost < floatB) {
-		t.Fatalf("expected fixed (%g) < floating (%g) on task B", selB.TotalCost, floatB)
+	if !(selB.TotalCost < floatB.TotalDelay) {
+		t.Fatalf("expected fixed (%g) < floating (%g) on task B", selB.TotalCost, floatB.TotalDelay)
 	}
 }
 
@@ -191,11 +191,11 @@ func TestFixedCostBounded(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		floating, err := core.UpperBound(f, qmax)
+		floating, err := core.Analyze(nil, f, qmax, core.Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
-		if math.IsInf(floating, 1) {
+		if math.IsInf(floating.TotalDelay, 1) {
 			t.Fatalf("trial %d: floating bound diverged with qmax %g > max cost 3", trial, qmax)
 		}
 	}

@@ -27,6 +27,8 @@ import (
 	"fmt"
 	"sync/atomic"
 	"time"
+
+	"fnpr/internal/obs"
 )
 
 // The error taxonomy. Callers classify with errors.Is; all errors produced by
@@ -82,6 +84,7 @@ type Ctx struct {
 	budget     int64
 	steps      atomic.Int64
 	checkpoint func(steps int64)
+	obs        *obs.Scope
 }
 
 // New returns a guarded scope observing ctx. A nil ctx means no cancellation
@@ -117,6 +120,24 @@ func (g *Ctx) WithTimeout(d time.Duration) *Ctx {
 func (g *Ctx) WithCheckpoint(fn func(steps int64)) *Ctx {
 	g.checkpoint = fn
 	return g
+}
+
+// WithObs attaches an observability scope: every analysis running under this
+// guard reports its metrics, spans and progress events there. Like the other
+// With* setters it must be called before the scope is shared.
+func (g *Ctx) WithObs(s *obs.Scope) *Ctx {
+	g.obs = s
+	return g
+}
+
+// Obs returns the attached observability scope; nil (collect nothing) on a
+// nil Ctx or when none was attached. The nil scope is valid everywhere, so
+// callers use the result unconditionally.
+func (g *Ctx) Obs() *obs.Scope {
+	if g == nil {
+		return nil
+	}
+	return g.obs
 }
 
 // Steps returns the number of steps charged so far.

@@ -29,7 +29,14 @@ import (
 	"path/filepath"
 	"strings"
 	"sync"
+
+	"fnpr/internal/obs"
 )
+
+// Journal traffic is orders of magnitude rarer than kernel queries (one
+// append per completed grid point), so its counters report unconditionally
+// into the process-global registry: journal.appends, journal.syncs,
+// journal.records_replayed and journal.truncations (torn-tail recoveries).
 
 // header identifies the format; bump the version on incompatible changes.
 const header = "fnpr-journal v1"
@@ -81,7 +88,9 @@ func Open(path string) (*Journal, []Record, error) {
 	if err != nil {
 		return nil, nil, err
 	}
+	obs.Default().Counter("journal.records_replayed").Add(int64(len(recs)))
 	if validLen < len(raw) {
+		obs.Default().Counter("journal.truncations").Inc()
 		if err := rewrite(path, raw[:validLen]); err != nil {
 			return nil, nil, err
 		}
@@ -213,6 +222,7 @@ func (j *Journal) Append(key string, v any) error {
 	if _, err := j.f.WriteString(line); err != nil {
 		return fmt.Errorf("journal: appending %q: %w", key, err)
 	}
+	obs.Default().Counter("journal.appends").Inc()
 	return nil
 }
 
@@ -225,6 +235,7 @@ func (j *Journal) Sync() error {
 	if j.f == nil {
 		return nil
 	}
+	obs.Default().Counter("journal.syncs").Inc()
 	return j.f.Sync()
 }
 

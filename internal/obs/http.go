@@ -1,0 +1,59 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+)
+
+// publishOnce guards the expvar registration: expvar.Publish panics on
+// duplicate names, and tests may start more than one debug server.
+var publishOnce sync.Once
+
+// publishExpvar exposes the registry under the expvar name "fnpr", so the
+// standard /debug/vars page (and anything that scrapes it) sees the same
+// snapshot the -metrics flag dumps.
+func publishExpvar(r *Registry) {
+	publishOnce.Do(func() {
+		expvar.Publish("fnpr", expvar.Func(func() any { return r.Snapshot() }))
+	})
+}
+
+// DebugServer is a running diagnostics HTTP server; see StartDebugServer.
+type DebugServer struct {
+	// Addr is the bound listen address (with the real port when the caller
+	// asked for :0).
+	Addr string
+	srv  *http.Server
+}
+
+// StartDebugServer serves /debug/vars (expvar, including the registry
+// snapshot under "fnpr") and /debug/pprof/* on addr, for watching a long
+// sweep from outside the process. It returns once the listener is bound; the
+// server runs until Close. The registry defaults to Default() when nil.
+func StartDebugServer(addr string, r *Registry) (*DebugServer, error) {
+	if r == nil {
+		r = Default()
+	}
+	publishExpvar(r)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: debug server on %s: %w", addr, err)
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(ln)
+	return &DebugServer{Addr: ln.Addr().String(), srv: srv}, nil
+}
+
+// Close stops the server.
+func (d *DebugServer) Close() error { return d.srv.Close() }

@@ -77,6 +77,12 @@ type Policy struct {
 	// Sleep replaces time.Sleep between attempts. Tests install a recorder;
 	// nil means real sleeping (and is never called for zero delays).
 	Sleep func(time.Duration)
+
+	// OnBackoff, when non-nil, is invoked before every backoff sleep with
+	// the retry index (0 for the first retry) and the jittered delay about
+	// to be slept — the observability hook callers use to count retries and
+	// record backoff time without this package importing anything.
+	OnBackoff func(retry int, d time.Duration)
 }
 
 // Validate reports a misconfigured policy. It is called by Do, so callers
@@ -187,7 +193,11 @@ func Do[T any](p Policy, stop func(error) bool, fn func(attempt int) (T, error))
 	var lastErr error
 	for i := 0; i < attempts; i++ {
 		if i > 0 {
-			if d := p.JitteredDelay(i - 1); d > 0 {
+			d := p.JitteredDelay(i - 1)
+			if p.OnBackoff != nil {
+				p.OnBackoff(i-1, d)
+			}
+			if d > 0 {
 				sleep(d)
 			}
 		}

@@ -66,12 +66,12 @@ func (a FNPRAnalysis) ResponseTimesFPLimitedCtx(g *guard.Ctx) (*LimitedResult, e
 		if err != nil {
 			return nil, err
 		}
-		b, err := core.UpperBoundLimitedCtx(g, a.Delay[i], tk.Q, lim)
+		b, err := core.Analyze(g, a.Delay[i], tk.Q, core.Options{Limited: lim >= 0, MaxPreemptions: lim})
 		if err != nil {
 			return nil, err
 		}
 		limits[i] = lim
-		cp[i] = tk.C + b
+		cp[i] = tk.C + b.TotalDelay
 	}
 
 	var rts []float64
@@ -99,11 +99,11 @@ func (a FNPRAnalysis) ResponseTimesFPLimitedCtx(g *guard.Ctx) (*LimitedResult, e
 			}
 			if lim != limits[i] {
 				limits[i] = lim
-				b, err := core.UpperBoundLimitedCtx(g, a.Delay[i], tk.Q, lim)
+				b, err := core.Analyze(g, a.Delay[i], tk.Q, core.Options{Limited: lim >= 0, MaxPreemptions: lim})
 				if err != nil {
 					return nil, err
 				}
-				next := tk.C + b
+				next := tk.C + b.TotalDelay
 				if next != cp[i] {
 					cp[i] = next
 					changed = true

@@ -257,20 +257,19 @@ func (a FNPRAnalysis) EffectiveWCETsCtx(g *guard.Ctx) ([]float64, error) {
 		if tk.Q <= 0 {
 			return nil, guard.Invalidf("sched: task %s has no NPR length Q", tk.Name)
 		}
-		var total float64
-		var err error
+		var opts core.Options
 		switch a.Method {
 		case Algorithm1:
-			total, err = core.UpperBoundCtx(g, a.Delay[i], tk.Q)
 		case Equation4:
-			total, err = core.StateOfTheArtCtx(g, a.Delay[i], tk.Q)
+			opts.Method = core.Equation4
 		default:
 			return nil, guard.Invalidf("sched: unknown delay method %v", a.Method)
 		}
+		r, err := core.Analyze(g, a.Delay[i], tk.Q, opts)
 		if err != nil {
 			return nil, fmt.Errorf("sched: task %s: %w", tk.Name, err)
 		}
-		out[i] = tk.C + total
+		out[i] = tk.C + r.TotalDelay
 	}
 	return out, nil
 }

@@ -65,11 +65,11 @@ func TestAlgorithm1BoundsSimulatedDelay(t *testing.T) {
 		}
 		bounds := make([]float64, n)
 		for i := range ts {
-			b, err := core.UpperBound(fns[i], ts[i].Q)
+			b, err := core.Analyze(nil, fns[i], ts[i].Q, core.Options{})
 			if err != nil {
 				t.Fatal(err)
 			}
-			bounds[i] = b
+			bounds[i] = b.TotalDelay
 		}
 		for _, j := range res.Jobs {
 			if j.DelayPaid > bounds[j.Task]+1e-9 {

@@ -100,16 +100,16 @@ func TestProgramProfilesDiffer(t *testing.T) {
 		f := analyse(t, g, acc)
 		_, fm := f.Max()
 		q := fm + 5
-		alg, err := core.UpperBound(f, q)
+		alg, err := core.Analyze(nil, f, q, core.Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
-		soa, err := core.StateOfTheArt(f, q)
+		soa, err := core.Analyze(nil, f, q, core.Options{Method: core.Equation4})
 		if err != nil {
 			t.Fatal(err)
 		}
-		if alg > 0 {
-			gain[name] = soa / alg
+		if alg.TotalDelay > 0 {
+			gain[name] = soa.TotalDelay / alg.TotalDelay
 		} else {
 			gain[name] = 1
 		}

@@ -222,15 +222,15 @@ func Analyze(cfgSys Config) (*Result, error) {
 			return nil, fmt.Errorf("system: task %s: %w", p.tp.Name, err)
 		}
 		_, maxCRPD := f.Max()
-		total, err := core.UpperBound(f, sorted[i].Q)
+		r, err := core.Analyze(nil, f, sorted[i].Q, core.Options{})
 		if err != nil {
 			return nil, fmt.Errorf("system: task %s: %w", p.tp.Name, err)
 		}
 		res.Tasks = append(res.Tasks, TaskAnalysis{
 			Task: sorted[i], BCET: p.bcet,
 			Delay: f, MaxCRPD: maxCRPD,
-			TotalDelay: total,
-			EffectiveC: sorted[i].C + total,
+			TotalDelay: r.TotalDelay,
+			EffectiveC: sorted[i].C + r.TotalDelay,
 		})
 		if maxCRPD > 0 {
 			fns[i] = f
