@@ -7,7 +7,7 @@ GO ?= go
 BENCH_OUT ?= bench.out
 BENCH_JSON ?= BENCH_PR3.json
 
-.PHONY: build test check race vet lint-api bench bench-smoke figures
+.PHONY: build test check race vet lint-api bench bench-smoke bench-pr5 bench-regress figures
 
 build:
 	$(GO) build ./...
@@ -43,6 +43,28 @@ bench:
 bench-smoke:
 	$(GO) test . -run '^$$' -bench 'Figure5Sweep|IndexedKernel' -benchtime 1x -benchmem > $(BENCH_OUT)
 	$(GO) run ./cmd/benchjson -in $(BENCH_OUT) -out $(BENCH_JSON)
+
+# bench-pr5 captures the empirical campaign layer: the sharded acceptance
+# engine at several worker counts and the pooled-vs-unpooled simulator trial.
+# The report's speedup table pairs workers=1 with workers=8 (wall-clock, so
+# it tracks the machine's core count) and mode=unpooled with mode=pooled
+# (allocs/op lands in alloc_reductions).
+bench-pr5:
+	$(GO) test . -run '^$$' -bench 'AcceptanceCampaign|SimTrial' -benchmem > bench_pr5.out
+	$(GO) run ./cmd/benchjson -in bench_pr5.out -out BENCH_PR5.json
+	@echo "wrote BENCH_PR5.json"
+
+# bench-regress is the CI tripwire: rerun the analysis-kernel benchmarks,
+# render a fresh report to bench_current.json (NOT the checked-in baseline
+# file, which bench-smoke overwrites) and compare, machine-speed normalised,
+# failing on any >30% relative ns/op regression. Missing benchmarks or
+# metrics are skipped, never fatal. The benchtime is a duration, not an
+# iteration count, so Go scales iterations per benchmark — the sub-µs
+# kernels get the millions of iterations they need for a stable ns/op.
+bench-regress:
+	$(GO) test . -run '^$$' -bench 'Figure5Sweep/kernel=|IndexedKernel' -benchtime 300ms -benchmem > bench_current.out
+	$(GO) run ./cmd/benchjson -in bench_current.out -out bench_current.json
+	$(GO) run ./tools/benchregress -baseline $(BENCH_JSON) -current bench_current.json -tolerance 0.30
 
 figures:
 	$(GO) run ./cmd/figures -fig all

@@ -395,6 +395,70 @@ func BenchmarkAcceptanceExperiment(b *testing.B) {
 	b.ReportMetric(sep, "max-separation")
 }
 
+// BenchmarkAcceptanceCampaign measures the sharded acceptance-ratio engine
+// at several worker-pool sizes on a reduced grid. The output table is
+// bit-identical across the sub-benchmarks (the campaign's determinism
+// contract), so the series isolates pure scheduling overhead/speedup; the
+// workers=1/workers=8 pair feeds the speedup table of BENCH_PR5.json.
+// Wall-clock gains track the machine's core count — on a single-core runner
+// the sub-benchmarks coincide.
+func BenchmarkAcceptanceCampaign(b *testing.B) {
+	p := eval.DefaultAcceptanceParams()
+	p.SetsPerPoint = 20
+	p.UEnd = 0.80
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			p.Workers = w
+			b.ReportAllocs()
+			var points int
+			for i := 0; i < b.N; i++ {
+				tbl, err := eval.Acceptance(nil, p)
+				if err != nil {
+					b.Fatal(err)
+				}
+				points = len(tbl.X)
+			}
+			trials := float64(points * p.SetsPerPoint)
+			b.ReportMetric(trials*float64(b.N)/b.Elapsed().Seconds(), "trials/s")
+		})
+	}
+}
+
+// BenchmarkSimTrial measures one Monte-Carlo simulation trial, fresh
+// simulator per run (mode=unpooled, the package-level sim.Run) vs a reused
+// sim.Runner (mode=pooled, the campaign configuration). The pair feeds the
+// allocs/op reduction table of BENCH_PR5.json.
+func BenchmarkSimTrial(b *testing.B) {
+	ts := task.Set{
+		{Name: "fast", C: 1, T: 7, Q: 1},
+		{Name: "medium", C: 4, T: 23, Q: 2},
+		{Name: "victim", C: 30, T: 120, Q: 6},
+	}
+	ts.AssignRateMonotonic()
+	fns := []delay.Function{nil, delay.Constant(0.3, 4), delay.FrontLoaded(3, 0.5, 30)}
+	cfg := sim.Config{
+		Tasks: ts, Policy: sim.FixedPriority, Mode: sim.FloatingNPR,
+		Horizon: 5000, Delay: fns,
+	}
+	b.Run("mode=unpooled", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := sim.Run(cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("mode=pooled", func(b *testing.B) {
+		runner := sim.NewRunner()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := runner.Run(nil, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // BenchmarkFixedVsFloating compares, on the same linear task, the optimal
 // fixed preemption-point selection (Bertogna et al.) with the floating
 // Algorithm 1 bound at equal maximum non-preemptive interval.

@@ -1,8 +1,10 @@
 // Command benchjson converts `go test -bench` text output into the
-// machine-readable BENCH_PR3.json benchmark report: per-benchmark metrics
+// machine-readable BENCH_PR*.json benchmark reports: per-benchmark metrics
 // (ns/op, B/op, allocs/op and every b.ReportMetric custom unit, so headline
-// bound values ride along) plus a speedup table pairing each kernel=scan
-// benchmark with its kernel=indexed counterpart by ns/op ratio.
+// bound values ride along) plus before/after tables pairing each baseline
+// variant with its optimised twin — kernel=scan vs kernel=indexed,
+// mode=unpooled vs mode=pooled, workers=1 vs workers=8 — as an ns/op
+// speedup and, where -benchmem ran, an allocs/op reduction factor.
 //
 // Usage:
 //
@@ -47,10 +49,26 @@ type Report struct {
 	Go string `json:"go"`
 	// Benchmarks lists every parsed benchmark in input order.
 	Benchmarks []Benchmark `json:"benchmarks"`
-	// Speedups maps a kernel-pair key (the scan benchmark's name with
-	// "kernel=scan" generalised to "kernel=*") to scan-ns/op divided by
-	// indexed-ns/op: >1 means the indexed kernel wins.
+	// Speedups maps a pair key (the baseline benchmark's name with the
+	// baseline variant generalised to "*", e.g. "kernel=*" or "mode=*") to
+	// baseline-ns/op divided by optimised-ns/op: >1 means the optimised
+	// variant wins.
 	Speedups map[string]float64 `json:"speedups"`
+	// AllocReductions maps the same pair keys to baseline-allocs/op divided
+	// by optimised-allocs/op, for pairs where both sides ran with -benchmem.
+	// An optimised side at zero allocs/op is scored as baseline/1 (JSON has
+	// no +Inf), so a fully-eliminated allocation path reports the baseline
+	// count as its reduction factor.
+	AllocReductions map[string]float64 `json:"alloc_reductions,omitempty"`
+}
+
+// pairs lists the baseline→optimised sub-benchmark pairings the report
+// tabulates. Each campaign benchmark names its variants with one of these
+// key=value markers.
+var pairs = []struct{ base, opt string }{
+	{"kernel=scan", "kernel=indexed"},
+	{"mode=unpooled", "mode=pooled"},
+	{"workers=1", "workers=8"},
 }
 
 var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
@@ -92,30 +110,46 @@ func parse(r io.Reader) ([]Benchmark, error) {
 	return out, nil
 }
 
-// speedups pairs kernel=scan benchmarks with their kernel=indexed twins.
-func speedups(bs []Benchmark) map[string]float64 {
+// speedups walks the pair list and rates every baseline benchmark against
+// its optimised twin: ns/op ratios into the first map, allocs/op ratios into
+// the second. Pairs missing either side or either metric are skipped.
+func speedups(bs []Benchmark) (map[string]float64, map[string]float64) {
 	byName := make(map[string]Benchmark, len(bs))
 	for _, b := range bs {
 		byName[b.Name] = b
 	}
-	out := make(map[string]float64)
+	ns := make(map[string]float64)
+	allocs := make(map[string]float64)
 	for _, b := range bs {
-		if !strings.Contains(b.Name, "kernel=scan") {
-			continue
+		for _, p := range pairs {
+			if !strings.Contains(b.Name, p.base) {
+				continue
+			}
+			twin, ok := byName[strings.Replace(b.Name, p.base, p.opt, 1)]
+			if !ok {
+				continue
+			}
+			star := p.base[:strings.Index(p.base, "=")+1] + "*"
+			key := strings.Replace(b.Name, p.base, star, 1)
+			if baseNs, ok1 := b.Metrics["ns/op"]; ok1 {
+				if optNs, ok2 := twin.Metrics["ns/op"]; ok2 && optNs > 0 {
+					ns[key] = baseNs / optNs
+				}
+			}
+			if baseA, ok1 := b.Metrics["allocs/op"]; ok1 && baseA > 0 {
+				if optA, ok2 := twin.Metrics["allocs/op"]; ok2 {
+					if optA < 1 {
+						optA = 1 // fully eliminated: score baseline/1
+					}
+					allocs[key] = baseA / optA
+				}
+			}
 		}
-		twin, ok := byName[strings.Replace(b.Name, "kernel=scan", "kernel=indexed", 1)]
-		if !ok {
-			continue
-		}
-		scanNs, ok1 := b.Metrics["ns/op"]
-		indexNs, ok2 := twin.Metrics["ns/op"]
-		if !ok1 || !ok2 || indexNs <= 0 {
-			continue
-		}
-		key := strings.Replace(b.Name, "kernel=scan", "kernel=*", 1)
-		out[key] = scanNs / indexNs
 	}
-	return out
+	if len(allocs) == 0 {
+		allocs = nil
+	}
+	return ns, allocs
 }
 
 func run(inPath, outPath string) error {
@@ -135,11 +169,13 @@ func run(inPath, outPath string) error {
 	if len(bs) == 0 {
 		return fmt.Errorf("benchjson: no benchmark result lines in input")
 	}
+	ns, allocs := speedups(bs)
 	rep := Report{
-		Schema:     "fnpr-bench/1",
-		Go:         runtime.Version(),
-		Benchmarks: bs,
-		Speedups:   speedups(bs),
+		Schema:          "fnpr-bench/1",
+		Go:              runtime.Version(),
+		Benchmarks:      bs,
+		Speedups:        ns,
+		AllocReductions: allocs,
 	}
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

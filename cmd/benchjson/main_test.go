@@ -19,6 +19,10 @@ BenchmarkFigure5Sweep/kernel=indexed/n=256-8	     818	   1392526 ns/op	       16
 BenchmarkIndexedKernel/MaxOn/kernel=scan-8  	   10000	     11000 ns/op	       0 B/op	       0 allocs/op
 BenchmarkIndexedKernel/MaxOn/kernel=indexed-8	 1000000	      1100 ns/op	       0 B/op	       0 allocs/op
 BenchmarkIndexedKernel/Build-8              	    1000	   1200000 ns/op
+BenchmarkSimTrial/mode=unpooled-8           	    5000	    260000 ns/op	 1131464 B/op	     363 allocs/op
+BenchmarkSimTrial/mode=pooled-8             	    6000	    208000 ns/op	      64 B/op	       0 allocs/op
+BenchmarkAcceptanceCampaign/workers=1-8     	     100	  10000000 ns/op	     18000 trials/s
+BenchmarkAcceptanceCampaign/workers=8-8     	     400	   2500000 ns/op	     72000 trials/s
 PASS
 ok  	fnpr	12.630s
 `
@@ -28,8 +32,8 @@ func TestParse(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(bs) != 6 {
-		t.Fatalf("parsed %d benchmarks, want 6", len(bs))
+	if len(bs) != 10 {
+		t.Fatalf("parsed %d benchmarks, want 10", len(bs))
 	}
 	first := bs[0]
 	if first.Name != "BenchmarkFigure5Sweep/e2e/literal" {
@@ -51,9 +55,9 @@ func TestSpeedups(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sp := speedups(bs)
-	if len(sp) != 2 {
-		t.Fatalf("speedups = %v, want 2 scan/indexed pairs", sp)
+	sp, ar := speedups(bs)
+	if len(sp) != 4 {
+		t.Fatalf("speedups = %v, want 4 baseline/optimised pairs", sp)
 	}
 	got := sp["BenchmarkFigure5Sweep/kernel=*/n=256"]
 	if math.Abs(got-4.0) > 1e-9 {
@@ -61,6 +65,21 @@ func TestSpeedups(t *testing.T) {
 	}
 	if got := sp["BenchmarkIndexedKernel/MaxOn/kernel=*"]; math.Abs(got-10.0) > 1e-9 {
 		t.Errorf("MaxOn speedup = %v, want 10.0", got)
+	}
+	if got := sp["BenchmarkSimTrial/mode=*"]; math.Abs(got-1.25) > 1e-9 {
+		t.Errorf("sim pooling speedup = %v, want 1.25", got)
+	}
+	if got := sp["BenchmarkAcceptanceCampaign/workers=*"]; math.Abs(got-4.0) > 1e-9 {
+		t.Errorf("campaign speedup = %v, want 4.0", got)
+	}
+	// allocs/op pairs: the pooled simulator reaches 0 allocs/op, which is
+	// scored baseline/1; the MaxOn kernel pair has a zero baseline and the
+	// campaign pair ran without -benchmem, so neither appears.
+	if len(ar) != 1 {
+		t.Fatalf("alloc reductions = %v, want only the sim pair", ar)
+	}
+	if got := ar["BenchmarkSimTrial/mode=*"]; math.Abs(got-363.0) > 1e-9 {
+		t.Errorf("sim alloc reduction = %v, want 363", got)
 	}
 }
 
@@ -102,7 +121,10 @@ func TestRunWritesReport(t *testing.T) {
 	if err := json.Unmarshal(data, &rep); err != nil {
 		t.Fatal(err)
 	}
-	if rep.Schema != "fnpr-bench/1" || rep.Go == "" || len(rep.Benchmarks) != 6 || len(rep.Speedups) != 2 {
+	if rep.Schema != "fnpr-bench/1" || rep.Go == "" || len(rep.Benchmarks) != 10 || len(rep.Speedups) != 4 {
 		t.Fatalf("report = %+v", rep)
+	}
+	if len(rep.AllocReductions) != 1 {
+		t.Fatalf("alloc reductions = %v, want the sim pooling pair", rep.AllocReductions)
 	}
 }

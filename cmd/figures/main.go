@@ -7,7 +7,7 @@
 //	figures -fig 5 [-params literal|calibrated] [-out fig5.csv] [-ascii]
 //	figures -fig 1
 //	figures -fig 2
-//	figures -fig acceptance [-out acc.csv]
+//	figures -fig acceptance [-out acc.csv] [-workers N] [-seed S]
 //	figures -fig all [-dir .]
 //
 // Figure 4 emits the three synthetic benchmark delay functions; Figure 5
@@ -103,6 +103,8 @@ func main() {
 	case "acceptance":
 		ap := eval.DefaultAcceptanceParams()
 		ap.Seed = limits.Seed
+		ap.Workers = limits.Workers
+		ap.Obs = g.Obs()
 		tb, err := eval.Acceptance(g, ap)
 		if err != nil {
 			fatal(err)

@@ -8,6 +8,10 @@
 //	-scenario bounds   randomized FNPR runs compared against Algorithm 1
 //	-scenario edf      an EDF set with Q assigned by the Bertogna-Baruah
 //	                   demand-bound analysis of package npr
+//	-scenario montecarlo
+//	                   the pooled Monte-Carlo campaign: simulate -trials
+//	                   random jobsets over -workers goroutines and check the
+//	                   Algorithm 1 bound dominates every job's observed delay
 package main
 
 import (
@@ -30,9 +34,10 @@ import (
 
 func main() {
 	var (
-		scenario = flag.String("scenario", "basic", "fig2, basic, bounds, edf or stats")
+		scenario = flag.String("scenario", "basic", "fig2, basic, bounds, edf, stats or montecarlo")
 		events   = flag.Bool("events", false, "dump the full event trace")
 		svgPath  = flag.String("svg", "", "write an SVG Gantt chart of the basic scenario's floating-NPR run")
+		trials   = flag.Int("trials", 2000, "montecarlo scenario: number of random jobsets to simulate")
 	)
 	limits := cli.Flags().SweepFlags()
 	flag.Parse()
@@ -53,6 +58,8 @@ func main() {
 		err = edf(g, *events)
 	case "stats":
 		err = stats(g, limits.Seed)
+	case "montecarlo":
+		err = montecarlo(g, limits, *trials)
 	default:
 		err = cli.Usagef("unknown scenario %q", *scenario)
 	}
@@ -188,6 +195,33 @@ func bounds(g *guard.Ctx, limits *cli.Limits) error {
 				return err
 			}
 		}
+	}
+	return nil
+}
+
+// montecarlo runs the pooled simulation campaign and fails (exit code 1)
+// if any job's observed delay exceeded its Algorithm 1 bound — an empirical
+// falsification harness for Theorem 1. Output depends only on -seed and
+// -trials, never on -workers.
+func montecarlo(g *guard.Ctx, limits *cli.Limits, trials int) error {
+	p := eval.DefaultMonteCarloParams()
+	p.Seed = limits.Seed
+	p.Trials = trials
+	p.Workers = limits.Workers
+	p.Obs = g.Obs()
+	rep, err := eval.MonteCarlo(g, p)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Monte-Carlo Theorem 1 campaign: observed delay vs Algorithm 1 bound")
+	fmt.Printf("  trials       %d\n", rep.Trials)
+	fmt.Printf("  jobs         %d\n", rep.Jobs)
+	fmt.Printf("  preemptions  %d\n", rep.Preemptions)
+	fmt.Printf("  max paid     %.6f\n", rep.MaxPaid)
+	fmt.Printf("  min slack    %.6f\n", rep.MinSlack)
+	fmt.Printf("  violations   %d\n", rep.Violations)
+	if rep.Violations > 0 {
+		return fmt.Errorf("simulate: %d jobs exceeded their Algorithm 1 bound", rep.Violations)
 	}
 	return nil
 }

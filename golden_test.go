@@ -11,6 +11,17 @@ import (
 
 var update = flag.Bool("update", false, "rewrite golden files from the scan-kernel output")
 
+// buildCmd compiles ./cmd/<name> into dir and returns the binary path.
+func buildCmd(t *testing.T, dir, name string) string {
+	t.Helper()
+	bin := filepath.Join(dir, name)
+	out, err := exec.Command("go", "build", "-o", bin, "./cmd/"+name).CombinedOutput()
+	if err != nil {
+		t.Fatalf("building %s: %v\n%s", name, err, out)
+	}
+	return bin
+}
+
 // TestGoldenOutputs is the byte-level regression lock on the analysis
 // pipeline: the CSV of `figures -fig 5` and the stdout of `simulate
 // -scenario bounds` are captured against committed golden files, and each
@@ -29,12 +40,7 @@ func TestGoldenOutputs(t *testing.T) {
 	tmp := t.TempDir()
 	bins := map[string]string{}
 	for _, name := range []string{"figures", "simulate"} {
-		bin := filepath.Join(tmp, name)
-		out, err := exec.Command("go", "build", "-o", bin, "./cmd/"+name).CombinedOutput()
-		if err != nil {
-			t.Fatalf("building %s: %v\n%s", name, err, out)
-		}
-		bins[name] = bin
+		bins[name] = buildCmd(t, tmp, name)
 	}
 
 	run := func(t *testing.T, bin string, noIndex bool, args ...string) string {
@@ -94,5 +100,47 @@ func TestGoldenOutputs(t *testing.T) {
 				t.Fatalf("output drifted from %s\ngolden:\n%s\ngot:\n%s", c.golden, want, indexed)
 			}
 		})
+	}
+}
+
+// TestGoldenAcceptance locks the acceptance-campaign CSV of `figures -fig
+// acceptance` against a committed golden, running the campaign both serially
+// (-workers 1) and on a four-worker pool and asserting the two are
+// byte-identical — the determinism contract of the sharded engine, checked
+// at the CLI boundary rather than the library one. Regenerate with
+// `go test . -run TestGoldenAcceptance -update` (the golden is written from
+// the serial run, the reference execution order). Skipped with -short.
+func TestGoldenAcceptance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end CLI runs skipped in -short mode")
+	}
+	bin := buildCmd(t, t.TempDir(), "figures")
+	run := func(workers string) string {
+		cmd := exec.Command(bin, "-fig", "acceptance", "-ascii=false", "-workers", workers)
+		var stdout, stderr strings.Builder
+		cmd.Stdout = &stdout
+		cmd.Stderr = &stderr
+		if err := cmd.Run(); err != nil {
+			t.Fatalf("figures -fig acceptance -workers %s: %v\nstderr: %s", workers, err, stderr.String())
+		}
+		return stdout.String()
+	}
+	serial := run("1")
+	parallel := run("4")
+	if serial != parallel {
+		t.Fatalf("-workers 4 changed the output bytes\nserial:\n%s\nparallel:\n%s", serial, parallel)
+	}
+	golden := filepath.Join("internal", "eval", "testdata", "figures_acceptance.golden")
+	if *update {
+		if err := os.WriteFile(golden, []byte(serial), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden (regenerate with -update): %v", err)
+	}
+	if string(want) != serial {
+		t.Fatalf("output drifted from %s\ngolden:\n%s\ngot:\n%s", golden, want, serial)
 	}
 }

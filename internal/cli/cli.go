@@ -67,11 +67,12 @@ type Limits struct {
 	MetricsOut string
 	DebugAddr  string
 
-	// Journal, Resume and Seed are registered only by SweepFlags — the
-	// batch-runtime surface of the sweep-running tools.
+	// Journal, Resume, Seed and Workers are registered only by SweepFlags —
+	// the batch-runtime surface of the sweep- and campaign-running tools.
 	Journal string
 	Resume  bool
 	Seed    int64
+	Workers int
 }
 
 // active is the Limits most recently registered by Flags; Exit consults it so
@@ -100,12 +101,15 @@ func (l *Limits) observed() bool {
 }
 
 // SweepFlags additionally registers the batch-runtime flags — -journal,
-// -resume and -seed — used by the commands that run long sweeps. Call
-// between Flags and flag.Parse; it returns l for chaining.
+// -resume, -seed and -workers — used by the commands that run long sweeps
+// and campaigns. Call between Flags and flag.Parse; it returns l for
+// chaining. Campaign results are bit-identical for every -workers value:
+// the flag only trades wall-clock for cores.
 func (l *Limits) SweepFlags() *Limits {
 	flag.StringVar(&l.Journal, "journal", "", "checkpoint journal file: completed grid points are appended so an aborted run can continue with -resume")
 	flag.BoolVar(&l.Resume, "resume", false, "resume from the -journal file, restoring the grid points it already holds")
 	flag.Int64Var(&l.Seed, "seed", 1, "random seed for synthetic task-set generation and retry jitter")
+	flag.IntVar(&l.Workers, "workers", 0, "worker pool size for sweeps and campaigns (0 = GOMAXPROCS); results do not depend on it")
 	return l
 }
 
@@ -158,6 +162,7 @@ func (l *Limits) Guard() *guard.Ctx {
 // anything else sweep-specific) on the returned value.
 func (l *Limits) SweepOptions(g *guard.Ctx, j *journal.Journal, resume map[string]json.RawMessage) eval.SweepOptions {
 	return eval.SweepOptions{
+		Workers: l.Workers,
 		Retry:   eval.DefaultSweepRetry(l.Seed),
 		Journal: j,
 		Resume:  resume,

@@ -2,11 +2,15 @@ package eval
 
 import (
 	"fmt"
-	"math/rand"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"fnpr/internal/delay"
 	"fnpr/internal/guard"
 	"fnpr/internal/npr"
+	"fnpr/internal/obs"
 	"fnpr/internal/sched"
 	"fnpr/internal/synth"
 	"fnpr/internal/textplot"
@@ -17,7 +21,10 @@ import (
 // its venue uses to compare schedulability tests: sweep total utilization,
 // draw random task sets, and measure the fraction each analysis admits.
 type AcceptanceParams struct {
-	// Seed makes the experiment reproducible.
+	// Seed makes the experiment reproducible. Every (point, trial) shard
+	// derives its own RNG sub-stream from it (synth.SubRand), so the
+	// campaign's output is a pure function of the seed — never of the
+	// worker count or goroutine scheduling.
 	Seed int64
 	// SetsPerPoint is the number of random task sets per utilization.
 	SetsPerPoint int
@@ -30,6 +37,13 @@ type AcceptanceParams struct {
 	DelayScale float64
 	// QFraction sets Q as a fraction of C (clamped to C).
 	QFraction float64
+	// Workers is the size of the trial worker pool; <= 0 selects
+	// GOMAXPROCS, 1 runs serially on the caller's goroutine. The result
+	// is bit-identical for every value.
+	Workers int
+	// Obs receives campaign progress events and metrics; nil falls back
+	// to the guard's scope.
+	Obs *obs.Scope
 }
 
 // DefaultAcceptanceParams returns the configuration used by the figures
@@ -47,6 +61,148 @@ func DefaultAcceptanceParams() AcceptanceParams {
 	}
 }
 
+// Validate rejects malformed campaign parameters up front, so a bad config
+// fails fast instead of looping forever or failing thousands of trials in.
+func (p AcceptanceParams) Validate() error {
+	switch {
+	case p.SetsPerPoint <= 0:
+		return guard.Invalidf("eval: SetsPerPoint %d, need > 0", p.SetsPerPoint)
+	case p.Tasks <= 0:
+		return guard.Invalidf("eval: Tasks %d, need > 0", p.Tasks)
+	case math.IsNaN(p.UStep) || p.UStep <= 0:
+		return guard.Invalidf("eval: UStep %g, need > 0", p.UStep)
+	case math.IsNaN(p.UStart) || math.IsInf(p.UStart, 0) || p.UStart <= 0:
+		return guard.Invalidf("eval: UStart %g, need finite > 0", p.UStart)
+	case math.IsNaN(p.UEnd) || math.IsInf(p.UEnd, 0) || p.UEnd < p.UStart:
+		return guard.Invalidf("eval: UEnd %g, need finite >= UStart %g", p.UEnd, p.UStart)
+	case math.IsNaN(p.DelayScale) || p.DelayScale < 0:
+		return guard.Invalidf("eval: DelayScale %g, need >= 0", p.DelayScale)
+	case math.IsNaN(p.QFraction) || p.QFraction <= 0:
+		return guard.Invalidf("eval: QFraction %g, need > 0", p.QFraction)
+	}
+	return nil
+}
+
+func (p AcceptanceParams) scope(g *guard.Ctx) *obs.Scope {
+	if p.Obs != nil {
+		return p.Obs
+	}
+	return g.Obs()
+}
+
+// points enumerates the utilization grid.
+func (p AcceptanceParams) points() []float64 {
+	var pts []float64
+	for u := p.UStart; u <= p.UEnd+1e-9; u += p.UStep {
+		pts = append(pts, u)
+	}
+	return pts
+}
+
+// acceptanceVerdict is the outcome of one random task set: which of the four
+// analyses admitted it. It depends only on (Seed, point, trial) — the
+// campaign aggregates verdicts in shard order, so the table is identical for
+// every worker count.
+type acceptanceVerdict struct {
+	admit [4]bool
+}
+
+// acceptanceTrial draws the (point, trial) shard's task set from its own RNG
+// sub-stream and runs the four analyses. Analysis failures count as
+// rejections (the set is not admitted) unless the guard aborted, which stops
+// the campaign.
+//
+// The response-time fixpoints are warm-chained: delay bounds are
+// non-negative, so the no-delay response times lower-bound every delay-aware
+// variant, and Algorithm 1's response times lower-bound Equation 4's (its C'
+// vector is pointwise smaller). Seeding is sound in that direction and keeps
+// every result bit-identical (see sched.FNPRAnalysis.Warm); it only trims
+// fixpoint iterations.
+func acceptanceTrial(g *guard.Ctx, p AcceptanceParams, point int, u float64, trial int) (acceptanceVerdict, error) {
+	var v acceptanceVerdict
+	if err := g.Tick(); err != nil {
+		return v, err
+	}
+	r := synth.SubRand(p.Seed, point, trial)
+	ts, err := synth.TaskSet(r, synth.TaskSetParams{
+		N: p.Tasks, Utilization: u,
+		PeriodLo: 20, PeriodHi: 2000, RoundPeriod: true,
+		QFraction: p.QFraction, MinQ: 0.1,
+	})
+	if err != nil {
+		return v, err
+	}
+	// Clamp each Q by the blocking tolerance of the higher-priority tasks
+	// (the paper assumes Q comes from such an analysis); sets that are
+	// infeasible even fully preemptively count as rejections everywhere.
+	if qs, err := npr.AssignQ(ts, npr.FixedPriority); err == nil {
+		for i := range ts {
+			if qs[i].Q < ts[i].Q {
+				ts[i].Q = qs[i].Q
+			}
+			if ts[i].Q <= 0 {
+				ts[i].Q = 1e-3
+			}
+		}
+	} else {
+		return v, nil
+	}
+	fns := make([]delay.Function, len(ts))
+	for i, tk := range ts {
+		if i == 0 {
+			continue // highest priority: never preempted
+		}
+		peak := p.DelayScale * tk.C
+		// Keep the analysis well-defined: the NPR must exceed the peak
+		// delay or every bound diverges.
+		if peak >= tk.Q {
+			peak = tk.Q * 0.8
+		}
+		fn, err := delay.NewFrontLoaded(peak, peak/5, tk.C)
+		if err != nil {
+			return v, err
+		}
+		fns[i] = fn
+	}
+	// No-delay envelope first: its response times seed the others.
+	none := sched.FNPRAnalysis{Tasks: ts, Delay: make([]delay.Function, len(ts)), Method: sched.Algorithm1}
+	ndRTs, err := none.ResponseTimesFPCtx(g)
+	if err == nil && sched.Schedulable(ts, ndRTs) {
+		v.admit[3] = true
+	} else if err != nil {
+		if guard.Abortive(err) {
+			return v, err
+		}
+		ndRTs = nil
+	}
+	a := sched.FNPRAnalysis{Tasks: ts, Delay: fns, Method: sched.Algorithm1, Warm: ndRTs}
+	a1RTs, err := a.ResponseTimesFPCtx(g)
+	if err == nil && sched.Schedulable(ts, a1RTs) {
+		v.admit[0] = true
+	} else if err != nil {
+		if guard.Abortive(err) {
+			return v, err
+		}
+		a1RTs = nil
+	}
+	if lim, err := a.ResponseTimesFPLimitedCtx(g); err == nil && sched.Schedulable(ts, lim.Response) {
+		v.admit[1] = true
+	} else if err != nil && guard.Abortive(err) {
+		return v, err
+	}
+	a4 := a
+	a4.Method = sched.Equation4
+	if a1RTs != nil {
+		a4.Warm = a1RTs // Algorithm 1 lower-bounds Equation 4
+	}
+	if rts, err := a4.ResponseTimesFPCtx(g); err == nil && sched.Schedulable(ts, rts) {
+		v.admit[2] = true
+	} else if err != nil && guard.Abortive(err) {
+		return v, err
+	}
+	return v, nil
+}
+
 // Acceptance runs the experiment and returns the acceptance ratio of each
 // analysis per utilization point:
 //
@@ -55,11 +211,46 @@ func DefaultAcceptanceParams() AcceptanceParams {
 //	equation4           — FNPR RTA with the state-of-the-art Equation 4 C'
 //	no-delay            — FNPR RTA ignoring preemption delay (optimistic
 //	                      upper envelope on what any sound test can admit)
+//
+// Trials are sharded over p.Workers goroutines; each shard draws from its
+// own deterministic RNG sub-stream and verdicts are aggregated in shard
+// order, so the table is bit-identical for every worker count.
 func Acceptance(g *guard.Ctx, p AcceptanceParams) (*textplot.Table, error) {
-	if p.SetsPerPoint <= 0 || p.Tasks <= 0 || p.UStep <= 0 || p.UStart <= 0 || p.UEnd < p.UStart {
-		return nil, guard.Invalidf("eval: invalid acceptance parameters %+v", p)
+	if err := p.Validate(); err != nil {
+		return nil, err
 	}
-	r := rand.New(rand.NewSource(p.Seed))
+	if err := g.Err(); err != nil {
+		return nil, err
+	}
+	pts := p.points()
+	workers := p.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	sc := p.scope(g)
+	total := len(pts) * p.SetsPerPoint
+	sc.Emit(obs.Event{Type: obs.CampaignStarted, Spec: "acceptance", Total: total})
+	sc.Gauge("campaign.workers").Set(float64(workers))
+	trialsDone := sc.Counter("campaign.trials")
+
+	verdicts := make([]acceptanceVerdict, total)
+	if workers == 1 {
+		for pt, u := range pts {
+			for tr := 0; tr < p.SetsPerPoint; tr++ {
+				v, err := acceptanceTrial(g, p, pt, u, tr)
+				if err != nil {
+					return nil, err
+				}
+				verdicts[pt*p.SetsPerPoint+tr] = v
+				trialsDone.Inc()
+			}
+			sc.Emit(obs.Event{Type: obs.CampaignPoint, Spec: "acceptance",
+				Q: u, Completed: (pt + 1) * p.SetsPerPoint, Total: total})
+		}
+	} else if err := p.runSharded(g, sc, pts, workers, verdicts); err != nil {
+		return nil, err
+	}
+
 	tbl := &textplot.Table{
 		XLabel: "utilization",
 		YLabel: "acceptance ratio",
@@ -70,76 +261,13 @@ func Acceptance(g *guard.Ctx, p AcceptanceParams) (*textplot.Table, error) {
 			{Name: "no-delay"},
 		},
 	}
-	for u := p.UStart; u <= p.UEnd+1e-9; u += p.UStep {
+	for pt, u := range pts {
 		var admit [4]int
-		for s := 0; s < p.SetsPerPoint; s++ {
-			if err := g.Tick(); err != nil {
-				return nil, err
-			}
-			ts, err := synth.TaskSet(r, synth.TaskSetParams{
-				N: p.Tasks, Utilization: u,
-				PeriodLo: 20, PeriodHi: 2000, RoundPeriod: true,
-				QFraction: p.QFraction, MinQ: 0.1,
-			})
-			if err != nil {
-				return nil, err
-			}
-			// Clamp each Q by the blocking tolerance of the
-			// higher-priority tasks (the paper assumes Q comes from
-			// such an analysis); sets that are infeasible even
-			// fully preemptively count as rejections everywhere.
-			if qs, err := npr.AssignQ(ts, npr.FixedPriority); err == nil {
-				for i := range ts {
-					if qs[i].Q < ts[i].Q {
-						ts[i].Q = qs[i].Q
-					}
-					if ts[i].Q <= 0 {
-						ts[i].Q = 1e-3
-					}
+		for tr := 0; tr < p.SetsPerPoint; tr++ {
+			for k, ok := range verdicts[pt*p.SetsPerPoint+tr].admit {
+				if ok {
+					admit[k]++
 				}
-			} else {
-				continue
-			}
-			fns := make([]delay.Function, len(ts))
-			for i, tk := range ts {
-				if i == 0 {
-					continue // highest priority: never preempted
-				}
-				peak := p.DelayScale * tk.C
-				// Keep the analysis well-defined: the NPR must
-				// exceed the peak delay or every bound diverges.
-				if peak >= tk.Q {
-					peak = tk.Q * 0.8
-				}
-				fn, err := delay.NewFrontLoaded(peak, peak/5, tk.C)
-				if err != nil {
-					return nil, err
-				}
-				fns[i] = fn
-			}
-			a := sched.FNPRAnalysis{Tasks: ts, Delay: fns, Method: sched.Algorithm1}
-			if rts, err := a.ResponseTimesFPCtx(g); err == nil && sched.Schedulable(ts, rts) {
-				admit[0]++
-			} else if err != nil && guard.Abortive(err) {
-				return nil, err
-			}
-			if lim, err := a.ResponseTimesFPLimitedCtx(g); err == nil && sched.Schedulable(ts, lim.Response) {
-				admit[1]++
-			} else if err != nil && guard.Abortive(err) {
-				return nil, err
-			}
-			a4 := a
-			a4.Method = sched.Equation4
-			if rts, err := a4.ResponseTimesFPCtx(g); err == nil && sched.Schedulable(ts, rts) {
-				admit[2]++
-			} else if err != nil && guard.Abortive(err) {
-				return nil, err
-			}
-			none := sched.FNPRAnalysis{Tasks: ts, Delay: make([]delay.Function, len(ts)), Method: sched.Algorithm1}
-			if rts, err := none.ResponseTimesFPCtx(g); err == nil && sched.Schedulable(ts, rts) {
-				admit[3]++
-			} else if err != nil && guard.Abortive(err) {
-				return nil, err
 			}
 		}
 		tbl.X = append(tbl.X, u)
@@ -150,7 +278,78 @@ func Acceptance(g *guard.Ctx, p AcceptanceParams) (*textplot.Table, error) {
 	if err := tbl.Validate(); err != nil {
 		return nil, err
 	}
+	sc.Emit(obs.Event{Type: obs.CampaignFinished, Spec: "acceptance",
+		Completed: total, Total: total})
 	return tbl, nil
+}
+
+// runSharded fans the campaign's (point, trial) shards out over the worker
+// pool, writing each verdict into its own slot of the shared slice. The
+// first abortive error wins; remaining shards are skipped (their slots keep
+// the zero verdict, which the caller discards along with the error).
+func (p AcceptanceParams) runSharded(g *guard.Ctx, sc *obs.Scope, pts []float64, workers int, verdicts []acceptanceVerdict) error {
+	trialsDone := sc.Counter("campaign.trials")
+	total := len(verdicts)
+	// pointLeft counts each utilization point's outstanding trials so the
+	// worker finishing a point's last trial can emit its progress event.
+	pointLeft := make([]atomic.Int64, len(pts))
+	for i := range pointLeft {
+		pointLeft[i].Store(int64(p.SetsPerPoint))
+	}
+	var completed atomic.Int64
+
+	var (
+		mu       sync.Mutex
+		abortErr error
+	)
+	abort := func(err error) {
+		mu.Lock()
+		if abortErr == nil {
+			abortErr = err
+		}
+		mu.Unlock()
+	}
+	aborted := func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return abortErr != nil
+	}
+
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range jobs {
+				if aborted() {
+					continue
+				}
+				pt := idx / p.SetsPerPoint
+				tr := idx % p.SetsPerPoint
+				v, err := acceptanceTrial(g, p, pt, pts[pt], tr)
+				if err != nil {
+					abort(err)
+					continue
+				}
+				verdicts[idx] = v
+				trialsDone.Inc()
+				done := completed.Add(1)
+				if pointLeft[pt].Add(-1) == 0 {
+					sc.Emit(obs.Event{Type: obs.CampaignPoint, Spec: "acceptance",
+						Q: pts[pt], Completed: int(done), Total: total})
+				}
+			}
+		}()
+	}
+	for idx := 0; idx < total; idx++ {
+		jobs <- idx
+	}
+	close(jobs)
+	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	return abortErr
 }
 
 // AcceptanceChecks verifies the structural guarantees the experiment must

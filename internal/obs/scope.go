@@ -15,6 +15,11 @@ type EventType string
 // attempt failed and another follows), PointDegraded (primary exhausted,
 // Equation 4 fallback used), PointQuarantined (fallback failed too) and
 // PointDone (the point completed — cleanly, degraded or quarantined).
+//
+// Empirical campaigns (sharded acceptance-ratio and Monte-Carlo runs) use
+// their own triple: one CampaignStarted / CampaignFinished pair per campaign
+// and one CampaignPoint per fully aggregated grid point. Spec names the
+// campaign, Q carries the point's utilization, Completed/Total count trials.
 const (
 	SweepStarted     EventType = "SweepStarted"
 	SweepResumed     EventType = "SweepResumed"
@@ -23,6 +28,10 @@ const (
 	PointDegraded    EventType = "PointDegraded"
 	PointQuarantined EventType = "PointQuarantined"
 	SweepFinished    EventType = "SweepFinished"
+
+	CampaignStarted  EventType = "CampaignStarted"
+	CampaignPoint    EventType = "CampaignPoint"
+	CampaignFinished EventType = "CampaignFinished"
 )
 
 // Event is one structured progress record. Fields beyond Type are populated

@@ -160,5 +160,8 @@ func (a FNPRAnalysis) rtaWith(g *guard.Ctx, cp []float64) ([]float64, error) {
 		}
 		return b
 	}
-	return responseTimes(g, inflated, nil, blocking)
+	// a.Warm is sound here too: the refinement only ever evaluates C'
+	// vectors at or above the plain C vector, and the response time is
+	// monotone in C' (both directly and through the blocking term).
+	return responseTimes(g, inflated, nil, blocking, a.Warm)
 }

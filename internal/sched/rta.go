@@ -29,14 +29,14 @@ const maxRTAIterations = 1_000_000
 // It returns the fixpoint response times; a task whose iteration exceeds its
 // deadline gets +Inf (unschedulable) and iteration continues for the others.
 func ResponseTimes(ts task.Set) ([]float64, error) {
-	return responseTimes(nil, ts, nil, nil)
+	return responseTimes(nil, ts, nil, nil, nil)
 }
 
 // ResponseTimesCtx is ResponseTimes under a guard scope: the fixpoint charges
 // one guard step per iteration, so runaway iterations can be canceled or
 // budget-bounded. A nil guard means no limits.
 func ResponseTimesCtx(g *guard.Ctx, ts task.Set) ([]float64, error) {
-	return responseTimes(g, ts, nil, nil)
+	return responseTimes(g, ts, nil, nil, nil)
 }
 
 // CRPDMethod selects how preemption costs inflate the RTA.
@@ -112,14 +112,24 @@ func ResponseTimesCRPDCtx(g *guard.Ctx, ts task.Set, m CRPDMethod, p CRPDParams)
 			return 0
 		}
 	}
-	return responseTimes(g, ts, gamma, nil)
+	return responseTimes(g, ts, gamma, nil, nil)
 }
 
 // responseTimes is the shared fixpoint engine. gamma(i,j) is the preemption
 // cost added to each release of higher-priority task j while analysing task
 // i (nil = 0). blocking(i) is the blocking term added to task i (nil = 0).
 // The fixpoint charges one guard step per iteration.
-func responseTimes(g *guard.Ctx, ts task.Set, gamma func(i, j int) float64, blocking func(i int) float64) ([]float64, error) {
+//
+// warm optionally seeds each task's iteration with a previously computed
+// response time (in the same jitter-inclusive scale the function returns).
+// Soundness: the recurrence's right-hand side is monotone in r, so from ANY
+// seed at or below the least fixpoint the iterates stay below it and — the
+// reachable values form a finite lattice of release-count combinations —
+// settle on exactly the least fixpoint. The result is therefore bit-identical
+// to a cold start; only the iteration count shrinks. Callers must guarantee
+// warm[i] <= task i's true response time; entries that are non-finite or
+// below the cold-start value are ignored (cold start is always sound).
+func responseTimes(g *guard.Ctx, ts task.Set, gamma func(i, j int) float64, blocking func(i int) float64, warm []float64) ([]float64, error) {
 	if err := ts.Validate(); err != nil {
 		return nil, err
 	}
@@ -129,6 +139,9 @@ func responseTimes(g *guard.Ctx, ts task.Set, gamma func(i, j int) float64, bloc
 	if err := g.Err(); err != nil {
 		return nil, err
 	}
+	sc := g.Obs()
+	iters := sc.Counter("sched.rta.iterations")
+	seeded := sc.Counter("sched.rta.warm.seeded")
 	out := make([]float64, len(ts))
 	for i, tk := range ts {
 		b := 0.0
@@ -136,11 +149,19 @@ func responseTimes(g *guard.Ctx, ts task.Set, gamma func(i, j int) float64, bloc
 			b = blocking(i)
 		}
 		r := tk.C + b
+		if i < len(warm) {
+			// warm values include jitter; the iteration variable does not.
+			if w := warm[i] - tk.Jitter; w > r && !math.IsInf(w, 1) && !math.IsNaN(w) {
+				r = w
+				seeded.Inc()
+			}
+		}
 		ok := false
 		for iter := 0; iter < maxRTAIterations; iter++ {
 			if err := g.Tick(); err != nil {
 				return nil, err
 			}
+			iters.Inc()
 			next := tk.C + b
 			for j := 0; j < i; j++ {
 				g := 0.0
@@ -209,6 +230,19 @@ type FNPRAnalysis struct {
 	// Method selects how the cumulative delay is bounded; see
 	// DelayMethod.
 	Method DelayMethod
+	// Warm optionally seeds the response-time fixpoints from previously
+	// computed response times (jitter-inclusive, indexed like Tasks).
+	//
+	// Soundness contract: Warm[i] must be a proven lower bound on task
+	// i's response time under THIS analysis — in practice, the response
+	// times of the same task set under pointwise-smaller effective WCETs.
+	// Delay bounds are non-negative, so the plain no-delay FNPR response
+	// times lower-bound every delay-aware variant, and the Algorithm 1
+	// response times lower-bound the (coarser) Equation 4 ones. A valid
+	// seed changes nothing but the iteration count: results stay
+	// bit-identical (see responseTimes). Non-finite or too-small entries
+	// fall back to a cold start per task.
+	Warm []float64
 }
 
 // DelayMethod selects the cumulative-delay bound used for C'.
@@ -317,7 +351,7 @@ func (a FNPRAnalysis) ResponseTimesFPCtx(g *guard.Ctx) ([]float64, error) {
 			return rts, nil
 		}
 	}
-	return responseTimes(g, inflated, nil, blocking)
+	return responseTimes(g, inflated, nil, blocking, a.Warm)
 }
 
 // SchedulableEDF runs the processor-demand test with effective WCETs and the

@@ -1,0 +1,184 @@
+package sched
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"testing"
+
+	"fnpr/internal/delay"
+	"fnpr/internal/guard"
+	"fnpr/internal/obs"
+	"fnpr/internal/synth"
+	"fnpr/internal/task"
+)
+
+// warmFixture draws a random FNPR analysis whose no-delay response times can
+// seed the delay-aware variants.
+func warmFixture(t *testing.T, r *rand.Rand) FNPRAnalysis {
+	t.Helper()
+	ts, err := synth.TaskSet(r, synth.TaskSetParams{
+		N:           3 + r.Intn(4),
+		Utilization: 0.4 + 0.4*r.Float64(),
+		PeriodLo:    10,
+		PeriodHi:    500,
+		RoundPeriod: true,
+		QFraction:   0.3,
+		MinQ:        0.1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fns := make([]delay.Function, len(ts))
+	for i := 1; i < len(ts); i++ {
+		peak := 0.15 * ts[i].C
+		fn, err := delay.NewFrontLoaded(peak, peak/4, ts[i].C)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fns[i] = fn
+	}
+	return FNPRAnalysis{Tasks: ts, Delay: fns, Method: Algorithm1}
+}
+
+// rtaIterations runs fn under a fresh registry and returns the RTA fixpoint
+// iteration count it charged.
+func rtaIterations(t *testing.T, fn func(g *guard.Ctx)) int64 {
+	t.Helper()
+	reg := obs.NewRegistry()
+	g := guard.New(context.Background()).WithObs(obs.NewScope(reg))
+	fn(g)
+	return reg.Counter("sched.rta.iterations").Value()
+}
+
+// TestWarmStartBitIdentical: seeding the fixpoint from the no-delay response
+// times (a sound lower bound, delay bounds being non-negative) must not
+// change a single bit of the result, for Algorithm 1, Equation 4 and the
+// limited refinement alike.
+func TestWarmStartBitIdentical(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 40; trial++ {
+		a := warmFixture(t, r)
+		nd := FNPRAnalysis{Tasks: a.Tasks, Delay: make([]delay.Function, len(a.Tasks)), Method: Algorithm1}
+		seed, err := nd.ResponseTimesFPCtx(nil)
+		if err != nil {
+			t.Fatalf("trial %d: no-delay RTA: %v", trial, err)
+		}
+		for _, m := range []DelayMethod{Algorithm1, Equation4} {
+			cold := a
+			cold.Method = m
+			warm := cold
+			warm.Warm = seed
+			cr, err := cold.ResponseTimesFPCtx(nil)
+			if err != nil {
+				t.Fatalf("trial %d (%v): cold: %v", trial, m, err)
+			}
+			wr, err := warm.ResponseTimesFPCtx(nil)
+			if err != nil {
+				t.Fatalf("trial %d (%v): warm: %v", trial, m, err)
+			}
+			for i := range cr {
+				same := cr[i] == wr[i] ||
+					(math.IsInf(cr[i], 1) && math.IsInf(wr[i], 1))
+				if !same {
+					t.Fatalf("trial %d (%v): task %d response %g (warm) != %g (cold)",
+						trial, m, i, wr[i], cr[i])
+				}
+			}
+		}
+		coldLim, warmLim := a, a
+		warmLim.Warm = seed
+		cl, err := coldLim.ResponseTimesFPLimitedCtx(nil)
+		if err != nil {
+			t.Fatalf("trial %d: limited cold: %v", trial, err)
+		}
+		wl, err := warmLim.ResponseTimesFPLimitedCtx(nil)
+		if err != nil {
+			t.Fatalf("trial %d: limited warm: %v", trial, err)
+		}
+		for i := range cl.Response {
+			same := cl.Response[i] == wl.Response[i] ||
+				(math.IsInf(cl.Response[i], 1) && math.IsInf(wl.Response[i], 1))
+			if !same {
+				t.Fatalf("trial %d: limited task %d response %g (warm) != %g (cold)",
+					trial, i, wl.Response[i], cl.Response[i])
+			}
+		}
+	}
+}
+
+// TestWarmStartSavesIterations: across many random sets, warm-seeded RTAs
+// must charge strictly fewer fixpoint iterations in aggregate — the entire
+// point of the seeding — and the saving must be visible through the
+// sched.rta.* counters.
+func TestWarmStartSavesIterations(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	var coldTotal, warmTotal, seededTotal int64
+	for trial := 0; trial < 40; trial++ {
+		a := warmFixture(t, r)
+		nd := FNPRAnalysis{Tasks: a.Tasks, Delay: make([]delay.Function, len(a.Tasks)), Method: Algorithm1}
+		seed, err := nd.ResponseTimesFPCtx(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		coldTotal += rtaIterations(t, func(g *guard.Ctx) {
+			if _, err := a.ResponseTimesFPCtx(g); err != nil {
+				t.Fatal(err)
+			}
+		})
+		warm := a
+		warm.Warm = seed
+		reg := obs.NewRegistry()
+		g := guard.New(context.Background()).WithObs(obs.NewScope(reg))
+		if _, err := warm.ResponseTimesFPCtx(g); err != nil {
+			t.Fatal(err)
+		}
+		warmTotal += reg.Counter("sched.rta.iterations").Value()
+		seededTotal += reg.Counter("sched.rta.warm.seeded").Value()
+	}
+	if warmTotal >= coldTotal {
+		t.Fatalf("warm start saved nothing: %d iterations warm vs %d cold", warmTotal, coldTotal)
+	}
+	if seededTotal == 0 {
+		t.Fatal("sched.rta.warm.seeded never incremented")
+	}
+	t.Logf("iterations: cold=%d warm=%d (saved %d, %d tasks seeded)",
+		coldTotal, warmTotal, coldTotal-warmTotal, seededTotal)
+}
+
+// TestWarmStartIgnoresBogusSeeds: +Inf, NaN and undersized seed vectors are
+// ignored per task rather than poisoning the fixpoint.
+func TestWarmStartIgnoresBogusSeeds(t *testing.T) {
+	ts := task.Set{
+		{Name: "a", C: 1, T: 4, Q: 1},
+		{Name: "b", C: 2, T: 8, Q: 1},
+		{Name: "c", C: 4, T: 16, Q: 2},
+	}
+	ts.AssignRateMonotonic()
+	fn, err := delay.NewFrontLoaded(0.5, 0.1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := FNPRAnalysis{Tasks: ts, Delay: []delay.Function{nil, nil, fn}, Method: Algorithm1}
+	want, err := a.ResponseTimesFPCtx(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, seed := range [][]float64{
+		{math.Inf(1), math.NaN(), math.Inf(1)},
+		{0},
+		nil,
+	} {
+		b := a
+		b.Warm = seed
+		got, err := b.ResponseTimesFPCtx(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("seed %v: task %d response %g, want %g", seed, i, got[i], want[i])
+			}
+		}
+	}
+}

@@ -22,7 +22,7 @@ package sim
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 
 	"fnpr/internal/delay"
 	"fnpr/internal/guard"
@@ -229,6 +229,8 @@ type job struct {
 	execTime     float64 // processor time consumed so far (progress scale + delay)
 	started      bool
 	missedNoted  bool
+	finished     bool
+	finish       float64 // completion time (meaningful when finished)
 
 	preemptions  int
 	delayPaid    float64
@@ -252,45 +254,83 @@ func Run(cfg Config) (*Result, error) {
 // per simulated event, so long horizons can be canceled, time-bounded and
 // budget-bounded. A nil guard means no limits.
 func RunCtx(g *guard.Ctx, cfg Config) (*Result, error) {
+	return NewRunner().Run(g, cfg)
+}
+
+// validateConfig checks cfg and resolves the execution-time fraction.
+func validateConfig(cfg Config) (float64, error) {
 	if err := cfg.Tasks.Validate(); err != nil {
-		return nil, err
+		return 0, err
 	}
 	if len(cfg.Tasks) == 0 {
-		return nil, guard.Invalidf("sim: empty task set")
+		return 0, guard.Invalidf("sim: empty task set")
 	}
 	if cfg.Horizon <= 0 || math.IsNaN(cfg.Horizon) || math.IsInf(cfg.Horizon, 0) {
-		return nil, guard.Invalidf("sim: invalid horizon %g", cfg.Horizon)
+		return 0, guard.Invalidf("sim: invalid horizon %g", cfg.Horizon)
 	}
 	if cfg.Delay != nil && len(cfg.Delay) != len(cfg.Tasks) {
-		return nil, guard.Invalidf("sim: %d delay functions for %d tasks", len(cfg.Delay), len(cfg.Tasks))
+		return 0, guard.Invalidf("sim: %d delay functions for %d tasks", len(cfg.Delay), len(cfg.Tasks))
 	}
 	frac := cfg.ExecTime
 	if frac == 0 {
 		frac = 1
 	}
 	if frac < 0 || frac > 1 || math.IsNaN(frac) {
-		return nil, guard.Invalidf("sim: ExecTime %g outside (0,1]", frac)
+		return 0, guard.Invalidf("sim: ExecTime %g outside (0,1]", frac)
 	}
 	if cfg.SwitchCost < 0 || math.IsNaN(cfg.SwitchCost) || math.IsInf(cfg.SwitchCost, 0) {
-		return nil, guard.Invalidf("sim: invalid switch cost %g", cfg.SwitchCost)
+		return 0, guard.Invalidf("sim: invalid switch cost %g", cfg.SwitchCost)
 	}
 	if cfg.Mode == FloatingNPR {
 		for i, tk := range cfg.Tasks {
 			if tk.Q <= 0 {
-				return nil, guard.Invalidf("sim: task %d (%s) has no NPR length Q in FloatingNPR mode", i, tk.Name)
+				return 0, guard.Invalidf("sim: task %d (%s) has no NPR length Q in FloatingNPR mode", i, tk.Name)
 			}
 		}
 	}
 	for i := range cfg.Tasks {
 		if cfg.Delay != nil && cfg.Delay[i] != nil {
 			if d := cfg.Delay[i].Domain(); math.Abs(d-cfg.Tasks[i].C) > 1e-9 {
-				return nil, guard.Invalidf("sim: task %d delay domain %g != C %g", i, d, cfg.Tasks[i].C)
+				return 0, guard.Invalidf("sim: task %d delay domain %g != C %g", i, d, cfg.Tasks[i].C)
 			}
 		}
 	}
+	return frac, nil
+}
 
-	s := &state{cfg: cfg, frac: frac}
+// Runner is a reusable simulator instance for Monte-Carlo campaigns: every
+// internal buffer — the release table, the job slab, the ready queue, the
+// event trace and the result records — is retained across Run calls, so a
+// worker simulating thousands of random job sets stays allocation-free once
+// the buffers have grown to the workload's high-water mark.
+//
+// A Runner is NOT safe for concurrent use; campaigns keep one per worker
+// goroutine. The *Result a Run returns (including its Events, Jobs, Tasks
+// and per-job preemption logs) is owned by the Runner and only valid until
+// the next Run on the same Runner — callers that need the data longer copy
+// what they keep. The package-level Run/RunCtx, which construct a fresh
+// Runner per call, are unaffected by this aliasing.
+type Runner struct {
+	st state
+}
+
+// NewRunner returns an empty Runner; buffers grow on first use.
+func NewRunner() *Runner {
+	return &Runner{}
+}
+
+// Run executes one simulation on the Runner's reused buffers. Semantics are
+// identical to the package-level RunCtx — same validation, same event
+// sequence, same statistics — only the allocation behaviour differs.
+func (r *Runner) Run(g *guard.Ctx, cfg Config) (*Result, error) {
+	frac, err := validateConfig(cfg)
+	if err != nil {
+		return nil, err
+	}
+	s := &r.st
+	s.reset(cfg, frac)
 	s.buildReleases()
+	s.growSlab(len(s.releases))
 	if err := s.run(g); err != nil {
 		return nil, err
 	}
@@ -323,29 +363,74 @@ type state struct {
 
 	events []Event
 	jobs   []*job
+
+	// slab is the backing storage of every job instance of one run: the
+	// release table fixes the job count up front, so the slab is sized
+	// once per run and the job pointers in ready/jobs/running stay stable.
+	// Across Runner reuses the slab (and each slab entry's preemption
+	// logs) keep their capacity, which is what makes repeat runs
+	// allocation-free.
+	slab     []job
+	nextSlab int
+
+	// res is the reusable result record a Runner hands out.
+	res Result
+}
+
+// reset rewinds the state for a fresh run while keeping every buffer's
+// capacity.
+func (s *state) reset(cfg Config, frac float64) {
+	s.cfg = cfg
+	s.frac = frac
+	s.releases = s.releases[:0]
+	s.nextRel = 0
+	s.ready = s.ready[:0]
+	s.running = nil
+	s.nprArmed = false
+	s.nprUntil = 0
+	s.now = 0
+	s.idle = 0
+	s.events = s.events[:0]
+	s.jobs = s.jobs[:0]
+	s.nextSlab = 0
+}
+
+// growSlab ensures storage for n jobs. Growing discards the old slab (and
+// the per-job log capacity it carried); steady-state campaigns hit the
+// high-water mark quickly and stop allocating.
+func (s *state) growSlab(n int) {
+	if cap(s.slab) < n {
+		s.slab = make([]job, n)
+		return
+	}
+	s.slab = s.slab[:n]
 }
 
 func (s *state) buildReleases() {
 	for i, tk := range s.cfg.Tasks {
-		var times []float64
 		if s.cfg.Releases != nil && i < len(s.cfg.Releases) && s.cfg.Releases[i] != nil {
-			times = s.cfg.Releases[i]
-		} else {
-			for t := 0.0; t < s.cfg.Horizon; t += tk.T {
-				times = append(times, t)
+			for k, t := range s.cfg.Releases[i] {
+				if t < s.cfg.Horizon {
+					s.releases = append(s.releases, pendingRelease{time: t, taskIdx: i, seq: k})
+				}
 			}
+			continue
 		}
-		for k, t := range times {
-			if t < s.cfg.Horizon {
-				s.releases = append(s.releases, pendingRelease{time: t, taskIdx: i, seq: k})
-			}
+		seq := 0
+		for t := 0.0; t < s.cfg.Horizon; t += tk.T {
+			s.releases = append(s.releases, pendingRelease{time: t, taskIdx: i, seq: seq})
+			seq++
 		}
 	}
-	sort.SliceStable(s.releases, func(a, b int) bool {
-		if s.releases[a].time != s.releases[b].time {
-			return s.releases[a].time < s.releases[b].time
+	slices.SortStableFunc(s.releases, func(a, b pendingRelease) int {
+		switch {
+		case a.time < b.time:
+			return -1
+		case a.time > b.time:
+			return 1
+		default:
+			return a.taskIdx - b.taskIdx
 		}
-		return s.releases[a].taskIdx < s.releases[b].taskIdx
 	})
 }
 
@@ -490,6 +575,8 @@ func (s *state) run(g *guard.Ctx) error {
 		// f(0) delay.
 		if s.running != nil && s.running.remainingWall() <= timeEps {
 			j := s.running
+			j.finished = true
+			j.finish = s.now
 			s.emit(EvFinish, j, j.progress, 0)
 			if s.now > j.deadline+timeEps && !j.missedNoted {
 				j.missedNoted = true
@@ -504,12 +591,16 @@ func (s *state) run(g *guard.Ctx) error {
 			rel := s.releases[s.nextRel]
 			s.nextRel++
 			tk := s.cfg.Tasks[rel.taskIdx]
-			j := &job{
-				taskIdx:  rel.taskIdx,
-				seq:      rel.seq,
-				release:  rel.time,
-				deadline: rel.time + tk.Deadline(),
-				demand:   tk.C * s.frac,
+			j := &s.slab[s.nextSlab]
+			s.nextSlab++
+			*j = job{
+				taskIdx:      rel.taskIdx,
+				seq:          rel.seq,
+				release:      rel.time,
+				deadline:     rel.time + tk.Deadline(),
+				demand:       tk.C * s.frac,
+				preemptProgs: j.preemptProgs[:0],
+				preemptExecs: j.preemptExecs[:0],
 			}
 			s.jobs = append(s.jobs, j)
 			s.emit(EvRelease, j, 0, 0)
@@ -566,21 +657,34 @@ func (s *state) handleArrival(j *job) {
 	}
 }
 
+// result assembles the run's Result into the state's reusable record. Finish
+// times and misses were recorded on the jobs as they happened, so a single
+// pass over the job slab suffices — no event-log replay, no index map.
 func (s *state) result() *Result {
-	res := &Result{Config: s.cfg, Events: s.events, Idle: s.idle}
-	res.Tasks = make([]TaskStat, len(s.cfg.Tasks))
+	res := &s.res
+	res.Config = s.cfg
+	res.Events = s.events
+	res.Idle = s.idle
+	res.Jobs = res.Jobs[:0]
+	if cap(res.Tasks) >= len(s.cfg.Tasks) {
+		res.Tasks = res.Tasks[:len(s.cfg.Tasks)]
+		for i := range res.Tasks {
+			res.Tasks[i] = TaskStat{}
+		}
+	} else {
+		res.Tasks = make([]TaskStat, len(s.cfg.Tasks))
+	}
 	for _, j := range s.jobs {
 		st := JobStat{
 			Task: j.taskIdx, Job: j.seq,
 			Release: j.release, Deadline: j.deadline,
-			Finish:      math.Inf(1),
-			Preemptions: j.preemptions,
-			DelayPaid:   j.delayPaid,
-			SwitchPaid:  j.switchPaid,
-			ExecDemand:  j.demand,
-			PreemptProgs: append([]float64(nil),
-				j.preemptProgs...),
-			PreemptExecs: append([]float64(nil), j.preemptExecs...),
+			Finish:       math.Inf(1),
+			Preemptions:  j.preemptions,
+			DelayPaid:    j.delayPaid,
+			SwitchPaid:   j.switchPaid,
+			ExecDemand:   j.demand,
+			PreemptProgs: j.preemptProgs,
+			PreemptExecs: j.preemptExecs,
 		}
 		ts := &res.Tasks[j.taskIdx]
 		ts.Released++
@@ -590,37 +694,22 @@ func (s *state) result() *Result {
 		if j.delayPaid > ts.MaxDelayPerJob {
 			ts.MaxDelayPerJob = j.delayPaid
 		}
-		res.Jobs = append(res.Jobs, st)
-	}
-	// Resolve finish times and misses from the event log (single pass).
-	idx := make(map[[2]int]int, len(res.Jobs))
-	for i, j := range res.Jobs {
-		idx[[2]int{j.Task, j.Job}] = i
-	}
-	for _, e := range s.events {
-		i, ok := idx[[2]int{e.Task, e.Job}]
-		if !ok {
-			continue
-		}
-		switch e.Kind {
-		case EvFinish:
-			res.Jobs[i].Finish = e.Time
-			res.Tasks[e.Task].Finished++
-			if rt := e.Time - res.Jobs[i].Release; rt > res.Tasks[e.Task].MaxResponse {
-				res.Tasks[e.Task].MaxResponse = rt
+		if j.finished {
+			st.Finish = j.finish
+			ts.Finished++
+			if rt := j.finish - j.release; rt > ts.MaxResponse {
+				ts.MaxResponse = rt
 			}
-		case EvMiss:
-			res.Jobs[i].Missed = true
-			res.Tasks[e.Task].Missed++
 		}
-	}
-	// Unfinished jobs past their deadline also count as misses.
-	for i := range res.Jobs {
-		j := &res.Jobs[i]
-		if math.IsInf(j.Finish, 1) && j.Deadline < s.cfg.Horizon && !j.Missed {
-			j.Missed = true
-			res.Tasks[j.Task].Missed++
+		if j.missedNoted {
+			st.Missed = true
+			ts.Missed++
+		} else if !j.finished && j.deadline < s.cfg.Horizon {
+			// Unfinished jobs past their deadline also count as misses.
+			st.Missed = true
+			ts.Missed++
 		}
+		res.Jobs = append(res.Jobs, st)
 	}
 	return res
 }

@@ -1,0 +1,48 @@
+package synth
+
+import "testing"
+
+func TestSubSeedDeterministic(t *testing.T) {
+	for _, c := range []struct{ point, trial int }{{0, 0}, {3, 17}, {11, 199}} {
+		a := SubSeed(42, c.point, c.trial)
+		b := SubSeed(42, c.point, c.trial)
+		if a != b {
+			t.Fatalf("SubSeed(42,%d,%d) not deterministic: %d vs %d", c.point, c.trial, a, b)
+		}
+	}
+}
+
+func TestSubSeedDistinctAcrossShards(t *testing.T) {
+	// A campaign-sized grid must not collide: collisions would silently
+	// duplicate trials and bias acceptance ratios.
+	seen := make(map[int64][2]int)
+	for point := 0; point < 64; point++ {
+		for trial := 0; trial < 512; trial++ {
+			s := SubSeed(7, point, trial)
+			if prev, ok := seen[s]; ok {
+				t.Fatalf("seed collision: (%d,%d) and (%d,%d) both map to %d",
+					prev[0], prev[1], point, trial, s)
+			}
+			seen[s] = [2]int{point, trial}
+		}
+	}
+}
+
+func TestSubSeedSensitiveToCampaignSeed(t *testing.T) {
+	if SubSeed(1, 0, 0) == SubSeed(2, 0, 0) {
+		t.Fatal("different campaign seeds produced the same shard seed")
+	}
+}
+
+func TestSubRandStreamsDiffer(t *testing.T) {
+	a, b := SubRand(1, 0, 0), SubRand(1, 0, 1)
+	same := 0
+	for i := 0; i < 16; i++ {
+		if a.Float64() == b.Float64() {
+			same++
+		}
+	}
+	if same == 16 {
+		t.Fatal("adjacent trial sub-streams are identical")
+	}
+}

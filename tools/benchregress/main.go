@@ -1,0 +1,169 @@
+// Command benchregress compares a fresh benchjson report against the
+// checked-in baseline (BENCH_PR3.json) and fails if any shared benchmark's
+// ns/op regressed beyond the tolerance. It is the CI tripwire for the
+// analysis kernels: a change that silently makes the delay-function kernels
+// or the Figure 5 sweep 30% slower turns the build red.
+//
+// Raw ns/op is not comparable across machines — the baseline was recorded on
+// whatever hardware produced BENCH_PR3.json, CI runs on something else — so
+// by default the comparison is normalised: each benchmark's current/baseline
+// ratio is divided by the median ratio across all shared benchmarks, which
+// cancels the machine-speed difference and leaves only *relative* shifts.
+// A benchmark is flagged when its normalised ratio exceeds 1+tolerance.
+// -raw disables the normalisation for same-machine comparisons.
+//
+// The comparison is deliberately tolerant of shape drift: benchmarks present
+// on only one side, or missing an ns/op metric, are reported as skipped and
+// never fail the run. Fewer than three shared benchmarks makes the median
+// meaningless, so that also degrades to a warning instead of a verdict.
+//
+// Usage:
+//
+//	go run ./tools/benchregress -baseline BENCH_PR3.json -current bench_current.json
+//
+// Exit codes: 0 pass (or skipped), 1 regression detected or I/O failure,
+// 2 bad usage.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+// report mirrors the subset of the benchjson schema the comparison needs.
+type report struct {
+	Schema     string `json:"schema"`
+	Benchmarks []struct {
+		Name    string             `json:"name"`
+		Metrics map[string]float64 `json:"metrics"`
+	} `json:"benchmarks"`
+}
+
+func load(path string) (map[string]float64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if !strings.HasPrefix(rep.Schema, "fnpr-bench/") {
+		return nil, fmt.Errorf("%s: schema %q is not fnpr-bench", path, rep.Schema)
+	}
+	ns := make(map[string]float64, len(rep.Benchmarks))
+	for _, b := range rep.Benchmarks {
+		if v, ok := b.Metrics["ns/op"]; ok && v > 0 {
+			ns[b.Name] = v
+		}
+	}
+	return ns, nil
+}
+
+// compare returns the per-benchmark normalised ratios and the list of names
+// skipped because one side lacks the metric. Ratios are current/baseline
+// divided by the median such ratio (1.0 when raw or too few shared points).
+func compare(base, cur map[string]float64, raw bool) (ratios map[string]float64, skipped []string) {
+	names := make([]string, 0, len(base))
+	for name := range base {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var shared []string
+	for _, name := range names {
+		if _, ok := cur[name]; ok {
+			shared = append(shared, name)
+		} else {
+			skipped = append(skipped, name)
+		}
+	}
+	for name := range cur {
+		if _, ok := base[name]; !ok {
+			skipped = append(skipped, name)
+		}
+	}
+	sort.Strings(skipped)
+	ratios = make(map[string]float64, len(shared))
+	all := make([]float64, 0, len(shared))
+	for _, name := range shared {
+		r := cur[name] / base[name]
+		ratios[name] = r
+		all = append(all, r)
+	}
+	calib := 1.0
+	if !raw && len(all) >= 3 {
+		sort.Float64s(all)
+		calib = all[len(all)/2]
+		if len(all)%2 == 0 {
+			calib = (all[len(all)/2-1] + all[len(all)/2]) / 2
+		}
+	}
+	if calib > 0 {
+		for name := range ratios {
+			ratios[name] /= calib
+		}
+	}
+	return ratios, skipped
+}
+
+func run(basePath, curPath string, tolerance float64, raw bool) error {
+	base, err := load(basePath)
+	if err != nil {
+		return err
+	}
+	cur, err := load(curPath)
+	if err != nil {
+		return err
+	}
+	ratios, skipped := compare(base, cur, raw)
+	for _, name := range skipped {
+		fmt.Printf("SKIP %s (metric on one side only)\n", name)
+	}
+	if len(ratios) < 3 && !raw {
+		fmt.Printf("WARN only %d shared benchmarks; too few to normalise, not judging\n", len(ratios))
+		return nil
+	}
+	names := make([]string, 0, len(ratios))
+	for name := range ratios {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	limit := 1 + tolerance
+	var bad int
+	for _, name := range names {
+		verdict := "ok"
+		if ratios[name] > limit {
+			verdict = "REGRESSED"
+			bad++
+		}
+		fmt.Printf("%-9s %-60s %6.2fx (limit %.2fx)\n", verdict, name, ratios[name], limit)
+	}
+	if bad > 0 {
+		return fmt.Errorf("benchregress: %d of %d benchmarks regressed beyond %.0f%%", bad, len(names), tolerance*100)
+	}
+	fmt.Printf("PASS %d benchmarks within %.0f%% of baseline\n", len(names), tolerance*100)
+	return nil
+}
+
+func main() {
+	var (
+		basePath  = flag.String("baseline", "BENCH_PR3.json", "checked-in benchjson baseline")
+		curPath   = flag.String("current", "bench_current.json", "freshly produced benchjson report")
+		tolerance = flag.Float64("tolerance", 0.30, "allowed fractional ns/op growth before failing")
+		raw       = flag.Bool("raw", false, "compare raw ns/op without machine-speed normalisation")
+	)
+	flag.Parse()
+	if flag.NArg() != 0 || *tolerance < 0 {
+		fmt.Fprintln(os.Stderr, "benchregress: unexpected arguments or negative tolerance")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*basePath, *curPath, *tolerance, *raw); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,108 @@
+package main
+
+import (
+	"encoding/json"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeReport(t *testing.T, path string, ns map[string]float64) {
+	t.Helper()
+	rep := map[string]any{"schema": "fnpr-bench/1", "benchmarks": []any{}}
+	var bs []any
+	for name, v := range ns {
+		bs = append(bs, map[string]any{"name": name, "metrics": map[string]float64{"ns/op": v}})
+	}
+	rep["benchmarks"] = bs
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompareNormalisesMachineSpeed(t *testing.T) {
+	// The current machine is uniformly 2x slower; no benchmark regressed
+	// relative to its peers, so every normalised ratio is 1.0.
+	base := map[string]float64{"A": 100, "B": 200, "C": 300, "D": 400}
+	cur := map[string]float64{"A": 200, "B": 400, "C": 600, "D": 800}
+	ratios, skipped := compare(base, cur, false)
+	if len(skipped) != 0 {
+		t.Fatalf("skipped = %v", skipped)
+	}
+	for name, r := range ratios {
+		if math.Abs(r-1.0) > 1e-9 {
+			t.Errorf("ratio[%s] = %v, want 1.0", name, r)
+		}
+	}
+}
+
+func TestCompareFlagsRelativeRegression(t *testing.T) {
+	base := map[string]float64{"A": 100, "B": 200, "C": 300, "D": 400}
+	cur := map[string]float64{"A": 200, "B": 400, "C": 600, "D": 1600} // D is 2x worse than peers
+	ratios, _ := compare(base, cur, false)
+	if r := ratios["D"]; r < 1.9 {
+		t.Errorf("ratio[D] = %v, want ~2.0", r)
+	}
+	if r := ratios["A"]; math.Abs(r-1.0) > 1e-9 {
+		t.Errorf("ratio[A] = %v, want 1.0", r)
+	}
+}
+
+func TestCompareSkipsOneSidedBenchmarks(t *testing.T) {
+	base := map[string]float64{"A": 100, "Gone": 50}
+	cur := map[string]float64{"A": 100, "New": 70}
+	ratios, skipped := compare(base, cur, true)
+	if len(ratios) != 1 || len(skipped) != 2 {
+		t.Fatalf("ratios = %v skipped = %v", ratios, skipped)
+	}
+}
+
+func TestCompareRawSkipsNormalisation(t *testing.T) {
+	base := map[string]float64{"A": 100, "B": 100, "C": 100}
+	cur := map[string]float64{"A": 200, "B": 200, "C": 200}
+	ratios, _ := compare(base, cur, true)
+	for name, r := range ratios {
+		if math.Abs(r-2.0) > 1e-9 {
+			t.Errorf("raw ratio[%s] = %v, want 2.0", name, r)
+		}
+	}
+}
+
+func TestRunVerdicts(t *testing.T) {
+	dir := t.TempDir()
+	basePath := filepath.Join(dir, "base.json")
+	curPath := filepath.Join(dir, "cur.json")
+	writeReport(t, basePath, map[string]float64{"A": 100, "B": 200, "C": 300, "D": 400})
+
+	writeReport(t, curPath, map[string]float64{"A": 110, "B": 210, "C": 310, "D": 420})
+	if err := run(basePath, curPath, 0.30, false); err != nil {
+		t.Fatalf("within-tolerance run failed: %v", err)
+	}
+
+	writeReport(t, curPath, map[string]float64{"A": 100, "B": 200, "C": 300, "D": 900})
+	if err := run(basePath, curPath, 0.30, false); err == nil {
+		t.Fatal("regressed run passed")
+	}
+
+	// Too few shared benchmarks degrades to a warning, not a verdict.
+	writeReport(t, curPath, map[string]float64{"A": 1000})
+	if err := run(basePath, curPath, 0.30, false); err != nil {
+		t.Fatalf("sparse run should warn, got: %v", err)
+	}
+}
+
+func TestLoadRejectsForeignSchema(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(path, []byte(`{"schema":"other/1","benchmarks":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := load(path); err == nil {
+		t.Fatal("load accepted a foreign schema")
+	}
+}
