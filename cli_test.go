@@ -1,11 +1,14 @@
 package fnpr
 
 import (
+	"encoding/json"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"testing"
+	"time"
 )
 
 // TestCommandsAndExamples executes every binary and example end to end,
@@ -140,6 +143,89 @@ func TestExitCodeContract(t *testing.T) {
 				t.Fatalf("%s %v: stderr missing %q:\n%s", c.bin, c.args, c.errWant, stderr.String())
 			}
 		})
+	}
+}
+
+// TestMetricsFlushOnSigterm pins the exit-path observability contract: a
+// journaled sweep under heavy fault injection (FNPR_CHAOS_PANIC_PROB keeps it
+// cycling through retry backoffs) killed by SIGTERM must still exit with the
+// resource code AND flush a parseable -metrics-out snapshot — the signal
+// lands mid-backoff or mid-analysis, and neither path may lose the metrics
+// file. Skipped with -short.
+func TestMetricsFlushOnSigterm(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end CLI runs skipped in -short mode")
+	}
+	tmp := t.TempDir()
+	bin := filepath.Join(tmp, "figures")
+	if out, err := exec.Command("go", "build", "-o", bin, "./cmd/figures").CombinedOutput(); err != nil {
+		t.Fatalf("building figures: %v\n%s", err, out)
+	}
+
+	journal := filepath.Join(tmp, "fig5.journal")
+	metrics := filepath.Join(tmp, "metrics.json")
+	cmd := exec.Command(bin, "-fig", "5", "-ascii=false",
+		"-workers", "1", "-journal", journal, "-metrics-out", metrics)
+	cmd.Env = append(os.Environ(), "FNPR_CHAOS_PANIC_PROB=0.7")
+	var stderr strings.Builder
+	cmd.Stderr = &stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+
+	// Wait for the first checkpointed point — the run is then deep in its
+	// retry/backoff churn — and hit it with SIGTERM.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if b, err := os.ReadFile(journal); err == nil && strings.Contains(string(b), "point:") {
+			break
+		}
+		select {
+		case err := <-done:
+			t.Fatalf("figures exited before SIGTERM could be sent: %v\nstderr: %s", err, stderr.String())
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no checkpoint appeared; stderr: %s", stderr.String())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+
+	select {
+	case err := <-done:
+		code := 0
+		if ee, ok := err.(*exec.ExitError); ok {
+			code = ee.ExitCode()
+		} else if err != nil {
+			t.Fatalf("wait: %v", err)
+		}
+		if code != 3 {
+			t.Fatalf("exit code %d after SIGTERM, want 3 (resource)\nstderr: %s", code, stderr.String())
+		}
+	case <-time.After(30 * time.Second):
+		cmd.Process.Kill()
+		t.Fatalf("figures ignored SIGTERM (stuck in backoff?)\nstderr: %s", stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "canceled") {
+		t.Fatalf("stderr missing cancellation notice:\n%s", stderr.String())
+	}
+
+	// The metrics snapshot must exist and parse, and carry real counters.
+	raw, err := os.ReadFile(metrics)
+	if err != nil {
+		t.Fatalf("metrics file after SIGTERM: %v", err)
+	}
+	var snap map[string]any
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		t.Fatalf("metrics file does not parse: %v\n%s", err, raw)
+	}
+	if len(snap) == 0 {
+		t.Fatalf("metrics file is empty JSON: %s", raw)
 	}
 }
 

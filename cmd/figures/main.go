@@ -46,8 +46,8 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	if limits.Journal != "" && *fig != "5" {
-		fatal(cli.Usagef("-journal supports -fig 5 only (got -fig %s)", *fig))
+	if limits.Journal != "" && *fig != "5" && *fig != "acceptance" {
+		fatal(cli.Usagef("-journal supports -fig 5 and -fig acceptance only (got -fig %s)", *fig))
 	}
 
 	switch *fig {
@@ -101,11 +101,28 @@ func main() {
 			fatal(err)
 		}
 	case "acceptance":
+		// The acceptance campaign runs under the same crash-safe batch
+		// runtime as the Figure 5 sweep: with -journal every fully
+		// aggregated utilization point is checkpointed, and -resume restores
+		// them — the table is byte-identical to an uninterrupted run because
+		// every trial is a pure function of (seed, point, trial).
+		j, resume, err := limits.OpenJournal()
+		if err != nil {
+			fatal(err)
+		}
+		cli.Checkpoint(g, j)
 		ap := eval.DefaultAcceptanceParams()
 		ap.Seed = limits.Seed
 		ap.Workers = limits.Workers
 		ap.Obs = g.Obs()
+		ap.Journal = j
+		ap.Resume = resume
 		tb, err := eval.Acceptance(g, ap)
+		if j != nil {
+			if cerr := j.Close(); cerr != nil && err == nil {
+				err = cerr
+			}
+		}
 		if err != nil {
 			fatal(err)
 		}

@@ -1,0 +1,92 @@
+// Command serve runs the analysis service: an HTTP/JSON front end over the
+// analysis stack with admission control, load shedding and a graceful drain
+// on SIGINT/SIGTERM.
+//
+// Usage:
+//
+//	serve [-addr localhost:8080] [-drain-timeout 10s] [-queue 8]
+//	      [-campaign-workers 2] [-analyze-concurrency N] [-journal-dir DIR]
+//	      [-timeout 30s] [-max-iter N] [-metrics] [-metrics-out FILE]
+//	      [-debug-addr ADDR]
+//
+// The shared -timeout and -max-iter flags are reinterpreted as server-wide
+// caps: no request may run longer than -timeout wall-clock or charge more
+// than -max-iter analysis steps, whatever it asks for. The observability
+// trio works as in every other command; the debug tree is additionally
+// mounted on the main listener under /debug/.
+//
+// Endpoints:
+//
+//	GET  /healthz                  liveness (always 200 while the process runs)
+//	GET  /readyz                   readiness (503 once a drain begins)
+//	POST /v1/analyze               one delay-function bound (core.Analyze)
+//	POST /v1/analyzeset            a task-set grid analysis (eval.AnalyzeSet)
+//	POST /v1/campaign/acceptance   submit an acceptance campaign → job ID
+//	POST /v1/campaign/montecarlo   submit a Monte-Carlo campaign → job ID
+//	GET  /v1/jobs/{id}             poll a campaign job
+//	     /debug/                   expvar and pprof
+//
+// On SIGINT/SIGTERM the server drains: readiness flips, new work is refused
+// with 429, running campaigns finish or — past -drain-timeout — are canceled
+// with their journals checkpointed, the metrics snapshot is flushed, and the
+// process exits 0. See DESIGN.md §12.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"fnpr/internal/cli"
+	"fnpr/internal/obs"
+	"fnpr/internal/server"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", "localhost:8080", "listen address (host:port; :0 for an ephemeral port)")
+		drainTimeout = flag.Duration("drain-timeout", server.DefaultDrainTimeout, "graceful-drain deadline on SIGINT/SIGTERM; running campaigns are canceled (checkpoints kept) when it expires")
+		queueCap     = flag.Int("queue", server.DefaultQueueCap, "campaign queue capacity; a full queue rejects submissions immediately with 429")
+		workers      = flag.Int("campaign-workers", server.DefaultWorkers, "campaign worker pool size")
+		analyzeConc  = flag.Int("analyze-concurrency", 0, "max concurrent synchronous analyses (0 = 2x GOMAXPROCS); beyond it requests get 429")
+		journalDir   = flag.String("journal-dir", "", "directory for campaign checkpoint journals (empty disables journaled campaigns)")
+	)
+	limits := cli.Flags()
+	flag.Parse()
+	if flag.NArg() != 0 {
+		fatal(cli.Usagef("unexpected arguments %q", flag.Args()))
+	}
+
+	srv := server.New(server.Config{
+		Addr:               *addr,
+		DrainTimeout:       *drainTimeout,
+		MaxTimeout:         limits.Timeout,
+		MaxBudget:          limits.MaxIter,
+		QueueCap:           *queueCap,
+		Workers:            *workers,
+		AnalyzeConcurrency: *analyzeConc,
+		JournalDir:         *journalDir,
+		Registry:           obs.Default(),
+	})
+	if err := srv.Start(); err != nil {
+		fatal(err)
+	}
+	limits.StartDebug()
+	fmt.Fprintf(os.Stderr, "serve: listening on http://%s\n", srv.Addr())
+
+	// Block until a termination signal, then drain. The drain is the whole
+	// shutdown story: stop admitting, finish or checkpoint campaigns, close
+	// the HTTP side — and then Exit flushes the metrics snapshot like every
+	// other command's exit path.
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	sig := <-ch
+	fmt.Fprintf(os.Stderr, "serve: %s received, draining (deadline %s)\n", sig, *drainTimeout)
+	fatal(srv.Shutdown())
+}
+
+func fatal(err error) {
+	cli.Exit("serve", err)
+}

@@ -6,7 +6,8 @@
 //	0  success
 //	1  analysis error (divergent bound, invariant violation, I/O failure, ...)
 //	2  usage error (bad flags or arguments; also used by package flag itself)
-//	3  resource limit hit (wall-clock timeout, cancellation or step budget)
+//	3  resource limit hit (wall-clock timeout, cancellation, step budget or
+//	   an admission rejection by the analysis service)
 //
 // so scripts can distinguish "the analysis says no" from "you asked wrong"
 // from "it did not finish in the allotted resources".
@@ -51,21 +52,82 @@ func Usagef(format string, args ...any) error {
 	return fmt.Errorf("%w: %s", ErrUsage, fmt.Sprintf(format, args...))
 }
 
+// ObsFlags is the observability flag surface every tool (and the analysis
+// server) shares: -metrics dumps the registry snapshot at exit (JSON plus a
+// human table, on stderr so golden-checked stdout stays untouched),
+// -metrics-out writes the JSON snapshot to a file, and -debug-addr serves
+// live /debug/vars (expvar) and /debug/pprof/* while the process runs. It is
+// the single definition of the trio — commands embed it via Limits, and
+// cmd/serve registers it on its own flag set with Register.
+type ObsFlags struct {
+	Metrics    bool
+	MetricsOut string
+	DebugAddr  string
+}
+
+// Register installs the -metrics / -metrics-out / -debug-addr trio on fs.
+func (o *ObsFlags) Register(fs *flag.FlagSet) {
+	fs.BoolVar(&o.Metrics, "metrics", false, "dump the metrics snapshot (JSON and a text table) to stderr at exit")
+	fs.StringVar(&o.MetricsOut, "metrics-out", "", "write the metrics snapshot as JSON to this file at exit")
+	fs.StringVar(&o.DebugAddr, "debug-addr", "", "serve /debug/vars and /debug/pprof on this address (e.g. localhost:6060) while running")
+}
+
+// Observed reports whether any observability flag was given — the condition
+// under which Guard attaches a scope and enables the gated instrumentation.
+func (o *ObsFlags) Observed() bool {
+	return o != nil && (o.Metrics || o.MetricsOut != "" || o.DebugAddr != "")
+}
+
+// Dump writes the process-global registry snapshot to the sinks the flags
+// name: stderr (JSON, then a text table) for -metrics, a JSON file for
+// -metrics-out. Exit calls it on every path; calling it with no metrics flag
+// set is a no-op.
+func (o *ObsFlags) Dump() error {
+	if o == nil || (!o.Metrics && o.MetricsOut == "") {
+		return nil
+	}
+	snap := obs.Default().Snapshot()
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return fmt.Errorf("encoding metrics snapshot: %w", err)
+	}
+	if o.Metrics {
+		fmt.Fprintf(os.Stderr, "%s\n", data)
+		if err := snap.WriteTable(os.Stderr); err != nil {
+			return err
+		}
+	}
+	if o.MetricsOut != "" {
+		if err := os.WriteFile(o.MetricsOut, append(data, '\n'), 0o644); err != nil {
+			return fmt.Errorf("writing metrics snapshot: %w", err)
+		}
+	}
+	return nil
+}
+
+// StartDebug starts the expvar/pprof diagnostics server when -debug-addr was
+// given. A dead diagnostics endpoint must not kill the analysis, so failures
+// are reported on stderr and swallowed.
+func (o *ObsFlags) StartDebug() {
+	if o == nil || o.DebugAddr == "" {
+		return
+	}
+	srv, err := obs.StartDebugServer(o.DebugAddr, nil)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "warning: %v\n", err)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "debug server listening on http://%s/debug/vars\n", srv.Addr)
+}
+
 // Limits receives the shared resource-limit, batch-runtime and observability
 // flags.
 type Limits struct {
 	Timeout time.Duration
 	MaxIter int64
 
-	// Metrics, MetricsOut and DebugAddr are the observability surface every
-	// tool shares: -metrics dumps the registry snapshot at exit (JSON plus a
-	// human table, on stderr so golden-checked stdout stays untouched),
-	// -metrics-out writes the JSON snapshot to a file, and -debug-addr
-	// serves live /debug/vars (expvar) and /debug/pprof/* while the tool
-	// runs.
-	Metrics    bool
-	MetricsOut string
-	DebugAddr  string
+	// ObsFlags is the embedded -metrics/-metrics-out/-debug-addr trio.
+	ObsFlags
 
 	// Journal, Resume, Seed and Workers are registered only by SweepFlags —
 	// the batch-runtime surface of the sweep- and campaign-running tools.
@@ -87,17 +149,14 @@ func Flags() *Limits {
 	l := &Limits{Seed: 1}
 	flag.DurationVar(&l.Timeout, "timeout", 0, "abort the analysis after this wall-clock time (e.g. 30s; 0 = no limit)")
 	flag.Int64Var(&l.MaxIter, "max-iter", 0, "abort after this many analysis steps across all loops (0 = no limit)")
-	flag.BoolVar(&l.Metrics, "metrics", false, "dump the metrics snapshot (JSON and a text table) to stderr at exit")
-	flag.StringVar(&l.MetricsOut, "metrics-out", "", "write the metrics snapshot as JSON to this file at exit")
-	flag.StringVar(&l.DebugAddr, "debug-addr", "", "serve /debug/vars and /debug/pprof on this address (e.g. localhost:6060) while running")
+	l.ObsFlags.Register(flag.CommandLine)
 	active = l
 	return l
 }
 
-// observed reports whether any observability flag was given — the condition
-// under which Guard attaches a scope and enables the gated instrumentation.
+// observed reports whether any observability flag was given.
 func (l *Limits) observed() bool {
-	return l != nil && (l.Metrics || l.MetricsOut != "" || l.DebugAddr != "")
+	return l != nil && l.ObsFlags.Observed()
 }
 
 // SweepFlags additionally registers the batch-runtime flags — -journal,
@@ -114,20 +173,20 @@ func (l *Limits) SweepFlags() *Limits {
 }
 
 // Guard builds the guard scope the flags describe: nil (no limits, zero
-// bookkeeping) when neither resource flag nor a journal was given. Journaled
-// runs always get a scope, and theirs observes SIGINT/SIGTERM, so an
-// interrupted sweep aborts through the normal cancellation path — partial
-// results checkpointed, exit code 3 — instead of dying mid-write.
+// bookkeeping) when neither resource flag, journal nor observability flag was
+// given. Every guarded run observes SIGINT/SIGTERM, so an interrupted command
+// aborts through the normal cancellation path — partial results checkpointed,
+// the metrics snapshot flushed, exit code 3 — instead of dying mid-write. (A
+// -metrics-out run killed by SIGTERM used to lose its snapshot because the
+// signal was only observed when a journal was attached; the flush contract is
+// now every exit path, signals included.)
 func (l *Limits) Guard() *guard.Ctx {
 	if l == nil || (l.Timeout <= 0 && l.MaxIter <= 0 && l.Journal == "" && !l.observed()) {
 		return nil
 	}
-	ctx := context.Background()
-	if l.Journal != "" {
-		// The stop function is deliberately dropped: the notification
-		// must stay installed for the whole process lifetime.
-		ctx, _ = signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
-	}
+	// The stop function is deliberately dropped: the notification must stay
+	// installed for the whole process lifetime.
+	ctx, _ := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	g := guard.New(ctx)
 	if l.Timeout > 0 {
 		g = g.WithTimeout(l.Timeout)
@@ -142,16 +201,7 @@ func (l *Limits) Guard() *guard.Ctx {
 		// (kernel query accounting) for the whole process.
 		obs.Enable()
 		g = g.WithObs(obs.NewScope(nil))
-		if l.DebugAddr != "" {
-			srv, err := obs.StartDebugServer(l.DebugAddr, nil)
-			if err != nil {
-				// A dead diagnostics endpoint must not kill the analysis;
-				// say so and carry on.
-				fmt.Fprintf(os.Stderr, "warning: %v\n", err)
-			} else {
-				fmt.Fprintf(os.Stderr, "debug server listening on http://%s/debug/vars\n", srv.Addr)
-			}
-		}
+		l.StartDebug()
 	}
 	return g
 }
@@ -171,30 +221,12 @@ func (l *Limits) SweepOptions(g *guard.Ctx, j *journal.Journal, resume map[strin
 }
 
 // DumpMetrics writes the process-global registry snapshot to the sinks the
-// flags name: stderr (JSON, then a text table) for -metrics, a JSON file for
-// -metrics-out. Exit calls it on every path; calling it with no metrics flag
-// set is a no-op.
+// observability flags name; see ObsFlags.Dump.
 func (l *Limits) DumpMetrics() error {
-	if l == nil || (!l.Metrics && l.MetricsOut == "") {
+	if l == nil {
 		return nil
 	}
-	snap := obs.Default().Snapshot()
-	data, err := json.MarshalIndent(snap, "", "  ")
-	if err != nil {
-		return fmt.Errorf("encoding metrics snapshot: %w", err)
-	}
-	if l.Metrics {
-		fmt.Fprintf(os.Stderr, "%s\n", data)
-		if err := snap.WriteTable(os.Stderr); err != nil {
-			return err
-		}
-	}
-	if l.MetricsOut != "" {
-		if err := os.WriteFile(l.MetricsOut, append(data, '\n'), 0o644); err != nil {
-			return fmt.Errorf("writing metrics snapshot: %w", err)
-		}
-	}
-	return nil
+	return l.ObsFlags.Dump()
 }
 
 // OpenJournal opens the checkpoint journal the flags describe and returns it
@@ -235,12 +267,18 @@ func Checkpoint(g *guard.Ctx, j *journal.Journal) {
 	g.WithCheckpoint(func(int64) { j.Sync() })
 }
 
-// Code maps an error to the exit-code contract.
+// Code maps an error to the exit-code contract. Admission rejections
+// (guard.ErrOverload — the analysis service refused the work up front) land
+// on ExitResource alongside timeouts and budget trips: in all three cases the
+// analysis did not run to completion for resource reasons and retrying with
+// more headroom is sound.
 func Code(err error) int {
 	switch {
 	case err == nil:
 		return ExitOK
-	case errors.Is(err, guard.ErrCanceled), errors.Is(err, guard.ErrBudgetExceeded):
+	case errors.Is(err, guard.ErrCanceled),
+		errors.Is(err, guard.ErrBudgetExceeded),
+		errors.Is(err, guard.ErrOverload):
 		return ExitResource
 	case errors.Is(err, ErrUsage):
 		return ExitUsage

@@ -1,0 +1,84 @@
+package cli
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"testing"
+
+	"fnpr/internal/guard"
+)
+
+// TestErrorContractMatrix pins the whole error taxonomy onto both caller
+// contracts at once — the CLI exit code (Code) and the HTTP status the
+// analysis service derives from the same sentinels (guard.HTTPStatus) — so
+// the two surfaces can never drift apart silently.
+func TestErrorContractMatrix(t *testing.T) {
+	cases := []struct {
+		name     string
+		err      error
+		exitCode int
+		httpCode int
+	}{
+		{"nil", nil, ExitOK, http.StatusOK},
+		{"canceled", guard.ErrCanceled, ExitResource, http.StatusGatewayTimeout},
+		{"canceled-wrapped", fmt.Errorf("run: %w", guard.ErrCanceled), ExitResource, http.StatusGatewayTimeout},
+		{"budget", guard.ErrBudgetExceeded, ExitResource, http.StatusUnprocessableEntity},
+		{"budget-wrapped", guard.Budgetf("spent"), ExitResource, http.StatusUnprocessableEntity},
+		{"overload", guard.ErrOverload, ExitResource, http.StatusTooManyRequests},
+		{"overload-wrapped", guard.Overloadf("queue full"), ExitResource, http.StatusTooManyRequests},
+		{"usage", ErrUsage, ExitUsage, http.StatusInternalServerError},
+		{"usage-wrapped", Usagef("bad flag"), ExitUsage, http.StatusInternalServerError},
+		{"invalid", guard.ErrInvalidInput, ExitAnalysis, http.StatusBadRequest},
+		{"invalid-wrapped", guard.Invalidf("NaN"), ExitAnalysis, http.StatusBadRequest},
+		{"diverged", guard.ErrDiverged, ExitAnalysis, http.StatusUnprocessableEntity},
+		{"panic", guard.ErrPanic, ExitAnalysis, http.StatusInternalServerError},
+		{"plain", errors.New("io failure"), ExitAnalysis, http.StatusInternalServerError},
+	}
+	for _, c := range cases {
+		if got := Code(c.err); got != c.exitCode {
+			t.Errorf("%s: Code(%v) = %d, want %d", c.name, c.err, got, c.exitCode)
+		}
+		if got := guard.HTTPStatus(c.err); got != c.httpCode {
+			t.Errorf("%s: HTTPStatus(%v) = %d, want %d", c.name, c.err, got, c.httpCode)
+		}
+	}
+}
+
+// TestObsFlagsObserved pins the condition under which Guard attaches a scope.
+func TestObsFlagsObserved(t *testing.T) {
+	cases := []struct {
+		name string
+		o    *ObsFlags
+		want bool
+	}{
+		{"nil", nil, false},
+		{"zero", &ObsFlags{}, false},
+		{"metrics", &ObsFlags{Metrics: true}, true},
+		{"metrics-out", &ObsFlags{MetricsOut: "m.json"}, true},
+		{"debug-addr", &ObsFlags{DebugAddr: "localhost:0"}, true},
+	}
+	for _, c := range cases {
+		if got := c.o.Observed(); got != c.want {
+			t.Errorf("%s: Observed() = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+// TestGuardAlwaysObservesSignals pins the metric-flush fix: any guarded run
+// (resource limits, journal or observability flags) must observe
+// SIGINT/SIGTERM, not just journaled ones — a -metrics-out run killed by
+// SIGTERM used to lose its snapshot.
+func TestGuardAlwaysObservesSignals(t *testing.T) {
+	l := &Limits{ObsFlags: ObsFlags{MetricsOut: t.TempDir() + "/m.json"}}
+	g := l.Guard()
+	if g == nil {
+		t.Fatal("Guard() = nil for a -metrics-out run; signals would kill the process mid-write")
+	}
+	if g.Done() == nil {
+		t.Fatal("Guard() scope has no cancellation source; SIGTERM would not cancel it")
+	}
+	if (&Limits{}).Guard() != nil {
+		t.Fatal("Guard() != nil for a run with no limits and no observability")
+	}
+}

@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 	"runtime"
@@ -9,6 +10,7 @@ import (
 
 	"fnpr/internal/delay"
 	"fnpr/internal/guard"
+	"fnpr/internal/journal"
 	"fnpr/internal/npr"
 	"fnpr/internal/obs"
 	"fnpr/internal/sched"
@@ -44,6 +46,15 @@ type AcceptanceParams struct {
 	// Obs receives campaign progress events and metrics; nil falls back
 	// to the guard's scope.
 	Obs *obs.Scope
+	// Journal, when non-nil, checkpoints each fully aggregated utilization
+	// point as it completes, so an aborted campaign (SIGTERM, deadline,
+	// budget) can be resumed without redoing finished points.
+	Journal *journal.Journal
+	// Resume is the journal's latest-record view (journal.Latest); restored
+	// points skip all their trials. Because every point is a pure function
+	// of (Seed, point, trial), a resumed campaign's table is byte-identical
+	// to an uninterrupted run's.
+	Resume map[string]json.RawMessage
 }
 
 // DefaultAcceptanceParams returns the configuration used by the figures
@@ -97,6 +108,84 @@ func (p AcceptanceParams) points() []float64 {
 		pts = append(pts, u)
 	}
 	return pts
+}
+
+// acceptanceMetaKey fingerprints a journaled campaign; acceptancePointKey is
+// the journal key of one fully aggregated utilization point.
+const acceptanceMetaKey = "campaign:acceptance"
+
+func acceptancePointKey(pt int, u float64) string {
+	return fmt.Sprintf("accpoint:%d:%g", pt, u)
+}
+
+// acceptanceMeta is the journal fingerprint of a campaign's shape. Every
+// parameter that changes the verdicts is included, so resuming with different
+// parameters is rejected instead of silently mixing two experiments.
+type acceptanceMeta struct {
+	Seed         int64   `json:"seed"`
+	SetsPerPoint int     `json:"sets"`
+	Tasks        int     `json:"tasks"`
+	UStart       float64 `json:"ustart"`
+	UEnd         float64 `json:"uend"`
+	UStep        float64 `json:"ustep"`
+	DelayScale   float64 `json:"delayscale"`
+	QFraction    float64 `json:"qfraction"`
+}
+
+// acceptancePointRec is one checkpointed point: the utilization and the
+// per-analysis admit counts over the point's SetsPerPoint trials.
+type acceptancePointRec struct {
+	U     float64 `json:"u"`
+	Admit [4]int  `json:"admit"`
+}
+
+// checkMeta verifies a resumed journal belongs to this campaign's parameters
+// and stamps a fresh journal with them.
+func (p AcceptanceParams) checkMeta() error {
+	meta := acceptanceMeta{
+		Seed: p.Seed, SetsPerPoint: p.SetsPerPoint, Tasks: p.Tasks,
+		UStart: p.UStart, UEnd: p.UEnd, UStep: p.UStep,
+		DelayScale: p.DelayScale, QFraction: p.QFraction,
+	}
+	if p.Resume != nil {
+		var prev acceptanceMeta
+		ok, err := journal.Get(p.Resume, acceptanceMetaKey, &prev)
+		if err != nil {
+			return err
+		}
+		if ok {
+			if prev != meta {
+				return guard.Invalidf("eval: journal belongs to a different acceptance campaign (%+v)", prev)
+			}
+			return nil
+		}
+	}
+	if p.Journal != nil {
+		return p.Journal.Append(acceptanceMetaKey, meta)
+	}
+	return nil
+}
+
+// restore loads checkpointed points from the resume view. admits[pt] and
+// restored[pt] are filled for every point the journal already holds.
+func (p AcceptanceParams) restore(pts []float64, admits [][4]int, restored []bool) (int, error) {
+	if p.Resume == nil {
+		return 0, nil
+	}
+	n := 0
+	for pt, u := range pts {
+		var rec acceptancePointRec
+		ok, err := journal.Get(p.Resume, acceptancePointKey(pt, u), &rec)
+		if err != nil {
+			return n, err
+		}
+		if ok && rec.U == u {
+			admits[pt] = rec.Admit
+			restored[pt] = true
+			n++
+		}
+	}
+	return n, nil
 }
 
 // acceptanceVerdict is the outcome of one random task set: which of the four
@@ -215,8 +304,16 @@ func acceptanceTrial(g *guard.Ctx, p AcceptanceParams, point int, u float64, tri
 // Trials are sharded over p.Workers goroutines; each shard draws from its
 // own deterministic RNG sub-stream and verdicts are aggregated in shard
 // order, so the table is bit-identical for every worker count.
+//
+// With a Journal attached, every fully aggregated utilization point is
+// checkpointed as it completes, and a Resume view restores finished points
+// without rerunning a single trial; determinism makes the resumed table
+// byte-identical to an uninterrupted run's.
 func Acceptance(g *guard.Ctx, p AcceptanceParams) (*textplot.Table, error) {
 	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if err := p.checkMeta(); err != nil {
 		return nil, err
 	}
 	if err := g.Err(); err != nil {
@@ -233,21 +330,54 @@ func Acceptance(g *guard.Ctx, p AcceptanceParams) (*textplot.Table, error) {
 	sc.Gauge("campaign.workers").Set(float64(workers))
 	trialsDone := sc.Counter("campaign.trials")
 
-	verdicts := make([]acceptanceVerdict, total)
+	admits := make([][4]int, len(pts))
+	restored := make([]bool, len(pts))
+	if n, err := p.restore(pts, admits, restored); err != nil {
+		return nil, err
+	} else if n > 0 {
+		sc.Counter("campaign.points.restored").Add(int64(n))
+		sc.Emit(obs.Event{Type: obs.CampaignResumed, Spec: "acceptance",
+			Restored: n * p.SetsPerPoint, Total: total})
+	}
+	// checkpoint appends the point's aggregate to the journal; an append
+	// failure aborts the campaign (a journal that silently stops recording
+	// would resume wrong).
+	checkpoint := func(pt int, u float64, admit [4]int) error {
+		if p.Journal == nil {
+			return nil
+		}
+		return p.Journal.Append(acceptancePointKey(pt, u), acceptancePointRec{U: u, Admit: admit})
+	}
+
 	if workers == 1 {
+		done := 0
 		for pt, u := range pts {
+			if restored[pt] {
+				done += p.SetsPerPoint
+				continue
+			}
+			var admit [4]int
 			for tr := 0; tr < p.SetsPerPoint; tr++ {
 				v, err := acceptanceTrial(g, p, pt, u, tr)
 				if err != nil {
 					return nil, err
 				}
-				verdicts[pt*p.SetsPerPoint+tr] = v
+				for k, ok := range v.admit {
+					if ok {
+						admit[k]++
+					}
+				}
 				trialsDone.Inc()
 			}
+			admits[pt] = admit
+			if err := checkpoint(pt, u, admit); err != nil {
+				return nil, err
+			}
+			done += p.SetsPerPoint
 			sc.Emit(obs.Event{Type: obs.CampaignPoint, Spec: "acceptance",
-				Q: u, Completed: (pt + 1) * p.SetsPerPoint, Total: total})
+				Q: u, Completed: done, Total: total})
 		}
-	} else if err := p.runSharded(g, sc, pts, workers, verdicts); err != nil {
+	} else if err := p.runSharded(g, sc, pts, workers, admits, restored, checkpoint); err != nil {
 		return nil, err
 	}
 
@@ -262,17 +392,9 @@ func Acceptance(g *guard.Ctx, p AcceptanceParams) (*textplot.Table, error) {
 		},
 	}
 	for pt, u := range pts {
-		var admit [4]int
-		for tr := 0; tr < p.SetsPerPoint; tr++ {
-			for k, ok := range verdicts[pt*p.SetsPerPoint+tr].admit {
-				if ok {
-					admit[k]++
-				}
-			}
-		}
 		tbl.X = append(tbl.X, u)
 		for k := 0; k < 4; k++ {
-			tbl.Series[k].Y = append(tbl.Series[k].Y, float64(admit[k])/float64(p.SetsPerPoint))
+			tbl.Series[k].Y = append(tbl.Series[k].Y, float64(admits[pt][k])/float64(p.SetsPerPoint))
 		}
 	}
 	if err := tbl.Validate(); err != nil {
@@ -284,19 +406,28 @@ func Acceptance(g *guard.Ctx, p AcceptanceParams) (*textplot.Table, error) {
 }
 
 // runSharded fans the campaign's (point, trial) shards out over the worker
-// pool, writing each verdict into its own slot of the shared slice. The
-// first abortive error wins; remaining shards are skipped (their slots keep
-// the zero verdict, which the caller discards along with the error).
-func (p AcceptanceParams) runSharded(g *guard.Ctx, sc *obs.Scope, pts []float64, workers int, verdicts []acceptanceVerdict) error {
+// pool, writing each verdict into its own slot of a shared slice. The worker
+// finishing a point's last trial aggregates that point's admit counts into
+// admits (verdicts are per-slot, so the aggregation order — and hence the
+// table — is independent of worker interleaving), checkpoints it and emits
+// its progress event. Restored points are never enqueued. The first abortive
+// error wins; remaining shards are skipped.
+func (p AcceptanceParams) runSharded(g *guard.Ctx, sc *obs.Scope, pts []float64, workers int,
+	admits [][4]int, restored []bool, checkpoint func(int, float64, [4]int) error) error {
 	trialsDone := sc.Counter("campaign.trials")
-	total := len(verdicts)
+	total := len(pts) * p.SetsPerPoint
+	verdicts := make([]acceptanceVerdict, total)
 	// pointLeft counts each utilization point's outstanding trials so the
-	// worker finishing a point's last trial can emit its progress event.
+	// worker finishing a point's last trial can aggregate and checkpoint it.
 	pointLeft := make([]atomic.Int64, len(pts))
+	var completed atomic.Int64
 	for i := range pointLeft {
+		if restored[i] {
+			completed.Add(int64(p.SetsPerPoint))
+			continue
+		}
 		pointLeft[i].Store(int64(p.SetsPerPoint))
 	}
-	var completed atomic.Int64
 
 	var (
 		mu       sync.Mutex
@@ -336,6 +467,22 @@ func (p AcceptanceParams) runSharded(g *guard.Ctx, sc *obs.Scope, pts []float64,
 				trialsDone.Inc()
 				done := completed.Add(1)
 				if pointLeft[pt].Add(-1) == 0 {
+					// Last trial of the point: every sibling slot was
+					// written before its pointLeft decrement, so the
+					// aggregation below observes all of them.
+					var admit [4]int
+					for i := pt * p.SetsPerPoint; i < (pt+1)*p.SetsPerPoint; i++ {
+						for k, ok := range verdicts[i].admit {
+							if ok {
+								admit[k]++
+							}
+						}
+					}
+					admits[pt] = admit
+					if err := checkpoint(pt, pts[pt], admit); err != nil {
+						abort(err)
+						continue
+					}
 					sc.Emit(obs.Event{Type: obs.CampaignPoint, Spec: "acceptance",
 						Q: pts[pt], Completed: int(done), Total: total})
 				}
@@ -343,6 +490,9 @@ func (p AcceptanceParams) runSharded(g *guard.Ctx, sc *obs.Scope, pts []float64,
 		}()
 	}
 	for idx := 0; idx < total; idx++ {
+		if restored[idx/p.SetsPerPoint] {
+			continue
+		}
 		jobs <- idx
 	}
 	close(jobs)

@@ -1,0 +1,165 @@
+package eval
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"fnpr/internal/guard"
+	"fnpr/internal/journal"
+	"fnpr/internal/obs"
+)
+
+// smallAcceptance is a campaign small enough for unit tests: 3 utilization
+// points, 6 sets each.
+func smallAcceptance() AcceptanceParams {
+	return AcceptanceParams{
+		Seed: 7, SetsPerPoint: 6, Tasks: 3,
+		UStart: 0.5, UEnd: 0.7, UStep: 0.1,
+		DelayScale: 0.1, QFraction: 0.25,
+	}
+}
+
+// TestAcceptanceJournalResume is the campaign-level crash-safety contract:
+// an acceptance campaign aborted after checkpointing some points, then
+// resumed from its journal, produces a table byte-identical to an
+// uninterrupted run — for the serial path and the sharded pool alike.
+func TestAcceptanceJournalResume(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		workers := workers
+		t.Run(map[int]string{1: "serial", 4: "sharded"}[workers], func(t *testing.T) {
+			p := smallAcceptance()
+			p.Workers = workers
+
+			ref, err := Acceptance(nil, p)
+			if err != nil {
+				t.Fatalf("reference run: %v", err)
+			}
+			refJSON, err := json.Marshal(ref)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Aborted run: cancel the guard as soon as the first point's
+			// checkpoint lands, so at least one point is journaled and the
+			// campaign dies partway.
+			path := filepath.Join(t.TempDir(), "acc.journal")
+			j, _, err := journal.Open(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			pa := p
+			pa.Journal = j
+			pa.Obs = obs.NewScope(obs.NewRegistry(), obs.SinkFunc(func(e obs.Event) {
+				if e.Type == obs.CampaignPoint {
+					cancel()
+				}
+			}))
+			_, err = Acceptance(guard.New(ctx), pa)
+			if cerr := j.Close(); cerr != nil {
+				t.Fatal(cerr)
+			}
+			if !errors.Is(err, guard.ErrCanceled) {
+				t.Fatalf("aborted run: err = %v, want ErrCanceled", err)
+			}
+			raw, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !strings.Contains(string(raw), "accpoint:") {
+				t.Fatalf("aborted run checkpointed no points:\n%s", raw)
+			}
+
+			// Resumed run: restores the checkpointed points, reruns the rest.
+			j2, recs, err := journal.Open(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pr := p
+			pr.Journal = j2
+			pr.Resume = journal.Latest(recs)
+			reg := obs.NewRegistry()
+			pr.Obs = obs.NewScope(reg)
+			got, err := Acceptance(nil, pr)
+			if cerr := j2.Close(); cerr != nil {
+				t.Fatal(cerr)
+			}
+			if err != nil {
+				t.Fatalf("resumed run: %v", err)
+			}
+			gotJSON, err := json.Marshal(got)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(gotJSON) != string(refJSON) {
+				t.Fatalf("resumed table differs from uninterrupted run\nref: %s\ngot: %s", refJSON, gotJSON)
+			}
+			if n := reg.Counter("campaign.points.restored").Value(); n < 1 {
+				t.Fatalf("campaign.points.restored = %d, want >= 1", n)
+			}
+		})
+	}
+}
+
+// TestAcceptanceResumeRejectsForeignJournal pins the fingerprint check: a
+// journal written under different campaign parameters must be refused, not
+// silently mixed into a new experiment.
+func TestAcceptanceResumeRejectsForeignJournal(t *testing.T) {
+	p := smallAcceptance()
+	p.Workers = 1
+	path := filepath.Join(t.TempDir(), "acc.journal")
+	j, _, err := journal.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pa := p
+	pa.Journal = j
+	if _, err := Acceptance(nil, pa); err != nil {
+		t.Fatalf("journaled run: %v", err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, recs, err := journal.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	foreign := p
+	foreign.Seed++ // different experiment
+	foreign.Journal = j2
+	foreign.Resume = journal.Latest(recs)
+	if _, err := Acceptance(nil, foreign); !errors.Is(err, guard.ErrInvalidInput) {
+		t.Fatalf("foreign resume: err = %v, want ErrInvalidInput", err)
+	}
+}
+
+// TestCampaignInterface pins the job-shaped view both campaign types expose
+// to the analysis service.
+func TestCampaignInterface(t *testing.T) {
+	var camps = []Campaign{smallAcceptance(), DefaultMonteCarloParams()}
+	if k := camps[0].Kind(); k != "acceptance" {
+		t.Fatalf("Kind() = %q, want acceptance", k)
+	}
+	if k := camps[1].Kind(); k != "montecarlo" {
+		t.Fatalf("Kind() = %q, want montecarlo", k)
+	}
+	res, err := camps[0].Run(nil)
+	if err != nil {
+		t.Fatalf("acceptance Run: %v", err)
+	}
+	if res == nil {
+		t.Fatal("acceptance Run returned nil result")
+	}
+	bad := MonteCarloParams{Trials: -1}
+	if err := Campaign(bad).Validate(); err == nil {
+		t.Fatal("Validate() accepted Trials = -1")
+	}
+}

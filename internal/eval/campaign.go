@@ -1,0 +1,32 @@
+package eval
+
+import "fnpr/internal/guard"
+
+// Campaign is the job-shaped view of the package's long-running experiments,
+// used by callers that queue campaigns behind an admission-controlled worker
+// pool (the analysis service): validate up front, run under a guard scope,
+// return a JSON-marshalable result. Both campaign parameter types implement
+// it.
+type Campaign interface {
+	// Kind names the campaign ("acceptance", "montecarlo") for job metadata
+	// and metrics.
+	Kind() string
+	// Validate rejects malformed parameters without running anything.
+	Validate() error
+	// Run executes the campaign under g and returns its result — the same
+	// value the direct entry point (Acceptance, MonteCarlo) returns.
+	Run(g *guard.Ctx) (any, error)
+}
+
+// Kind implements Campaign.
+func (p AcceptanceParams) Kind() string { return "acceptance" }
+
+// Run implements Campaign; the result is the *textplot.Table from Acceptance.
+func (p AcceptanceParams) Run(g *guard.Ctx) (any, error) { return Acceptance(g, p) }
+
+// Kind implements Campaign.
+func (p MonteCarloParams) Kind() string { return "montecarlo" }
+
+// Run implements Campaign; the result is the *MonteCarloReport from
+// MonteCarlo.
+func (p MonteCarloParams) Run(g *guard.Ctx) (any, error) { return MonteCarlo(g, p) }

@@ -6,11 +6,14 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"os"
 	"runtime"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
 
+	"fnpr/internal/chaos"
 	"fnpr/internal/core"
 	"fnpr/internal/delay"
 	"fnpr/internal/guard"
@@ -46,11 +49,15 @@ const (
 	ReasonPanic
 	// ReasonError: any other failure.
 	ReasonError
+	// ReasonOverload: the work was refused up front by admission control
+	// (queue full, concurrency limit, draining server) — it never ran.
+	ReasonOverload
 )
 
 // reasonNames is the stable wire vocabulary; it must never be reordered —
-// journal records and golden files spell these strings.
-var reasonNames = [...]string{"", "canceled", "budget", "diverged", "invalid", "panic", "error"}
+// journal records and golden files spell these strings. New classes are
+// appended only.
+var reasonNames = [...]string{"", "canceled", "budget", "diverged", "invalid", "panic", "error", "overload"}
 
 // String returns the machine-readable class name ("" for ReasonNone).
 func (r Reason) String() string {
@@ -87,6 +94,8 @@ func ReasonOf(err error) Reason {
 		return ReasonInvalid
 	case errors.Is(err, guard.ErrPanic):
 		return ReasonPanic
+	case errors.Is(err, guard.ErrOverload):
+		return ReasonOverload
 	default:
 		return ReasonError
 	}
@@ -410,6 +419,11 @@ func QSweep(g *guard.Ctx, specs []SweepSpec, opts SweepOptions) ([]SweepResult, 
 		}
 		specs = indexed
 	}
+	// FNPR_CHAOS_PANIC_PROB (like FNPR_NO_INDEX, a doc-gated escape hatch)
+	// wraps every spec in the deterministic fault injector, forcing real
+	// retries and backoff sleeps — the seam the end-to-end crash-safety
+	// tests use to kill a binary mid-backoff. Unset in normal operation.
+	specs = chaosWrap(specs)
 
 	sc := opts.scope(g)
 	total := len(specs) * len(qs)
@@ -536,6 +550,13 @@ func QSweep(g *guard.Ctx, specs []SweepSpec, opts SweepOptions) ([]SweepResult, 
 				}
 				label := fmt.Sprintf("%s at Q=%g", spec.Name, q)
 				pol := opts.Retry
+				if pol.Sleep == nil {
+					// Backoff sleeps observe the guard's cancellation
+					// channel: a SIGTERM arriving mid-backoff aborts the
+					// sweep promptly (and flushes metrics/journal) instead
+					// of sleeping through the signal.
+					pol.Sleep = guardSleep(g)
+				}
 				if timed {
 					pol.OnBackoff = func(n int, d time.Duration) {
 						sc.Counter("sweep.retries").Inc()
@@ -703,6 +724,48 @@ func equalFloats(a, b []float64) bool {
 		}
 	}
 	return true
+}
+
+// guardSleep returns a sleep function bound to the guard's cancellation
+// channel: it wakes early when the scope is canceled, so backoff waits never
+// outlive a SIGINT/SIGTERM or a server drain. It returns nil (plain
+// time.Sleep) when the scope has no cancellation source.
+func guardSleep(g *guard.Ctx) func(time.Duration) {
+	done := g.Done()
+	if done == nil {
+		return nil
+	}
+	return func(d time.Duration) {
+		t := time.NewTimer(d)
+		defer t.Stop()
+		select {
+		case <-t.C:
+		case <-done:
+		}
+	}
+}
+
+// chaosWrap applies the FNPR_CHAOS_PANIC_PROB fault-injection seam: when the
+// variable holds a probability in (0, 1], every spec is wrapped in a
+// deterministic chaos injector that panics inside analysis queries with that
+// probability, exercising the retry/backoff/degradation ladder in a real
+// binary. Anything unset, unparsable or non-positive is a no-op.
+func chaosWrap(specs []SweepSpec) []SweepSpec {
+	v := os.Getenv("FNPR_CHAOS_PANIC_PROB")
+	if v == "" {
+		return specs
+	}
+	p, err := strconv.ParseFloat(v, 64)
+	if err != nil || p <= 0 {
+		return specs
+	}
+	in := chaos.NewInjector(1)
+	wrapped := make([]SweepSpec, len(specs))
+	copy(wrapped, specs)
+	for i := range wrapped {
+		wrapped[i].F = in.Wrap(wrapped[i].F, chaos.Fault{PanicProb: p})
+	}
+	return wrapped
 }
 
 // Degraded collects the flagged points of a sweep as human-readable strings

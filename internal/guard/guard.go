@@ -49,6 +49,11 @@ var (
 	ErrInvalidInput = errors.New("invalid input")
 	// ErrPanic reports a panic recovered inside a guarded scope.
 	ErrPanic = errors.New("analysis panicked")
+	// ErrOverload reports that the work was refused up front by admission
+	// control — a full queue, a saturated concurrency limit or a draining
+	// server — rather than attempted and failed. The request was not
+	// started, so retrying later is always sound.
+	ErrOverload = errors.New("analysis overloaded")
 )
 
 // Invalidf builds an ErrInvalidInput-wrapped error.
@@ -64,6 +69,11 @@ func Divergedf(format string, args ...any) error {
 // Budgetf builds an ErrBudgetExceeded-wrapped error.
 func Budgetf(format string, args ...any) error {
 	return fmt.Errorf("%s: %w", fmt.Sprintf(format, args...), ErrBudgetExceeded)
+}
+
+// Overloadf builds an ErrOverload-wrapped error.
+func Overloadf(format string, args ...any) error {
+	return fmt.Errorf("%s: %w", fmt.Sprintf(format, args...), ErrOverload)
 }
 
 // pollEvery is how many steps pass between context/deadline polls. Budget
@@ -187,6 +197,17 @@ func (g *Ctx) TickN(n int64) error {
 		return g.poll(s)
 	}
 	return nil
+}
+
+// Done returns the cancellation channel of the scope's context, or nil (block
+// forever) when the scope has no cancellation source. Batch runtimes select on
+// it to make their backoff sleeps abort promptly on SIGINT/SIGTERM instead of
+// sleeping through the signal.
+func (g *Ctx) Done() <-chan struct{} {
+	if g == nil || g.ctx == nil {
+		return nil
+	}
+	return g.ctx.Done()
 }
 
 // Err checks cancellation and the deadline without charging a step — the

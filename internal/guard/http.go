@@ -1,0 +1,40 @@
+package guard
+
+import (
+	"errors"
+	"net/http"
+)
+
+// HTTPStatus maps the error taxonomy onto HTTP status codes — the contract
+// the analysis service (cmd/serve) exposes, parallel to the CLI exit-code
+// contract in internal/cli:
+//
+//	nil                → 200 OK
+//	ErrInvalidInput    → 400 Bad Request           (the request is wrong)
+//	ErrOverload        → 429 Too Many Requests     (admission refused; retry)
+//	ErrBudgetExceeded  → 422 Unprocessable Entity  (ran out of step budget)
+//	ErrDiverged        → 422 Unprocessable Entity  (no finite answer exists)
+//	ErrCanceled        → 504 Gateway Timeout       (deadline or caller abort)
+//	ErrPanic           → 500 Internal Server Error (contained programming error)
+//	anything else      → 500 Internal Server Error
+//
+// Both ErrBudgetExceeded and ErrDiverged land on 422: the request was
+// well-formed and the analysis ran, but it cannot produce the asked-for
+// result — more resources (a larger budget) or a different input (a smaller
+// delay function) is needed, not a retry of the same request.
+func HTTPStatus(err error) int {
+	switch {
+	case err == nil:
+		return http.StatusOK
+	case errors.Is(err, ErrInvalidInput):
+		return http.StatusBadRequest
+	case errors.Is(err, ErrOverload):
+		return http.StatusTooManyRequests
+	case errors.Is(err, ErrBudgetExceeded), errors.Is(err, ErrDiverged):
+		return http.StatusUnprocessableEntity
+	case errors.Is(err, ErrCanceled):
+		return http.StatusGatewayTimeout
+	default:
+		return http.StatusInternalServerError
+	}
+}

@@ -1,0 +1,40 @@
+package guard
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"testing"
+)
+
+// TestHTTPStatusMatrix pins the full error→HTTP-status contract, including
+// wrapped forms (everything real code produces is wrapped via %w or the
+// builder helpers) and the taxonomy helpers' output.
+func TestHTTPStatusMatrix(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want int
+	}{
+		{"nil", nil, http.StatusOK},
+		{"invalid", ErrInvalidInput, http.StatusBadRequest},
+		{"invalid-wrapped", Invalidf("bad Q %g", -1.0), http.StatusBadRequest},
+		{"overload", ErrOverload, http.StatusTooManyRequests},
+		{"overload-wrapped", Overloadf("queue full"), http.StatusTooManyRequests},
+		{"budget", ErrBudgetExceeded, http.StatusUnprocessableEntity},
+		{"budget-wrapped", Budgetf("out of steps"), http.StatusUnprocessableEntity},
+		{"diverged", ErrDiverged, http.StatusUnprocessableEntity},
+		{"diverged-wrapped", Divergedf("max f >= Q"), http.StatusUnprocessableEntity},
+		{"canceled", ErrCanceled, http.StatusGatewayTimeout},
+		{"canceled-wrapped", fmt.Errorf("sweep: %w", ErrCanceled), http.StatusGatewayTimeout},
+		{"panic", ErrPanic, http.StatusInternalServerError},
+		{"panic-wrapped", fmt.Errorf("rung: %w: boom", ErrPanic), http.StatusInternalServerError},
+		{"plain", errors.New("disk on fire"), http.StatusInternalServerError},
+		{"double-wrapped", fmt.Errorf("outer: %w", Overloadf("inner")), http.StatusTooManyRequests},
+	}
+	for _, c := range cases {
+		if got := HTTPStatus(c.err); got != c.want {
+			t.Errorf("%s: HTTPStatus(%v) = %d, want %d", c.name, c.err, got, c.want)
+		}
+	}
+}

@@ -30,19 +30,15 @@ type DebugServer struct {
 	srv  *http.Server
 }
 
-// StartDebugServer serves /debug/vars (expvar, including the registry
-// snapshot under "fnpr") and /debug/pprof/* on addr, for watching a long
-// sweep from outside the process. It returns once the listener is bound; the
-// server runs until Close. The registry defaults to Default() when nil.
-func StartDebugServer(addr string, r *Registry) (*DebugServer, error) {
+// DebugMux returns the diagnostics mux — /debug/vars (expvar, including the
+// registry snapshot under "fnpr") and /debug/pprof/* — for mounting into a
+// larger server (the analysis service mounts it on its main listener). The
+// registry defaults to Default() when nil.
+func DebugMux(r *Registry) *http.ServeMux {
 	if r == nil {
 		r = Default()
 	}
 	publishExpvar(r)
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("obs: debug server on %s: %w", addr, err)
-	}
 	mux := http.NewServeMux()
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -50,7 +46,19 @@ func StartDebugServer(addr string, r *Registry) (*DebugServer, error) {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	srv := &http.Server{Handler: mux}
+	return mux
+}
+
+// StartDebugServer serves the DebugMux on its own listener at addr, for
+// watching a long sweep from outside the process. It returns once the
+// listener is bound; the server runs until Close. The registry defaults to
+// Default() when nil.
+func StartDebugServer(addr string, r *Registry) (*DebugServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: debug server on %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: DebugMux(r)}
 	go srv.Serve(ln)
 	return &DebugServer{Addr: ln.Addr().String(), srv: srv}, nil
 }

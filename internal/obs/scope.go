@@ -30,6 +30,7 @@ const (
 	SweepFinished    EventType = "SweepFinished"
 
 	CampaignStarted  EventType = "CampaignStarted"
+	CampaignResumed  EventType = "CampaignResumed"
 	CampaignPoint    EventType = "CampaignPoint"
 	CampaignFinished EventType = "CampaignFinished"
 )

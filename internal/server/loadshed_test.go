@@ -1,0 +1,146 @@
+package server
+
+import (
+	"net/http"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"fnpr/internal/eval"
+	"fnpr/internal/guard"
+	"fnpr/internal/obs"
+)
+
+// blockerCampaign is a test Campaign that parks its worker until released
+// (or until the job's guard is canceled), making queue occupancy fully
+// deterministic.
+type blockerCampaign struct {
+	release chan struct{}
+}
+
+var _ eval.Campaign = blockerCampaign{}
+
+func (b blockerCampaign) Kind() string    { return "blocker" }
+func (b blockerCampaign) Validate() error { return nil }
+func (b blockerCampaign) Run(g *guard.Ctx) (any, error) {
+	select {
+	case <-b.release:
+		return "released", nil
+	case <-g.Done():
+		return nil, g.Err()
+	}
+}
+
+// TestLoadShedding is the admission-control proof: with the worker pool
+// pinned and the queue full, at least 4× queue capacity of concurrent
+// campaign submissions are ALL answered immediately with 429 + Retry-After
+// (accepted + rejected == submitted, with zero accepted), and after release
+// and drain no goroutines leak.
+func TestLoadShedding(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	reg := obs.NewRegistry()
+	const queueCap = 2
+	s, base := newTestServer(t, func(c *Config) {
+		c.Registry = reg
+		c.QueueCap = queueCap
+		c.Workers = 1
+	})
+
+	// Pin the worker, then fill the queue deterministically: one blocker
+	// runs, queueCap blockers wait.
+	release := make(chan struct{})
+	if err := s.submit(&job{kind: "blocker", camp: blockerCampaign{release: release}}); err != nil {
+		t.Fatalf("first blocker refused: %v", err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for reg.Gauge("server.jobs.running").Value() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("worker never started the blocker")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	for i := 0; i < queueCap; i++ {
+		if err := s.submit(&job{kind: "blocker", camp: blockerCampaign{release: release}}); err != nil {
+			t.Fatalf("queued blocker %d refused: %v", i, err)
+		}
+	}
+
+	// 4× queue capacity concurrent submissions against the full queue.
+	const submitted = 4 * (queueCap + 1)
+	var (
+		mu                 sync.Mutex
+		accepted, rejected int
+		slowest            time.Duration
+	)
+	var wg sync.WaitGroup
+	for i := 0; i < submitted; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			start := time.Now()
+			st, hdr, v := doJSON(t, "POST", base+"/v1/campaign/montecarlo", map[string]any{"trials": 5})
+			elapsed := time.Since(start)
+			mu.Lock()
+			defer mu.Unlock()
+			if elapsed > slowest {
+				slowest = elapsed
+			}
+			switch st {
+			case http.StatusAccepted:
+				accepted++
+			case http.StatusTooManyRequests:
+				if _, ok := retryAfterSeconds(hdr); !ok {
+					t.Errorf("429 without Retry-After header")
+				}
+				if v["code"] != "overload" {
+					t.Errorf("429 code %v, want overload", v["code"])
+				}
+				rejected++
+			default:
+				t.Errorf("unexpected status %d (%v)", st, v)
+			}
+		}()
+	}
+	wg.Wait()
+	if accepted+rejected != submitted {
+		t.Fatalf("accepted %d + rejected %d != submitted %d", accepted, rejected, submitted)
+	}
+	if accepted != 0 {
+		t.Fatalf("full queue accepted %d submissions", accepted)
+	}
+	// "Immediate" rejection: no submission waited on the queue. The bound is
+	// generous for CI noise; a queued (not shed) request would block until
+	// the blockers release, far beyond it.
+	if slowest > 2*time.Second {
+		t.Fatalf("slowest rejection took %v; admission control is queueing", slowest)
+	}
+	if n := reg.Counter("server.rejected").Value(); n != submitted {
+		t.Fatalf("server.rejected = %d, want %d", n, submitted)
+	}
+
+	// Release the blockers and drain; the queued jobs finish.
+	close(release)
+	if err := s.Shutdown(); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+
+	// No goroutine leak once the drain completes. Idle keep-alive client
+	// connections hold their own goroutines; close them so only ours count.
+	// Allow slack for test-runner background goroutines.
+	http.DefaultClient.CloseIdleConnections()
+	deadline = time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		after := runtime.NumGoroutine()
+		if after <= before+2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			t.Fatalf("goroutine leak after drain: %d -> %d\n%s", before, after, buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -1,0 +1,120 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"sync"
+	"time"
+
+	"fnpr/internal/eval"
+	"fnpr/internal/journal"
+)
+
+// Job states. A job moves queued → running → done | failed; there are no
+// other transitions. Failed jobs carry the error and its machine-readable
+// code in their view.
+const (
+	jobQueued  = "queued"
+	jobRunning = "running"
+	jobDone    = "done"
+	jobFailed  = "failed"
+)
+
+// job is one queued or running campaign. The identity fields are written
+// once at submit; mu guards the mutable state/result/err triple.
+type job struct {
+	id          string
+	kind        string
+	camp        eval.Campaign
+	journalPath string
+	resume      bool
+	timeout     time.Duration
+	budget      int64
+
+	mu     sync.Mutex
+	state  string
+	result any
+	err    error
+	done   chan struct{}
+}
+
+func (j *job) setState(st string) {
+	j.mu.Lock()
+	j.state = st
+	j.mu.Unlock()
+}
+
+// finish records the terminal state and wakes anyone waiting on done.
+func (j *job) finish(result any, err error) {
+	j.mu.Lock()
+	if err != nil {
+		j.state = jobFailed
+		j.err = err
+	} else {
+		j.state = jobDone
+		j.result = result
+	}
+	j.mu.Unlock()
+	close(j.done)
+}
+
+// jobView is the wire form of a job's status.
+type jobView struct {
+	ID     string `json:"id"`
+	Kind   string `json:"kind"`
+	State  string `json:"state"`
+	Error  string `json:"error,omitempty"`
+	Code   string `json:"code,omitempty"`
+	Result any    `json:"result,omitempty"`
+}
+
+func (j *job) view() jobView {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	v := jobView{ID: j.id, Kind: j.kind, State: j.state, Result: j.result}
+	if j.err != nil {
+		v.Error = j.err.Error()
+		v.Code = eval.ReasonOf(j.err).String()
+	}
+	return v
+}
+
+// openJobJournal opens a campaign's checkpoint journal the same way the CLIs
+// do (internal/cli.Limits.OpenJournal): a fresh run removes any stale file so
+// the journal always describes exactly one campaign; a resume run replays the
+// latest-record view.
+func openJobJournal(path string, resume bool) (*journal.Journal, map[string]json.RawMessage, error) {
+	if !resume {
+		if err := os.Remove(path); err != nil && !errors.Is(err, os.ErrNotExist) {
+			return nil, nil, err
+		}
+	}
+	j, recs, err := journal.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	if resume {
+		return j, journal.Latest(recs), nil
+	}
+	return j, nil, nil
+}
+
+// sanitizeResult rewrites result values whose fields can hold non-finite
+// floats (which encoding/json refuses) into a JSON-safe form. Campaign
+// tables are always finite; the Monte-Carlo report's MinSlack is +Inf when
+// no job was ever preempted.
+func sanitizeResult(v any) any {
+	rep, ok := v.(*eval.MonteCarloReport)
+	if !ok || rep == nil {
+		return v
+	}
+	return map[string]any{
+		"trials":      rep.Trials,
+		"jobs":        rep.Jobs,
+		"preemptions": rep.Preemptions,
+		"violations":  rep.Violations,
+		"max_paid":    jsonNum(rep.MaxPaid),
+		"min_slack":   jsonNum(rep.MinSlack),
+	}
+}

@@ -1,0 +1,357 @@
+// Package server implements the analysis service behind cmd/serve: an
+// HTTP/JSON front end over the analysis stack (core.Analyze, eval.AnalyzeSet
+// and the empirical campaigns) hardened for unattended operation.
+//
+// Every request runs under its own guard scope — a wall-clock deadline and a
+// step budget, both clamped by server-wide maxima — so no client can pin a
+// worker forever. Long-running campaigns are asynchronous: the submit
+// endpoint returns a job ID immediately and clients poll /v1/jobs/{id}.
+// Admission control is explicit and immediate: a full campaign queue, a
+// saturated analyze concurrency limit or a draining server answers 429 with
+// a Retry-After header instead of queueing unboundedly (guard.ErrOverload;
+// the request was never started, so retrying is always sound).
+//
+// Lifecycle: Start binds the listener only after the worker pool is up;
+// /readyz flips to 503 the moment Shutdown begins. Shutdown drains — stop
+// admitting, let in-flight campaigns finish (or, past the drain deadline,
+// cancel them; journaled campaigns keep their per-point checkpoints and a
+// -resume replays byte-identically) — then closes the HTTP side. Handler
+// panics are contained per request (500 with code "panic"); the process
+// stays up. Error mapping and the lifecycle state machine are documented in
+// DESIGN.md §12.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"fnpr/internal/delay"
+	"fnpr/internal/eval"
+	"fnpr/internal/guard"
+	"fnpr/internal/journal"
+	"fnpr/internal/obs"
+)
+
+// Defaults for the zero-value Config fields.
+const (
+	DefaultDrainTimeout   = 10 * time.Second
+	DefaultMaxTimeout     = 30 * time.Second
+	DefaultAnalyzeBudget  = 5_000_000
+	DefaultCampaignBudget = 500_000_000
+	DefaultQueueCap       = 8
+	DefaultWorkers        = 2
+)
+
+// Config configures the service. The zero value of every field selects a
+// sensible default; Addr ":0" binds an ephemeral port (tests).
+type Config struct {
+	// Addr is the listen address.
+	Addr string
+	// DrainTimeout bounds Shutdown: campaigns still running when it expires
+	// are canceled (their journals keep the completed checkpoints), and
+	// in-flight HTTP requests are cut off.
+	DrainTimeout time.Duration
+	// MaxTimeout caps the per-request wall-clock deadline. Requests may ask
+	// for less via ?timeout=, never for more.
+	MaxTimeout time.Duration
+	// MaxBudget caps the per-request step budget (?budget=); 0 means the
+	// per-endpoint defaults are the caps.
+	MaxBudget int64
+	// AnalyzeBudget is the default step budget of the synchronous analysis
+	// endpoints; CampaignBudget of the asynchronous campaign jobs.
+	AnalyzeBudget  int64
+	CampaignBudget int64
+	// QueueCap bounds the campaign queue; a submit finding it full is
+	// rejected immediately with 429.
+	QueueCap int
+	// Workers is the campaign worker pool size.
+	Workers int
+	// AnalyzeConcurrency caps concurrently running synchronous analyses;
+	// <= 0 selects 2×GOMAXPROCS.
+	AnalyzeConcurrency int
+	// JournalDir, when non-empty, lets acceptance-campaign requests name a
+	// checkpoint journal (resolved inside this directory) and resume from
+	// it. Empty disables journaled campaigns.
+	JournalDir string
+	// Registry receives the server's metrics; nil means obs.Default().
+	Registry *obs.Registry
+	// WrapDelay, when non-nil, wraps every delay function built for
+	// /v1/analyze — the chaos-injection seam of the fault tests. It
+	// receives the request's guard scope and cancel func so faults can
+	// burn its budget or cancel it.
+	WrapDelay func(f delay.Function, g *guard.Ctx, cancel context.CancelFunc) delay.Function
+}
+
+// withDefaults fills the zero fields.
+func (c Config) withDefaults() Config {
+	if c.Addr == "" {
+		c.Addr = "localhost:0"
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = DefaultDrainTimeout
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = DefaultMaxTimeout
+	}
+	if c.AnalyzeBudget <= 0 {
+		c.AnalyzeBudget = DefaultAnalyzeBudget
+	}
+	if c.CampaignBudget <= 0 {
+		c.CampaignBudget = DefaultCampaignBudget
+	}
+	if c.MaxBudget > 0 {
+		if c.AnalyzeBudget > c.MaxBudget {
+			c.AnalyzeBudget = c.MaxBudget
+		}
+		if c.CampaignBudget > c.MaxBudget {
+			c.CampaignBudget = c.MaxBudget
+		}
+	}
+	if c.QueueCap <= 0 {
+		c.QueueCap = DefaultQueueCap
+	}
+	if c.Workers <= 0 {
+		c.Workers = DefaultWorkers
+	}
+	if c.AnalyzeConcurrency <= 0 {
+		c.AnalyzeConcurrency = 2 * runtime.GOMAXPROCS(0)
+	}
+	return c
+}
+
+// Server is one service instance. Create with New, run with Start, stop with
+// Shutdown (drain) or Close (abort).
+type Server struct {
+	cfg Config
+	sc  *obs.Scope
+
+	mux  *http.ServeMux
+	http *http.Server
+	ln   net.Listener
+
+	// ready gates /readyz and admission; draining latches once Shutdown
+	// begins (state machine: starting → ready → draining → stopped).
+	ready    atomic.Bool
+	draining atomic.Bool
+
+	// mu guards the job registry and the queue's closed flag (submit must
+	// never race close(queue)).
+	mu      sync.Mutex
+	qclosed bool
+	jobs    map[string]*job
+	jobSeq  int64
+
+	queue      chan *job
+	workers    sync.WaitGroup
+	jobCtx     context.Context
+	jobStop    context.CancelFunc
+	analyzeSem chan struct{}
+}
+
+// New builds a server from cfg. Nothing runs until Start.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:        cfg,
+		sc:         obs.NewScope(cfg.Registry),
+		jobs:       map[string]*job{},
+		queue:      make(chan *job, cfg.QueueCap),
+		analyzeSem: make(chan struct{}, cfg.AnalyzeConcurrency),
+	}
+	s.jobCtx, s.jobStop = context.WithCancel(context.Background())
+	s.mux = s.routes()
+	s.http = &http.Server{Handler: s.mux}
+	return s
+}
+
+// Start brings the service up in dependency order — metrics, worker pool,
+// then the listener, so the first accepted request finds everything behind
+// it running — and returns once the listener is bound. The server runs until
+// Shutdown or Close.
+func (s *Server) Start() error {
+	obs.Enable()
+	s.sc.Gauge("server.queue.capacity").Set(float64(s.cfg.QueueCap))
+	s.sc.Gauge("server.workers").Set(float64(s.cfg.Workers))
+	for i := 0; i < s.cfg.Workers; i++ {
+		s.workers.Add(1)
+		go s.worker()
+	}
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		s.jobStop()
+		close(s.queue)
+		s.workers.Wait()
+		return fmt.Errorf("server: listen %s: %w", s.cfg.Addr, err)
+	}
+	s.ln = ln
+	s.ready.Store(true)
+	go s.http.Serve(ln)
+	return nil
+}
+
+// Addr returns the bound listen address (with the real port when the config
+// asked for :0).
+func (s *Server) Addr() string {
+	if s.ln == nil {
+		return s.cfg.Addr
+	}
+	return s.ln.Addr().String()
+}
+
+// Shutdown drains the service: /readyz flips to 503 and every admission path
+// answers 429 immediately; queued and running campaigns get until the drain
+// deadline to finish, then are canceled (journaled campaigns keep their
+// checkpoints — the cancel travels through the guard scope, between points);
+// finally the HTTP side shuts down gracefully within the same deadline. A
+// drain that had to cancel campaigns is still a clean exit (nil): the work
+// is checkpointed, not lost.
+func (s *Server) Shutdown() error {
+	if !s.draining.CompareAndSwap(false, true) {
+		return nil
+	}
+	s.ready.Store(false)
+	deadline := time.Now().Add(s.cfg.DrainTimeout)
+
+	s.mu.Lock()
+	s.qclosed = true
+	close(s.queue)
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.workers.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(time.Until(deadline)):
+		// Hard deadline: abort in-flight campaigns through their guard
+		// scopes and wait for the workers to observe it.
+		s.jobStop()
+		<-done
+	}
+
+	ctx, cancel := context.WithDeadline(context.Background(), deadline)
+	defer cancel()
+	if err := s.http.Shutdown(ctx); err != nil {
+		s.http.Close()
+		if !errors.Is(err, context.DeadlineExceeded) {
+			return err
+		}
+	}
+	s.jobStop()
+	return nil
+}
+
+// Close aborts the service without draining: campaigns are canceled and the
+// listener closed. Shutdown is the graceful path; Close is for tests and
+// fatal teardown.
+func (s *Server) Close() error {
+	s.ready.Store(false)
+	if s.draining.CompareAndSwap(false, true) {
+		s.mu.Lock()
+		s.qclosed = true
+		close(s.queue)
+		s.mu.Unlock()
+	}
+	s.jobStop()
+	err := s.http.Close()
+	s.workers.Wait()
+	return err
+}
+
+// submit runs admission control for a campaign job: a draining server or a
+// full queue refuses immediately with guard.ErrOverload (HTTP 429 +
+// Retry-After) — the job is never started, so the client can simply retry.
+// On success the job has its ID and is queued.
+func (s *Server) submit(j *job) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.qclosed || s.draining.Load() {
+		s.sc.Counter("server.shed").Inc()
+		return guard.Overloadf("server: draining, not admitting campaigns")
+	}
+	s.jobSeq++
+	j.id = fmt.Sprintf("job-%06d", s.jobSeq)
+	j.done = make(chan struct{})
+	j.state = jobQueued
+	select {
+	case s.queue <- j:
+		s.jobs[j.id] = j
+		s.sc.Counter("server.admitted").Inc()
+		s.sc.Gauge("server.queue.depth").Add(1)
+		return nil
+	default:
+		s.sc.Counter("server.rejected").Inc()
+		return guard.Overloadf("server: campaign queue full (%d queued)", s.cfg.QueueCap)
+	}
+}
+
+// jobByID looks a job up in the registry.
+func (s *Server) jobByID(id string) (*job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// worker is one campaign worker: it drains the queue until the queue closes.
+func (s *Server) worker() {
+	defer s.workers.Done()
+	for j := range s.queue {
+		s.sc.Gauge("server.queue.depth").Add(-1)
+		s.runJob(j)
+	}
+}
+
+// runJob executes one campaign under its own guard scope (derived from the
+// server's job context so a forced stop cancels it), with panic isolation
+// via guard.Run and, for journaled acceptance campaigns, the checkpoint
+// journal opened for the duration of the run.
+func (s *Server) runJob(j *job) {
+	running := s.sc.Gauge("server.jobs.running")
+	running.Add(1)
+	defer running.Add(-1)
+	j.setState(jobRunning)
+
+	ctx, cancel := context.WithCancel(s.jobCtx)
+	defer cancel()
+	g := guard.New(ctx).WithTimeout(j.timeout).WithBudget(j.budget).WithObs(s.sc)
+
+	camp := j.camp
+	var jr *journal.Journal
+	if j.journalPath != "" {
+		var err error
+		var resume map[string]json.RawMessage
+		jr, resume, err = openJobJournal(j.journalPath, j.resume)
+		if err != nil {
+			j.finish(nil, err)
+			return
+		}
+		if ap, ok := camp.(eval.AcceptanceParams); ok {
+			ap.Journal = jr
+			ap.Resume = resume
+			camp = ap
+		}
+		g.WithCheckpoint(func(int64) { jr.Sync() })
+	}
+
+	res, err := guard.Run(g, "job "+j.id, func() (any, error) { return camp.Run(g) })
+	if jr != nil {
+		if cerr := jr.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
+	if errors.Is(err, guard.ErrPanic) {
+		s.sc.Counter("server.panics_recovered").Inc()
+	}
+	j.finish(sanitizeResult(res), err)
+}

@@ -169,6 +169,15 @@ func (p *Problem) sortByPriority() {
 	}
 }
 
+// Build materialises the delay description into a delay.Function over the
+// domain [0, c] (the owning task's execution time). A nil *Delay builds a nil
+// function, meaning "no preemption delay". The analysis service uses this
+// directly for single-function /v1/analyze requests; File.Build uses it per
+// task.
+func (d *Delay) Build(c float64) (delay.Function, error) {
+	return d.build(c)
+}
+
 func (d *Delay) build(c float64) (delay.Function, error) {
 	if d == nil {
 		return nil, nil

@@ -1,0 +1,206 @@
+package fnpr
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestServeSmoke is the end-to-end service contract exercised exactly as an
+// operator would: build cmd/serve, start it on an ephemeral port, wait for
+// readiness, run a synchronous analysis and a full asynchronous campaign over
+// HTTP, peek at the debug tree, then SIGTERM it and require a graceful exit
+// (code 0) with a non-empty metrics snapshot on disk. This is the test CI's
+// serve-smoke job runs. Skipped with -short.
+func TestServeSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end CLI runs skipped in -short mode")
+	}
+	tmp := t.TempDir()
+	bin := filepath.Join(tmp, "serve")
+	if out, err := exec.Command("go", "build", "-o", bin, "./cmd/serve").CombinedOutput(); err != nil {
+		t.Fatalf("building serve: %v\n%s", err, out)
+	}
+
+	metrics := filepath.Join(tmp, "metrics.json")
+	journalDir := filepath.Join(tmp, "journals")
+	if err := os.Mkdir(journalDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(bin,
+		"-addr", "127.0.0.1:0",
+		"-drain-timeout", "10s",
+		"-journal-dir", journalDir,
+		"-metrics-out", metrics)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	// On early failure, make sure the child dies; Kill on an already-exited
+	// process is a harmless no-op, and the Wait goroutine's send is buffered.
+	t.Cleanup(func() { cmd.Process.Kill() })
+
+	// The listen line carries the resolved ephemeral address; keep draining
+	// stderr afterwards so the process never blocks on a full pipe.
+	var base string
+	sc := bufio.NewScanner(stderr)
+	var slurped strings.Builder
+	for sc.Scan() {
+		line := sc.Text()
+		slurped.WriteString(line + "\n")
+		if addr, ok := strings.CutPrefix(line, "serve: listening on "); ok {
+			base = addr
+			break
+		}
+	}
+	if base == "" {
+		t.Fatalf("no listen line on stderr:\n%s", slurped.String())
+	}
+	go func() {
+		for sc.Scan() {
+		}
+		io.Copy(io.Discard, stderr)
+	}()
+
+	get := func(path string) (int, []byte) {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, b
+	}
+	post := func(path string, body any) (int, map[string]any) {
+		t.Helper()
+		b, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.Post(base+path, "application/json", bytes.NewReader(b))
+		if err != nil {
+			t.Fatalf("POST %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		var v map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+			t.Fatalf("POST %s: decoding response: %v", path, err)
+		}
+		return resp.StatusCode, v
+	}
+
+	// Readiness.
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		if st, _ := get("/readyz"); st == 200 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("server never became ready")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Synchronous analysis.
+	st, v := post("/v1/analyze", map[string]any{
+		"delay": map[string]any{"kind": "frontloaded", "peak": 3, "tail": 0.5},
+		"c":     40, "q": 15,
+	})
+	if st != 200 {
+		t.Fatalf("analyze: %d %v", st, v)
+	}
+	if td, ok := v["total_delay"].(float64); !ok || td <= 0 {
+		t.Fatalf("analyze: total_delay %v", v["total_delay"])
+	}
+
+	// Asynchronous campaign: submit, then poll the job to completion.
+	st, v = post("/v1/campaign/acceptance", map[string]any{
+		"seed": 7, "sets_per_point": 5, "tasks": 3,
+		"u_start": 0.5, "u_end": 0.6, "u_step": 0.1,
+		"journal": "smoke.journal",
+	})
+	if st != http.StatusAccepted {
+		t.Fatalf("campaign submit: %d %v", st, v)
+	}
+	id, _ := v["id"].(string)
+	if id == "" {
+		t.Fatalf("campaign submit: no job id in %v", v)
+	}
+	deadline = time.Now().Add(60 * time.Second)
+	for {
+		status, body := get("/v1/jobs/" + id)
+		if status != 200 {
+			t.Fatalf("job poll: %d %s", status, body)
+		}
+		var jv map[string]any
+		if err := json.Unmarshal(body, &jv); err != nil {
+			t.Fatal(err)
+		}
+		if jv["state"] == "done" {
+			if jv["result"] == nil {
+				t.Fatalf("job done without result: %s", body)
+			}
+			break
+		}
+		if jv["state"] == "failed" {
+			t.Fatalf("campaign failed: %s", body)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("campaign never finished: %s", body)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if _, err := os.Stat(filepath.Join(journalDir, "smoke.journal")); err != nil {
+		t.Fatalf("campaign journal missing: %v", err)
+	}
+
+	// Debug tree on the main listener.
+	if st, b := get("/debug/vars"); st != 200 || !bytes.Contains(b, []byte("fnpr")) {
+		t.Fatalf("/debug/vars: %d %s", st, b)
+	}
+
+	// Graceful drain on SIGTERM: exit 0 within the drain deadline and a
+	// parseable, non-empty metrics snapshot.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("serve exited non-zero after SIGTERM: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		cmd.Process.Kill()
+		t.Fatal("serve did not exit within the drain deadline")
+	}
+	raw, err := os.ReadFile(metrics)
+	if err != nil {
+		t.Fatalf("metrics snapshot after drain: %v", err)
+	}
+	var snap map[string]any
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		t.Fatalf("metrics snapshot does not parse: %v\n%s", err, raw)
+	}
+	if len(snap) == 0 {
+		t.Fatal("metrics snapshot is empty")
+	}
+	counters, _ := snap["counters"].(map[string]any)
+	if _, ok := counters["server.admitted"]; !ok {
+		t.Fatalf("metrics snapshot missing counter server.admitted:\n%s", raw)
+	}
+}
