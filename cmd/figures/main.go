@@ -7,7 +7,7 @@
 //	figures -fig 5 [-params literal|calibrated] [-out fig5.csv] [-ascii]
 //	figures -fig 1
 //	figures -fig 2
-//	figures -fig acceptance [-out acc.csv] [-workers N] [-seed S]
+//	figures -fig acceptance [-out acc.csv] [-workers N] [-seed S] [-sets N]
 //	figures -fig all [-dir .]
 //
 // Figure 4 emits the three synthetic benchmark delay functions; Figure 5
@@ -37,6 +37,7 @@ func main() {
 		dir    = flag.String("dir", ".", "output directory for -fig all")
 		ascii  = flag.Bool("ascii", true, "also render an ASCII chart (figures 4 and 5)")
 		svg    = flag.String("svg", "", "also write an SVG chart to this file (figures 4, 5, acceptance, preemptions)")
+		sets   = flag.Int("sets", 0, "acceptance campaign: task sets per utilization point (0 = paper default)")
 	)
 	limits := cli.Flags().SweepFlags()
 	flag.Parse()
@@ -112,6 +113,9 @@ func main() {
 		}
 		cli.Checkpoint(g, j)
 		ap := eval.DefaultAcceptanceParams()
+		if *sets > 0 {
+			ap.SetsPerPoint = *sets
+		}
 		ap.Seed = limits.Seed
 		ap.Workers = limits.Workers
 		ap.Obs = g.Obs()

@@ -6,6 +6,7 @@
 //
 //	serve [-addr localhost:8080] [-drain-timeout 10s] [-queue 8]
 //	      [-campaign-workers 2] [-analyze-concurrency N] [-journal-dir DIR]
+//	      [-data-dir DIR] [-sync close|always|N] [-job-ttl 1h] [-max-jobs 1024]
 //	      [-timeout 30s] [-max-iter N] [-metrics] [-metrics-out FILE]
 //	      [-debug-addr ADDR]
 //
@@ -15,6 +16,13 @@
 // trio works as in every other command; the debug tree is additionally
 // mounted on the main listener under /debug/.
 //
+// -data-dir enables the durable job store: submissions are recorded in a
+// WAL-style manifest (fsynced per record) before they are acked, and on
+// startup the server re-registers finished jobs and automatically resumes
+// campaigns a crash interrupted — a kill -9 mid-campaign costs the points in
+// flight, never the completed ones. -sync sets the checkpoint journals' sync
+// policy (the manifest always fsyncs per record). See DESIGN.md §13.
+//
 // Endpoints:
 //
 //	GET  /healthz                  liveness (always 200 while the process runs)
@@ -23,6 +31,7 @@
 //	POST /v1/analyzeset            a task-set grid analysis (eval.AnalyzeSet)
 //	POST /v1/campaign/acceptance   submit an acceptance campaign → job ID
 //	POST /v1/campaign/montecarlo   submit a Monte-Carlo campaign → job ID
+//	GET  /v1/jobs                  list jobs (state, fingerprint, recovered)
 //	GET  /v1/jobs/{id}             poll a campaign job
 //	     /debug/                   expvar and pprof
 //
@@ -52,11 +61,19 @@ func main() {
 		workers      = flag.Int("campaign-workers", server.DefaultWorkers, "campaign worker pool size")
 		analyzeConc  = flag.Int("analyze-concurrency", 0, "max concurrent synchronous analyses (0 = 2x GOMAXPROCS); beyond it requests get 429")
 		journalDir   = flag.String("journal-dir", "", "directory for campaign checkpoint journals (empty disables journaled campaigns)")
+		dataDir      = flag.String("data-dir", "", "directory for the durable job store; enables crash recovery of campaign jobs (empty keeps jobs in memory only)")
+		sync         = flag.String("sync", "close", "checkpoint-journal sync policy: close (on close only), always (every record), or every Nth record")
+		jobTTL       = flag.Duration("job-ttl", server.DefaultJobTTL, "how long finished jobs stay pollable before eviction (negative disables)")
+		maxJobs      = flag.Int("max-jobs", server.DefaultMaxJobs, "max jobs kept in the registry; oldest finished jobs are evicted first (negative disables)")
 	)
 	limits := cli.Flags()
 	flag.Parse()
 	if flag.NArg() != 0 {
 		fatal(cli.Usagef("unexpected arguments %q", flag.Args()))
+	}
+	syncEvery, err := cli.ParseSyncPolicy(*sync)
+	if err != nil {
+		fatal(err)
 	}
 
 	srv := server.New(server.Config{
@@ -68,6 +85,10 @@ func main() {
 		Workers:            *workers,
 		AnalyzeConcurrency: *analyzeConc,
 		JournalDir:         *journalDir,
+		DataDir:            *dataDir,
+		SyncEvery:          syncEvery,
+		JobTTL:             *jobTTL,
+		MaxJobs:            *maxJobs,
 		Registry:           obs.Default(),
 	})
 	if err := srv.Start(); err != nil {

@@ -1,0 +1,418 @@
+package fnpr
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"fnpr/internal/eval"
+)
+
+// The crash-torture tests are the durability contract exercised the hard way:
+// kill -9 in a loop, restart, and demand the final result be byte-identical
+// to an uninterrupted run. Unlike the smoke tests they SHRINK under -short
+// (smaller campaign, fewer kills) instead of skipping — CI's crash-torture
+// job runs them in short mode on every push.
+
+// tortureScale returns (setsPerPoint, kills) sized for the mode.
+func tortureScale(full, short int, fullKills, shortKills int) (int, int) {
+	if testing.Short() {
+		return short, shortKills
+	}
+	return full, fullKills
+}
+
+func buildTool(t *testing.T, dir, name, pkg string) string {
+	t.Helper()
+	bin := filepath.Join(dir, name)
+	if out, err := exec.Command("go", "build", "-o", bin, pkg).CombinedOutput(); err != nil {
+		t.Fatalf("building %s: %v\n%s", pkg, err, out)
+	}
+	return bin
+}
+
+// countPoints counts checkpointed acceptance points in a journal file. A
+// missing file counts as zero; a torn tail may over-count by one, which only
+// makes the progress watcher conservative.
+func countPoints(path string) int {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return 0
+	}
+	return strings.Count(string(raw), "accpoint:")
+}
+
+// normalizeJSON re-marshals any JSON value through map[string]any so two
+// encodings of the same table compare byte-for-byte (object keys sorted).
+func normalizeJSON(t *testing.T, v any) string {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var u any
+	if err := json.Unmarshal(b, &u); err != nil {
+		t.Fatal(err)
+	}
+	out, err := json.Marshal(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(out)
+}
+
+// startServeProc launches a serve binary and blocks until the listen line
+// appears on stderr, returning the base URL, the process and its exit channel.
+func startServeProc(t *testing.T, bin string, args ...string) (string, *exec.Cmd, chan error) {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	t.Cleanup(func() { cmd.Process.Kill() })
+
+	var base string
+	sc := bufio.NewScanner(stderr)
+	var slurped strings.Builder
+	for sc.Scan() {
+		line := sc.Text()
+		slurped.WriteString(line + "\n")
+		if addr, ok := strings.CutPrefix(line, "serve: listening on "); ok {
+			base = addr
+			break
+		}
+	}
+	if base == "" {
+		t.Fatalf("no listen line on stderr:\n%s", slurped.String())
+	}
+	go func() {
+		for sc.Scan() {
+		}
+		io.Copy(io.Discard, stderr)
+	}()
+	return base, cmd, done
+}
+
+func waitReady(t *testing.T, base string) {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		resp, err := http.Get(base + "/readyz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == 200 {
+				return
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("server never became ready")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// getJob fetches a job view; connection errors fail the test (the caller
+// only polls servers it just started).
+func getJob(t *testing.T, base, id string) map[string]any {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/jobs/" + id)
+	if err != nil {
+		t.Fatalf("GET job: %v", err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != 200 {
+		t.Fatalf("GET job: %d %s", resp.StatusCode, b)
+	}
+	var v map[string]any
+	if err := json.Unmarshal(b, &v); err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+// TestServeCrashTorture is the tentpole's proof: a durable server is
+// SIGKILLed in a loop mid-campaign — never past a kill does it lose an acked
+// submission or a checkpointed point — and after the final restart the job
+// runs to completion with a table byte-identical to an in-process reference
+// run, with server.jobs.recovered > 0 on the survivor.
+func TestServeCrashTorture(t *testing.T) {
+	sets, wantKills := tortureScale(1200, 400, 3, 2)
+	tmp := t.TempDir()
+	bin := buildTool(t, tmp, "serve", "./cmd/serve")
+	dataDir := filepath.Join(tmp, "data")
+
+	// In-process reference: the same campaign the handler will build from the
+	// submitted JSON (handler defaults fill DelayScale/QFraction).
+	ap := eval.DefaultAcceptanceParams()
+	ap.Seed = 7
+	ap.SetsPerPoint = sets
+	ap.Tasks = 3
+	ap.UStart, ap.UEnd, ap.UStep = 0.5, 0.9, 0.1
+	refTable, err := eval.Acceptance(nil, ap)
+	if err != nil {
+		t.Fatalf("reference campaign: %v", err)
+	}
+	refJSON := normalizeJSON(t, refTable)
+
+	body, _ := json.Marshal(map[string]any{
+		"seed": 7, "sets_per_point": sets, "tasks": 3,
+		"u_start": 0.5, "u_end": 0.9, "u_step": 0.1,
+	})
+	submit := func(base string) string {
+		t.Helper()
+		req, err := http.NewRequest("POST", base+"/v1/campaign/acceptance", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set("Idempotency-Key", "torture-1")
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatalf("submit: %v", err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != http.StatusAccepted && resp.StatusCode != 200 {
+			t.Fatalf("submit: %d %s", resp.StatusCode, b)
+		}
+		var v map[string]any
+		if err := json.Unmarshal(b, &v); err != nil {
+			t.Fatal(err)
+		}
+		id, _ := v["id"].(string)
+		if id == "" {
+			t.Fatalf("submit: no job id in %s", b)
+		}
+		return id
+	}
+
+	serveArgs := []string{"-addr", "127.0.0.1:0", "-data-dir", dataDir,
+		"-sync", "always", "-drain-timeout", "15s"}
+	var (
+		kills                int
+		id, base             string
+		cmd                  *exec.Cmd
+		done                 chan error
+		finishedBeforeTarget bool
+	)
+	for {
+		base, cmd, done = startServeProc(t, bin, serveArgs...)
+		waitReady(t, base)
+		// The same Idempotency-Key every round: round 0 creates the job, later
+		// rounds dedupe against the recovered one — the retry an operator's
+		// client would do after a connection reset.
+		id = submit(base)
+		if kills >= wantKills || finishedBeforeTarget {
+			break
+		}
+		// Let the campaign checkpoint at least one NEW point this round, so
+		// every kill is guaranteed to land mid-campaign with fresh progress at
+		// risk, then kill -9 with no warning.
+		jpath := filepath.Join(dataDir, "journals", id+".journal")
+		snapshot := countPoints(jpath)
+		progressDeadline := time.Now().Add(90 * time.Second)
+		jobDone := false
+		for countPoints(jpath) <= snapshot {
+			if st, _ := getJob(t, base, id)["state"]; st == "done" {
+				jobDone = true
+				break
+			}
+			if time.Now().After(progressDeadline) {
+				t.Fatalf("round %d: no checkpoint progress", kills)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		if jobDone {
+			if kills == 0 {
+				t.Fatal("campaign finished before the first kill; enlarge the campaign")
+			}
+			finishedBeforeTarget = true
+			break
+		}
+		if err := cmd.Process.Kill(); err != nil {
+			t.Fatal(err)
+		}
+		<-done
+		kills++
+	}
+	t.Logf("killed the server %d times", kills)
+
+	// Final run: the surviving server resumes from checkpoints and completes.
+	var view map[string]any
+	completeDeadline := time.Now().Add(3 * time.Minute)
+	for {
+		view = getJob(t, base, id)
+		if view["state"] == "done" {
+			break
+		}
+		if view["state"] == "failed" {
+			t.Fatalf("recovered campaign failed: %v", view)
+		}
+		if time.Now().After(completeDeadline) {
+			t.Fatalf("recovered campaign never finished: %v", view)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if view["recovered"] != true {
+		t.Fatalf("surviving job not marked recovered: %v", view)
+	}
+	if got := normalizeJSON(t, view["result"]); got != refJSON {
+		t.Fatalf("post-torture table differs from uninterrupted run\nref: %s\ngot: %s", refJSON, got)
+	}
+
+	// The survivor's counters prove the recovery path ran.
+	resp, err := http.Get(base + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var vars struct {
+		Fnpr struct {
+			Counters map[string]float64 `json:"counters"`
+		} `json:"fnpr"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&vars); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if vars.Fnpr.Counters["server.jobs.recovered"] < 1 {
+		t.Fatalf("server.jobs.recovered = %v, want >= 1 (counters: %v)",
+			vars.Fnpr.Counters["server.jobs.recovered"], vars.Fnpr.Counters)
+	}
+
+	// And the survivor still drains cleanly: SIGTERM, exit 0.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("serve exited non-zero after SIGTERM: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		cmd.Process.Kill()
+		t.Fatal("serve did not exit within the drain deadline")
+	}
+}
+
+// TestFiguresCrashTorture is the CLI half of the same contract: kill -9 a
+// journaled `figures -fig acceptance` run in a loop, resume each time, and
+// the final CSV must be byte-identical to an uninterrupted run.
+func TestFiguresCrashTorture(t *testing.T) {
+	sets, wantKills := tortureScale(600, 150, 3, 2)
+	tmp := t.TempDir()
+	bin := buildTool(t, tmp, "figures", "./cmd/figures")
+	jpath := filepath.Join(tmp, "acc.journal")
+	out := filepath.Join(tmp, "out.csv")
+	ref := filepath.Join(tmp, "ref.csv")
+	metrics := filepath.Join(tmp, "metrics.json")
+
+	baseArgs := []string{"-fig", "acceptance", "-seed", "7",
+		"-sets", strconv.Itoa(sets), "-workers", "1", "-ascii=false"}
+
+	// Uninterrupted reference run.
+	if o, err := exec.Command(bin, append(append([]string{}, baseArgs...), "-out", ref)...).CombinedOutput(); err != nil {
+		t.Fatalf("reference run: %v\n%s", err, o)
+	}
+
+	tortureArgs := append(append([]string{}, baseArgs...),
+		"-journal", jpath, "-sync", "always", "-out", out)
+	kills := 0
+	for round := 0; kills < wantKills; round++ {
+		args := append([]string{}, tortureArgs...)
+		if round > 0 {
+			args = append(args, "-resume")
+		}
+		cmd := exec.Command(bin, args...)
+		cmd.Stderr = io.Discard
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		done := make(chan error, 1)
+		go func() { done <- cmd.Wait() }()
+
+		// Kill only after this round checkpointed a fresh point, so every
+		// kill has uncommitted work in flight and the loop is bounded by the
+		// grid size.
+		snapshot := countPoints(jpath)
+		progressDeadline := time.Now().Add(90 * time.Second)
+		exited := false
+		for countPoints(jpath) <= snapshot {
+			select {
+			case err := <-done:
+				if err != nil {
+					t.Fatalf("round %d: figures exited with %v before any progress", round, err)
+				}
+				exited = true
+			default:
+			}
+			if exited {
+				break
+			}
+			if time.Now().After(progressDeadline) {
+				t.Fatalf("round %d: no checkpoint progress", round)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		if exited {
+			// Completed before the kill count was reached — possible on a
+			// very fast machine; the resume below still proves the contract.
+			break
+		}
+		if err := cmd.Process.Kill(); err != nil {
+			t.Fatal(err)
+		}
+		<-done
+		kills++
+	}
+	t.Logf("killed figures %d times", kills)
+
+	// Final resumed run must complete, restore the checkpointed prefix and
+	// emit a CSV byte-identical to the uninterrupted reference.
+	finalArgs := append(append([]string{}, tortureArgs...),
+		"-resume", "-metrics-out", metrics)
+	if o, err := exec.Command(bin, finalArgs...).CombinedOutput(); err != nil {
+		t.Fatalf("final resumed run: %v\n%s", err, o)
+	}
+	got, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("post-torture CSV differs from uninterrupted run\nref:\n%s\ngot:\n%s", want, got)
+	}
+	raw, err := os.ReadFile(metrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap struct {
+		Counters map[string]float64 `json:"counters"`
+	}
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		t.Fatalf("metrics snapshot: %v\n%s", err, raw)
+	}
+	if kills > 0 && snap.Counters["campaign.points.restored"] < 1 {
+		t.Fatalf("campaign.points.restored = %v after %d kills, want >= 1",
+			snap.Counters["campaign.points.restored"], kills)
+	}
+}

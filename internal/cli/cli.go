@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strconv"
 	"syscall"
 	"time"
 
@@ -129,12 +130,17 @@ type Limits struct {
 	// ObsFlags is the embedded -metrics/-metrics-out/-debug-addr trio.
 	ObsFlags
 
-	// Journal, Resume, Seed and Workers are registered only by SweepFlags —
-	// the batch-runtime surface of the sweep- and campaign-running tools.
+	// Journal, Resume, Seed, Workers and Sync are registered only by
+	// SweepFlags — the batch-runtime surface of the sweep- and
+	// campaign-running tools.
 	Journal string
 	Resume  bool
 	Seed    int64
 	Workers int
+	// Sync is the journal sync policy: "close" (fsync on checkpoint/close,
+	// the default), "always" (fsync every record), or a positive integer N
+	// (fsync every Nth record).
+	Sync string
 }
 
 // active is the Limits most recently registered by Flags; Exit consults it so
@@ -169,7 +175,30 @@ func (l *Limits) SweepFlags() *Limits {
 	flag.BoolVar(&l.Resume, "resume", false, "resume from the -journal file, restoring the grid points it already holds")
 	flag.Int64Var(&l.Seed, "seed", 1, "random seed for synthetic task-set generation and retry jitter")
 	flag.IntVar(&l.Workers, "workers", 0, "worker pool size for sweeps and campaigns (0 = GOMAXPROCS); results do not depend on it")
+	flag.StringVar(&l.Sync, "sync", "close", "journal sync policy: close (fsync on checkpoint/close), always (fsync every record), or N (fsync every Nth record)")
 	return l
+}
+
+// SyncPolicy parses the -sync flag into the journal.Options.SyncEvery value:
+// "close" (or empty) → 0, "always" → 1, a positive integer N → N.
+func (l *Limits) SyncPolicy() (int, error) {
+	return ParseSyncPolicy(l.Sync)
+}
+
+// ParseSyncPolicy parses a sync-policy spelling shared by the CLI -sync flag
+// and the server's -sync flag.
+func ParseSyncPolicy(s string) (int, error) {
+	switch s {
+	case "", "close":
+		return 0, nil
+	case "always":
+		return 1, nil
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil || n < 1 {
+		return 0, Usagef("bad -sync %q (want close, always, or a positive integer)", s)
+	}
+	return n, nil
 }
 
 // Guard builds the guard scope the flags describe: nil (no limits, zero
@@ -241,12 +270,16 @@ func (l *Limits) OpenJournal() (*journal.Journal, map[string]json.RawMessage, er
 		}
 		return nil, nil, nil
 	}
+	every, err := l.SyncPolicy()
+	if err != nil {
+		return nil, nil, err
+	}
 	if !l.Resume {
 		if err := os.Remove(l.Journal); err != nil && !errors.Is(err, os.ErrNotExist) {
 			return nil, nil, fmt.Errorf("removing stale journal: %w", err)
 		}
 	}
-	j, recs, err := journal.Open(l.Journal)
+	j, recs, err := journal.OpenWith(l.Journal, journal.Options{SyncEvery: every})
 	if err != nil {
 		return nil, nil, err
 	}
@@ -271,7 +304,10 @@ func Checkpoint(g *guard.Ctx, j *journal.Journal) {
 // (guard.ErrOverload — the analysis service refused the work up front) land
 // on ExitResource alongside timeouts and budget trips: in all three cases the
 // analysis did not run to completion for resource reasons and retrying with
-// more headroom is sound.
+// more headroom is sound. Durable-storage failures (guard.ErrStorage — a
+// journal or manifest write refused, torn or not fsync-able) land on
+// ExitAnalysis with every other I/O failure: the run did not complete and
+// retrying without fixing the disk will not help.
 func Code(err error) int {
 	switch {
 	case err == nil:
@@ -282,6 +318,8 @@ func Code(err error) int {
 		return ExitResource
 	case errors.Is(err, ErrUsage):
 		return ExitUsage
+	case errors.Is(err, guard.ErrStorage):
+		return ExitAnalysis
 	default:
 		return ExitAnalysis
 	}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"syscall"
 	"testing"
 
 	"fnpr/internal/guard"
@@ -34,6 +35,16 @@ func TestErrorContractMatrix(t *testing.T) {
 		{"diverged", guard.ErrDiverged, ExitAnalysis, http.StatusUnprocessableEntity},
 		{"panic", guard.ErrPanic, ExitAnalysis, http.StatusInternalServerError},
 		{"plain", errors.New("io failure"), ExitAnalysis, http.StatusInternalServerError},
+		// Durable-storage failures: exit 2 (the run's output cannot be
+		// trusted complete; retrying without freeing disk won't help, so it
+		// is not ExitResource), HTTP 507. Wrapped exactly as the journal
+		// produces them.
+		{"storage", guard.ErrStorage, ExitAnalysis, http.StatusInsufficientStorage},
+		{"storage-enospc", guard.Storagef(syscall.ENOSPC, "journal: appending"), ExitAnalysis, http.StatusInsufficientStorage},
+		{"storage-fsync-eio", guard.Storagef(syscall.EIO, "journal: syncing"), ExitAnalysis, http.StatusInsufficientStorage},
+		// A foreign-fingerprint journal (wrong -journal for these params,
+		// live or during crash recovery) is invalid input: exit 2, HTTP 400.
+		{"foreign-journal", guard.Invalidf("campaign: journal belongs to a different campaign"), ExitAnalysis, http.StatusBadRequest},
 	}
 	for _, c := range cases {
 		if got := Code(c.err); got != c.exitCode {

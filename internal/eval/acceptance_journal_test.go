@@ -107,6 +107,124 @@ func TestAcceptanceJournalResume(t *testing.T) {
 	}
 }
 
+// TestAcceptanceResumeAfterMidFileCorruption pins the salvage-then-resume
+// path end to end: a completed journal gets one bit flipped in a middle
+// record (at-rest corruption, not a torn tail), the next open must salvage —
+// truncate to the valid prefix (journal.truncations advances) and replay
+// exactly the records before the flip — and a -resume on the salvaged
+// journal must restore that prefix and recompute the rest into a table
+// byte-identical to an uninterrupted run.
+func TestAcceptanceResumeAfterMidFileCorruption(t *testing.T) {
+	p := smallAcceptance()
+	p.Workers = 1
+
+	ref, err := Acceptance(nil, p)
+	if err != nil {
+		t.Fatalf("reference run: %v", err)
+	}
+	refJSON, err := json.Marshal(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Full journaled run: header + meta record + one record per point.
+	path := filepath.Join(t.TempDir(), "acc.journal")
+	j, _, err := journal.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pj := p
+	pj.Journal = j
+	if _, err := Acceptance(nil, pj); err != nil {
+		t.Fatalf("journaled run: %v", err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Flip one bit inside the second accpoint record's JSON. Everything from
+	// that record on is untrustworthy; the meta record and the first point
+	// survive.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.SplitAfter(string(raw), "\n")
+	target := -1
+	seen := 0
+	for i, ln := range lines {
+		if strings.Contains(ln, "accpoint:") {
+			if seen++; seen == 2 {
+				target = i
+				break
+			}
+		}
+	}
+	if target < 0 {
+		t.Fatalf("journal has fewer than 2 point records:\n%s", raw)
+	}
+	flipped := []byte(lines[target])
+	flipped[len(flipped)/2] ^= 0x01
+	lines[target] = string(flipped)
+	if err := os.WriteFile(path, []byte(strings.Join(lines, "")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Salvage: the open truncates at the flipped record and replays only the
+	// valid prefix — meta + 1 point.
+	baseTrunc := obs.Default().Counter("journal.truncations").Value()
+	j2, recs, err := journal.Open(path)
+	if err != nil {
+		t.Fatalf("salvage open: %v", err)
+	}
+	if d := obs.Default().Counter("journal.truncations").Value() - baseTrunc; d != 1 {
+		t.Fatalf("journal.truncations advanced %d, want 1", d)
+	}
+	points := 0
+	for _, r := range recs {
+		if strings.HasPrefix(r.Key, "accpoint:") {
+			points++
+		}
+	}
+	if points != 1 {
+		t.Fatalf("salvaged %d point records, want exactly the 1 before the flip", points)
+	}
+	// The file itself is a valid prefix again: byte-identical to the
+	// uncorrupted journal's first lines.
+	now, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := strings.Join(lines[:target], ""); string(now) != want {
+		t.Fatalf("salvaged file is not the valid prefix\ngot:  %q\nwant: %q", now, want)
+	}
+
+	// Resume from the salvaged journal: restored == surviving points, table
+	// byte-identical to the uninterrupted reference.
+	pr := p
+	pr.Journal = j2
+	pr.Resume = journal.Latest(recs)
+	reg := obs.NewRegistry()
+	pr.Obs = obs.NewScope(reg)
+	got, err := Acceptance(nil, pr)
+	if cerr := j2.Close(); cerr != nil {
+		t.Fatal(cerr)
+	}
+	if err != nil {
+		t.Fatalf("resume after salvage: %v", err)
+	}
+	gotJSON, err := json.Marshal(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(gotJSON) != string(refJSON) {
+		t.Fatalf("post-salvage resume differs from uninterrupted run\nref: %s\ngot: %s", refJSON, gotJSON)
+	}
+	if n := reg.Counter("campaign.points.restored").Value(); n != 1 {
+		t.Fatalf("campaign.points.restored = %d, want 1 (the salvaged point)", n)
+	}
+}
+
 // TestAcceptanceResumeRejectsForeignJournal pins the fingerprint check: a
 // journal written under different campaign parameters must be refused, not
 // silently mixed into a new experiment.

@@ -52,12 +52,15 @@ const (
 	// ReasonOverload: the work was refused up front by admission control
 	// (queue full, concurrency limit, draining server) — it never ran.
 	ReasonOverload
+	// ReasonStorage: the durable layer underneath the analysis failed —
+	// a journal or manifest write refused, torn, or not fsync-able.
+	ReasonStorage
 )
 
 // reasonNames is the stable wire vocabulary; it must never be reordered —
 // journal records and golden files spell these strings. New classes are
 // appended only.
-var reasonNames = [...]string{"", "canceled", "budget", "diverged", "invalid", "panic", "error", "overload"}
+var reasonNames = [...]string{"", "canceled", "budget", "diverged", "invalid", "panic", "error", "overload", "storage"}
 
 // String returns the machine-readable class name ("" for ReasonNone).
 func (r Reason) String() string {
@@ -96,6 +99,8 @@ func ReasonOf(err error) Reason {
 		return ReasonPanic
 	case errors.Is(err, guard.ErrOverload):
 		return ReasonOverload
+	case errors.Is(err, guard.ErrStorage):
+		return ReasonStorage
 	default:
 		return ReasonError
 	}

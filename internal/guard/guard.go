@@ -15,7 +15,9 @@
 //   - ErrBudgetExceeded  — the step budget ran out before a result;
 //   - ErrDiverged        — the analysis itself has no finite answer;
 //   - ErrInvalidInput    — the input fails validation (NaN, ±Inf, shape);
-//   - ErrPanic           — a panic was recovered inside a guarded scope.
+//   - ErrPanic           — a panic was recovered inside a guarded scope;
+//   - ErrOverload        — admission control refused the work up front;
+//   - ErrStorage         — the durable layer (journal, job store) failed.
 //
 // A nil *Ctx is valid everywhere and means "no limits": Tick and Err return
 // nil, so pre-existing call sites keep their exact behaviour at zero cost.
@@ -54,6 +56,12 @@ var (
 	// server — rather than attempted and failed. The request was not
 	// started, so retrying later is always sound.
 	ErrOverload = errors.New("analysis overloaded")
+	// ErrStorage reports that the durable-storage layer underneath an
+	// analysis failed — a journal or job-manifest write refused (ENOSPC),
+	// torn short, or an fsync reporting an I/O error. The computation may
+	// be fine; its durability is not, so the work must not be reported as
+	// safely checkpointed.
+	ErrStorage = errors.New("storage failure")
 )
 
 // Invalidf builds an ErrInvalidInput-wrapped error.
@@ -74,6 +82,12 @@ func Budgetf(format string, args ...any) error {
 // Overloadf builds an ErrOverload-wrapped error.
 func Overloadf(format string, args ...any) error {
 	return fmt.Errorf("%s: %w", fmt.Sprintf(format, args...), ErrOverload)
+}
+
+// Storagef builds an ErrStorage-wrapped error around an underlying disk
+// failure, keeping the cause in the chain (errors.Is still sees ENOSPC etc).
+func Storagef(err error, format string, args ...any) error {
+	return fmt.Errorf("%s: %w: %w", fmt.Sprintf(format, args...), ErrStorage, err)
 }
 
 // pollEvery is how many steps pass between context/deadline polls. Budget

@@ -15,6 +15,7 @@ import (
 //	ErrBudgetExceeded  → 422 Unprocessable Entity  (ran out of step budget)
 //	ErrDiverged        → 422 Unprocessable Entity  (no finite answer exists)
 //	ErrCanceled        → 504 Gateway Timeout       (deadline or caller abort)
+//	ErrStorage         → 507 Insufficient Storage  (durable layer failed)
 //	ErrPanic           → 500 Internal Server Error (contained programming error)
 //	anything else      → 500 Internal Server Error
 //
@@ -22,6 +23,12 @@ import (
 // well-formed and the analysis ran, but it cannot produce the asked-for
 // result — more resources (a larger budget) or a different input (a smaller
 // delay function) is needed, not a retry of the same request.
+//
+// ErrStorage lands on 507: the server's durable layer (job manifest or
+// checkpoint journal) refused a write — ENOSPC, a torn write, a failing
+// fsync. Unlike 429 nothing useful comes from an immediate retry of the same
+// request; unlike 500 the analysis code is healthy — the operator must fix
+// the disk. The machine-readable body code is "storage" in every case.
 func HTTPStatus(err error) int {
 	switch {
 	case err == nil:
@@ -34,6 +41,8 @@ func HTTPStatus(err error) int {
 		return http.StatusUnprocessableEntity
 	case errors.Is(err, ErrCanceled):
 		return http.StatusGatewayTimeout
+	case errors.Is(err, ErrStorage):
+		return http.StatusInsufficientStorage
 	default:
 		return http.StatusInternalServerError
 	}

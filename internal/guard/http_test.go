@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"syscall"
 	"testing"
 )
 
@@ -31,6 +32,19 @@ func TestHTTPStatusMatrix(t *testing.T) {
 		{"panic-wrapped", fmt.Errorf("rung: %w: boom", ErrPanic), http.StatusInternalServerError},
 		{"plain", errors.New("disk on fire"), http.StatusInternalServerError},
 		{"double-wrapped", fmt.Errorf("outer: %w", Overloadf("inner")), http.StatusTooManyRequests},
+		// Durable-storage failures: 507 Insufficient Storage, wrapped exactly
+		// the way the journal and job store produce them — an OS-level disk
+		// error (ENOSPC from a full disk, EIO from a failed fsync) inside
+		// Storagef. The disk cause must stay reachable through the wrap.
+		{"storage", ErrStorage, http.StatusInsufficientStorage},
+		{"storage-enospc", Storagef(syscall.ENOSPC, "journal: appending %q", "pt-3"), http.StatusInsufficientStorage},
+		{"storage-fsync-eio", Storagef(syscall.EIO, "journal: syncing after %q", "pt-3"), http.StatusInsufficientStorage},
+		{"storage-rewrapped", fmt.Errorf("server: opening job manifest: %w", Storagef(syscall.ENOSPC, "journal: reading x")), http.StatusInsufficientStorage},
+		// A checkpoint journal whose meta fingerprint names a different
+		// campaign is the client's mistake (wrong journal name), not a disk
+		// failure: invalid input, 400 — on live submissions and on startup
+		// recovery alike.
+		{"foreign-journal-fingerprint", Invalidf("campaign: journal belongs to a different campaign (params changed?)"), http.StatusBadRequest},
 	}
 	for _, c := range cases {
 		if got := HTTPStatus(c.err); got != c.want {

@@ -15,6 +15,16 @@
 // shortest-roundtrip precision, so a value replayed from the journal is
 // bit-identical to the value that was computed — the property the
 // kill-and-resume tests assert end to end.
+//
+// Durability is configurable per journal (Options.SyncEvery): fsync after
+// every record for write-ahead logs whose records must survive the ack (the
+// server's job manifest), every N records to amortize, or only on
+// checkpoint/Close (the default — right for sweep journals whose loss costs
+// recomputation, not correctness). All file I/O goes through an
+// fsfault.FS seam, so the crash-safety tests can inject ENOSPC, torn writes,
+// bit flips and fsync failures deterministically; every injected fault either
+// recovers at the next Open (tail truncation) or surfaces as a typed
+// guard.ErrStorage error — never silent corruption.
 package journal
 
 import (
@@ -30,11 +40,13 @@ import (
 	"strings"
 	"sync"
 
+	"fnpr/internal/fsfault"
+	"fnpr/internal/guard"
 	"fnpr/internal/obs"
 )
 
 // Journal traffic is orders of magnitude rarer than kernel queries (one
-// append per completed grid point), so its counters report unconditionally
+// append per completed unit of work), so its counters report unconditionally
 // into the process-global registry: journal.appends, journal.syncs,
 // journal.records_replayed and journal.truncations (torn-tail recoveries).
 
@@ -56,33 +68,55 @@ type Record struct {
 	Data json.RawMessage `json:"v"`
 }
 
+// Options configures a journal's durability and its filesystem.
+type Options struct {
+	// SyncEvery selects the sync policy: 0 (the default) syncs only on
+	// Sync/Close — the checkpoint callback's cadence; 1 fsyncs after every
+	// Append (write-ahead-log semantics: when Append returns, the record
+	// survives a power loss); N > 1 fsyncs every Nth record.
+	SyncEvery int
+	// FS is the filesystem the journal reads and writes through; nil means
+	// the real OS. Tests inject disk faults here (fsfault.Injector).
+	FS fsfault.FS
+}
+
 // Journal is an open, append-position journal. Append is safe for concurrent
 // use by sweep workers.
 type Journal struct {
-	mu   sync.Mutex
-	f    *os.File
-	path string
+	mu       sync.Mutex
+	f        fsfault.File
+	path     string
+	every    int
+	unsynced int
 }
 
-// Open opens (or creates) the journal at path, replays the valid records and
-// returns the journal positioned for appends. A corrupted or torn tail is
-// truncated: the valid prefix is rewritten to a temp file in the same
-// directory and atomically renamed over the journal, so the file on disk is
-// always a fully valid journal. Dropped trailing bytes are reported via the
-// second return's len difference only — recovery is silent by design; callers
-// who care compare record counts across runs.
+// Open opens (or creates) the journal at path with default options: sync on
+// checkpoint/Close, the real filesystem. See OpenWith.
 func Open(path string) (*Journal, []Record, error) {
-	raw, err := os.ReadFile(path)
+	return OpenWith(path, Options{})
+}
+
+// OpenWith opens (or creates) the journal at path, replays the valid records
+// and returns the journal positioned for appends. A corrupted or torn tail —
+// whether from a crash mid-write or a flipped bit — is truncated: the valid
+// prefix is rewritten to a temp file in the same directory and atomically
+// renamed over the journal, so the file on disk is always a fully valid
+// journal. Dropped trailing bytes are reported via journal.truncations only —
+// recovery is silent by design; callers who care compare record counts across
+// runs.
+func OpenWith(path string, opts Options) (*Journal, []Record, error) {
+	fs := fsfault.Real(opts.FS)
+	raw, err := fs.ReadFile(path)
 	switch {
 	case errors.Is(err, os.ErrNotExist):
-		return create(path)
+		return create(path, opts)
 	case err != nil:
-		return nil, nil, fmt.Errorf("journal: reading %s: %w", path, err)
+		return nil, nil, guard.Storagef(err, "journal: reading %s", path)
 	}
 	if len(raw) == 0 {
 		// Created but never written (e.g. crash between create and the
 		// header write): re-initialise in place.
-		return create(path)
+		return create(path, opts)
 	}
 	recs, validLen, err := scan(raw)
 	if err != nil {
@@ -91,34 +125,35 @@ func Open(path string) (*Journal, []Record, error) {
 	obs.Default().Counter("journal.records_replayed").Add(int64(len(recs)))
 	if validLen < len(raw) {
 		obs.Default().Counter("journal.truncations").Inc()
-		if err := rewrite(path, raw[:validLen]); err != nil {
+		if err := rewrite(fs, path, raw[:validLen]); err != nil {
 			return nil, nil, err
 		}
 	}
-	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	f, err := fs.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
-		return nil, nil, fmt.Errorf("journal: reopening %s: %w", path, err)
+		return nil, nil, guard.Storagef(err, "journal: reopening %s", path)
 	}
-	return &Journal{f: f, path: path}, recs, nil
+	return &Journal{f: f, path: path, every: opts.SyncEvery}, recs, nil
 }
 
 // create initialises a fresh journal file with just the header.
-func create(path string) (*Journal, []Record, error) {
-	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+func create(path string, opts Options) (*Journal, []Record, error) {
+	fs := fsfault.Real(opts.FS)
+	f, err := fs.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
-		return nil, nil, fmt.Errorf("journal: creating %s: %w", path, err)
+		return nil, nil, guard.Storagef(err, "journal: creating %s", path)
 	}
-	if _, err := f.WriteString(header + "\n"); err != nil {
+	if _, err := io.WriteString(f, header+"\n"); err != nil {
 		f.Close()
-		return nil, nil, fmt.Errorf("journal: writing header: %w", err)
+		return nil, nil, guard.Storagef(err, "journal: writing header of %s", path)
 	}
-	return &Journal{f: f, path: path}, nil, nil
+	return &Journal{f: f, path: path, every: opts.SyncEvery}, nil, nil
 }
 
 // scan parses raw journal bytes, returning the replayed records and the byte
 // length of the valid prefix. Parsing stops (without error) at the first
 // malformed or checksum-failing line — that and everything after it is the
-// torn tail.
+// torn (or corrupted) tail.
 func scan(raw []byte) ([]Record, int, error) {
 	rd := bufio.NewReader(bytes.NewReader(raw))
 	first, err := rd.ReadString('\n')
@@ -173,26 +208,26 @@ func parseLine(line string) (Record, bool) {
 // rewrite atomically replaces path with the given valid prefix: write-temp in
 // the same directory, fsync, rename over, fsync the directory. This is the
 // only mutation ever applied to existing journal bytes.
-func rewrite(path string, valid []byte) error {
+func rewrite(fs fsfault.FS, path string, valid []byte) error {
 	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".recover-*")
+	tmp, err := fs.CreateTemp(dir, filepath.Base(path)+".recover-*")
 	if err != nil {
-		return fmt.Errorf("journal: recovery temp file: %w", err)
+		return guard.Storagef(err, "journal: recovery temp file")
 	}
-	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	defer fs.Remove(tmp.Name()) // no-op after a successful rename
 	if _, err := tmp.Write(valid); err != nil {
 		tmp.Close()
-		return fmt.Errorf("journal: writing recovery file: %w", err)
+		return guard.Storagef(err, "journal: writing recovery file")
 	}
 	if err := tmp.Sync(); err != nil {
 		tmp.Close()
-		return fmt.Errorf("journal: syncing recovery file: %w", err)
+		return guard.Storagef(err, "journal: syncing recovery file")
 	}
 	if err := tmp.Close(); err != nil {
-		return fmt.Errorf("journal: closing recovery file: %w", err)
+		return guard.Storagef(err, "journal: closing recovery file")
 	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
-		return fmt.Errorf("journal: installing recovered journal: %w", err)
+	if err := fs.Rename(tmp.Name(), path); err != nil {
+		return guard.Storagef(err, "journal: installing recovered journal")
 	}
 	if d, err := os.Open(dir); err == nil {
 		d.Sync()
@@ -203,7 +238,10 @@ func rewrite(path string, valid []byte) error {
 
 // Append marshals v and appends one checksummed record. The line is written
 // with a single Write call; on a crash mid-write the torn tail is dropped at
-// the next Open.
+// the next Open. Under a SyncEvery policy the record (and everything before
+// it) is additionally fsynced per the policy before Append returns; any write
+// or sync failure surfaces as a typed guard.ErrStorage error, and the bytes
+// on disk remain a valid journal prefix for the next Open to salvage.
 func (j *Journal) Append(key string, v any) error {
 	data, err := json.Marshal(v)
 	if err != nil {
@@ -219,10 +257,18 @@ func (j *Journal) Append(key string, v any) error {
 	if j.f == nil {
 		return fmt.Errorf("journal: %s is closed", j.path)
 	}
-	if _, err := j.f.WriteString(line); err != nil {
-		return fmt.Errorf("journal: appending %q: %w", key, err)
+	if _, err := io.WriteString(j.f, line); err != nil {
+		return guard.Storagef(err, "journal: appending %q", key)
 	}
 	obs.Default().Counter("journal.appends").Inc()
+	if j.every > 0 {
+		j.unsynced++
+		if j.unsynced >= j.every {
+			if err := j.syncLocked(); err != nil {
+				return guard.Storagef(err, "journal: syncing after %q", key)
+			}
+		}
+	}
 	return nil
 }
 
@@ -235,7 +281,16 @@ func (j *Journal) Sync() error {
 	if j.f == nil {
 		return nil
 	}
+	if err := j.syncLocked(); err != nil {
+		return guard.Storagef(err, "journal: syncing %s", j.path)
+	}
+	return nil
+}
+
+// syncLocked fsyncs under j.mu and resets the per-policy record count.
+func (j *Journal) syncLocked() error {
 	obs.Default().Counter("journal.syncs").Inc()
+	j.unsynced = 0
 	return j.f.Sync()
 }
 
@@ -247,9 +302,12 @@ func (j *Journal) Close() error {
 	if j.f == nil {
 		return nil
 	}
-	err := j.f.Sync()
-	if cerr := j.f.Close(); err == nil {
-		err = cerr
+	var err error
+	if serr := j.f.Sync(); serr != nil {
+		err = guard.Storagef(serr, "journal: syncing %s at close", j.path)
+	}
+	if cerr := j.f.Close(); cerr != nil && err == nil {
+		err = guard.Storagef(cerr, "journal: closing %s", j.path)
 	}
 	j.f = nil
 	return err

@@ -1,12 +1,14 @@
 package server
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
 	"path/filepath"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -29,6 +31,7 @@ func (s *Server) routes() *http.ServeMux {
 	mux.Handle("POST /v1/analyzeset", s.instrument("analyzeset", s.handleAnalyzeSet))
 	mux.Handle("POST /v1/campaign/acceptance", s.instrument("campaign", s.handleCampaignAcceptance))
 	mux.Handle("POST /v1/campaign/montecarlo", s.instrument("campaign", s.handleCampaignMonteCarlo))
+	mux.Handle("GET /v1/jobs", s.instrument("jobs", s.handleJobs))
 	mux.Handle("GET /v1/jobs/{id}", s.instrument("jobs", s.handleJob))
 	mux.Handle("/debug/", obs.DebugMux(s.cfg.Registry))
 	return mux
@@ -58,6 +61,29 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 // input (400), catching typoed parameters instead of silently defaulting.
 func decodeJSON(r *http.Request, v any) error {
 	dec := json.NewDecoder(io.LimitReader(r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return guard.Invalidf("server: decoding request body: %v", err)
+	}
+	return nil
+}
+
+// readBody reads a bounded request body. Campaign handlers read the raw
+// bytes (rather than streaming into the decoder) because the submission body
+// is also the job's durable parameter record — recovery re-decodes the same
+// bytes through the same path.
+func readBody(r *http.Request) ([]byte, error) {
+	data, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+	if err != nil {
+		return nil, guard.Invalidf("server: reading request body: %v", err)
+	}
+	return data, nil
+}
+
+// decodeStrict is decodeJSON over raw bytes, shared by the live handlers and
+// startup recovery.
+func decodeStrict(data []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
 		return guard.Invalidf("server: decoding request body: %v", err)
@@ -281,16 +307,18 @@ type acceptanceRequest struct {
 	Resume  bool   `json:"resume,omitempty"`
 }
 
-func (s *Server) handleCampaignAcceptance(w http.ResponseWriter, r *http.Request) {
+// acceptanceFromJSON decodes a submission body (live request or persisted
+// manifest record) into validated acceptance parameters, plus the journal
+// name and resume flag the body asked for.
+func (s *Server) acceptanceFromJSON(body []byte) (eval.AcceptanceParams, string, bool, error) {
 	d := eval.DefaultAcceptanceParams()
 	req := acceptanceRequest{
 		Seed: d.Seed, SetsPerPoint: d.SetsPerPoint, Tasks: d.Tasks,
 		UStart: d.UStart, UEnd: d.UEnd, UStep: d.UStep,
 		DelayScale: d.DelayScale, QFraction: d.QFraction,
 	}
-	if err := decodeJSON(r, &req); err != nil {
-		s.fail(w, err)
-		return
+	if err := decodeStrict(body, &req); err != nil {
+		return eval.AcceptanceParams{}, "", false, err
 	}
 	p := eval.AcceptanceParams{
 		Seed: req.Seed, SetsPerPoint: req.SetsPerPoint, Tasks: req.Tasks,
@@ -299,15 +327,28 @@ func (s *Server) handleCampaignAcceptance(w http.ResponseWriter, r *http.Request
 		Workers: req.Workers, Obs: s.sc,
 	}
 	if err := p.Validate(); err != nil {
-		s.fail(w, err)
-		return
+		return eval.AcceptanceParams{}, "", false, err
 	}
-	journalPath, err := s.journalPath(req.Journal, req.Resume)
+	return p, req.Journal, req.Resume, nil
+}
+
+func (s *Server) handleCampaignAcceptance(w http.ResponseWriter, r *http.Request) {
+	body, err := readBody(r)
 	if err != nil {
 		s.fail(w, err)
 		return
 	}
-	s.submitCampaign(w, r, p, journalPath, req.Resume)
+	p, name, resume, err := s.acceptanceFromJSON(body)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	journalPath, err := s.journalPath(name, resume)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	s.submitCampaign(w, r, p, body, journalPath, resume)
 }
 
 // monteCarloRequest is the wire form of a Monte-Carlo campaign submission.
@@ -320,24 +361,38 @@ type monteCarloRequest struct {
 	Workers  int     `json:"workers,omitempty"`
 }
 
-func (s *Server) handleCampaignMonteCarlo(w http.ResponseWriter, r *http.Request) {
+// monteCarloFromJSON decodes a submission body (live request or persisted
+// manifest record) into validated Monte-Carlo parameters.
+func (s *Server) monteCarloFromJSON(body []byte) (eval.MonteCarloParams, error) {
 	d := eval.DefaultMonteCarloParams()
 	req := monteCarloRequest{
 		Seed: d.Seed, Trials: d.Trials, MaxTasks: d.MaxTasks, Horizon: d.Horizon,
 	}
-	if err := decodeJSON(r, &req); err != nil {
-		s.fail(w, err)
-		return
+	if err := decodeStrict(body, &req); err != nil {
+		return eval.MonteCarloParams{}, err
 	}
 	p := eval.MonteCarloParams{
 		Seed: req.Seed, Trials: req.Trials, MaxTasks: req.MaxTasks,
 		Horizon: req.Horizon, Workers: req.Workers, Obs: s.sc,
 	}
 	if err := p.Validate(); err != nil {
+		return eval.MonteCarloParams{}, err
+	}
+	return p, nil
+}
+
+func (s *Server) handleCampaignMonteCarlo(w http.ResponseWriter, r *http.Request) {
+	body, err := readBody(r)
+	if err != nil {
 		s.fail(w, err)
 		return
 	}
-	s.submitCampaign(w, r, p, "", false)
+	p, err := s.monteCarloFromJSON(body)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	s.submitCampaign(w, r, p, body, "", false)
 }
 
 // journalPath resolves and sanitizes a client-supplied journal name: a bare
@@ -361,8 +416,12 @@ func (s *Server) journalPath(name string, resume bool) (string, error) {
 }
 
 // submitCampaign builds the job, runs admission control and answers 202 with
-// the job's polling URL — or 429 immediately when the queue refuses it.
-func (s *Server) submitCampaign(w http.ResponseWriter, r *http.Request, camp eval.Campaign, journalPath string, resume bool) {
+// the job's polling URL — or 429 immediately when the queue refuses it. An
+// Idempotency-Key header that matches a previous submission with identical
+// result-determining parameters answers 200 with the existing job instead of
+// starting a duplicate (deduplicated: true), which is how clients safely
+// retry a submit whose ack they never saw (crash inside the ack window).
+func (s *Server) submitCampaign(w http.ResponseWriter, r *http.Request, camp eval.Campaign, body []byte, journalPath string, resume bool) {
 	timeout, budget, err := s.jobLimits(r)
 	if err != nil {
 		s.fail(w, err)
@@ -370,6 +429,9 @@ func (s *Server) submitCampaign(w http.ResponseWriter, r *http.Request, camp eva
 	}
 	j := &job{
 		kind: camp.Kind(), camp: camp,
+		fingerprint: camp.Fingerprint(),
+		idemKey:     r.Header.Get("Idempotency-Key"),
+		params:      json.RawMessage(body),
 		journalPath: journalPath, resume: resume,
 		timeout: timeout, budget: budget,
 	}
@@ -377,11 +439,40 @@ func (s *Server) submitCampaign(w http.ResponseWriter, r *http.Request, camp eva
 		s.fail(w, err)
 		return
 	}
+	if prev := j.existing; prev != nil {
+		writeJSON(w, http.StatusOK, map[string]any{
+			"id":           prev.id,
+			"kind":         prev.kind,
+			"status":       "/v1/jobs/" + prev.id,
+			"deduplicated": true,
+		})
+		return
+	}
 	writeJSON(w, http.StatusAccepted, map[string]any{
 		"id":     j.id,
 		"kind":   j.kind,
 		"status": "/v1/jobs/" + j.id,
 	})
+}
+
+// handleJobs lists every registered job (newest last) in summary form —
+// state, fingerprint, recovered-or-not, error code — without result
+// payloads; poll /v1/jobs/{id} for those. After a restart this is the
+// operator's view of what the store recovered.
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	views := make([]jobView, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		views = append(views, j.summary())
+	}
+	s.mu.Unlock()
+	sort.Slice(views, func(i, k int) bool {
+		if a, b := seqOf(views[i].ID), seqOf(views[k].ID); a != b {
+			return a < b
+		}
+		return views[i].ID < views[k].ID
+	})
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": views, "count": len(views)})
 }
 
 func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {

@@ -21,8 +21,9 @@ type blockerCampaign struct {
 
 var _ eval.Campaign = blockerCampaign{}
 
-func (b blockerCampaign) Kind() string    { return "blocker" }
-func (b blockerCampaign) Validate() error { return nil }
+func (b blockerCampaign) Kind() string        { return "blocker" }
+func (b blockerCampaign) Validate() error     { return nil }
+func (b blockerCampaign) Fingerprint() string { return "blocker" }
 func (b blockerCampaign) Run(g *guard.Ctx) (any, error) {
 	select {
 	case <-b.release:

@@ -29,12 +29,14 @@ import (
 	"net"
 	"net/http"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"fnpr/internal/delay"
 	"fnpr/internal/eval"
+	"fnpr/internal/fsfault"
 	"fnpr/internal/guard"
 	"fnpr/internal/journal"
 	"fnpr/internal/obs"
@@ -48,6 +50,8 @@ const (
 	DefaultCampaignBudget = 500_000_000
 	DefaultQueueCap       = 8
 	DefaultWorkers        = 2
+	DefaultJobTTL         = time.Hour
+	DefaultMaxJobs        = 1024
 )
 
 // Config configures the service. The zero value of every field selects a
@@ -81,6 +85,31 @@ type Config struct {
 	// checkpoint journal (resolved inside this directory) and resume from
 	// it. Empty disables journaled campaigns.
 	JournalDir string
+	// DataDir, when non-empty, enables the durable job store: every
+	// campaign submission and state transition is recorded in a WAL-style
+	// manifest under this directory (fsynced per record), acceptance jobs
+	// without a client-named journal get one assigned under
+	// DataDir/journals, and on startup the server re-registers finished
+	// jobs and auto-resumes interrupted ones from their checkpoints. Empty
+	// keeps the registry purely in-memory (pre-store behavior).
+	DataDir string
+	// SyncEvery is the campaign checkpoint journals' sync policy: 0 syncs
+	// on close only, 1 fsyncs every record, N every Nth record. The job
+	// manifest itself always fsyncs per record regardless. See
+	// cli.ParseSyncPolicy for the flag syntax.
+	SyncEvery int
+	// JobTTL bounds how long finished jobs stay in the registry before
+	// eviction (0 selects DefaultJobTTL; negative disables TTL eviction).
+	// MaxJobs caps the registry size, evicting the oldest finished jobs
+	// first (0 selects DefaultMaxJobs; negative disables the cap). Evicted
+	// jobs answer 404 and are tombstoned in the manifest so a restart does
+	// not resurrect them.
+	JobTTL  time.Duration
+	MaxJobs int
+	// FS, when non-nil, intercepts all job-store and checkpoint-journal
+	// file I/O — the disk-fault injection seam (internal/fsfault). Nil
+	// selects the real filesystem.
+	FS fsfault.FS
 	// Registry receives the server's metrics; nil means obs.Default().
 	Registry *obs.Registry
 	// WrapDelay, when non-nil, wraps every delay function built for
@@ -124,6 +153,12 @@ func (c Config) withDefaults() Config {
 	if c.AnalyzeConcurrency <= 0 {
 		c.AnalyzeConcurrency = 2 * runtime.GOMAXPROCS(0)
 	}
+	if c.JobTTL == 0 {
+		c.JobTTL = DefaultJobTTL
+	}
+	if c.MaxJobs == 0 {
+		c.MaxJobs = DefaultMaxJobs
+	}
 	return c
 }
 
@@ -142,12 +177,19 @@ type Server struct {
 	ready    atomic.Bool
 	draining atomic.Bool
 
-	// mu guards the job registry and the queue's closed flag (submit must
-	// never race close(queue)).
+	// mu guards the job registry, the idempotency index, the durable store
+	// handle and the queue's closed flag (submit must never race
+	// close(queue)).
 	mu      sync.Mutex
 	qclosed bool
 	jobs    map[string]*job
 	jobSeq  int64
+	// idem maps Idempotency-Key header values to job IDs so a retried
+	// submission (e.g. after a crash inside the ack window) returns the
+	// existing job instead of starting a duplicate campaign.
+	idem map[string]string
+	// store is the durable job manifest (nil without -data-dir).
+	store *store
 
 	queue      chan *job
 	workers    sync.WaitGroup
@@ -163,6 +205,7 @@ func New(cfg Config) *Server {
 		cfg:        cfg,
 		sc:         obs.NewScope(cfg.Registry),
 		jobs:       map[string]*job{},
+		idem:       map[string]string{},
 		queue:      make(chan *job, cfg.QueueCap),
 		analyzeSem: make(chan struct{}, cfg.AnalyzeConcurrency),
 	}
@@ -172,23 +215,31 @@ func New(cfg Config) *Server {
 	return s
 }
 
-// Start brings the service up in dependency order — metrics, worker pool,
-// then the listener, so the first accepted request finds everything behind
-// it running — and returns once the listener is bound. The server runs until
-// Shutdown or Close.
+// Start brings the service up in dependency order — metrics, durable job
+// store (recovering persisted jobs), worker pool, then the listener, so the
+// first accepted request finds everything behind it running and every
+// recovered job already registered — and returns once the listener is bound.
+// The server runs until Shutdown or Close.
 func (s *Server) Start() error {
 	obs.Enable()
 	s.sc.Gauge("server.queue.capacity").Set(float64(s.cfg.QueueCap))
 	s.sc.Gauge("server.workers").Set(float64(s.cfg.Workers))
+	if err := s.recoverStore(); err != nil {
+		return err
+	}
 	for i := 0; i < s.cfg.Workers; i++ {
 		s.workers.Add(1)
 		go s.worker()
 	}
 	ln, err := net.Listen("tcp", s.cfg.Addr)
 	if err != nil {
+		s.mu.Lock()
+		s.qclosed = true
+		s.mu.Unlock()
 		s.jobStop()
 		close(s.queue)
 		s.workers.Wait()
+		s.store.Close()
 		return fmt.Errorf("server: listen %s: %w", s.cfg.Addr, err)
 	}
 	s.ln = ln
@@ -244,11 +295,15 @@ func (s *Server) Shutdown() error {
 	if err := s.http.Shutdown(ctx); err != nil {
 		s.http.Close()
 		if !errors.Is(err, context.DeadlineExceeded) {
+			s.store.Close()
 			return err
 		}
 	}
 	s.jobStop()
-	return nil
+	// The workers are done, so every terminal transition has been recorded;
+	// close the manifest cleanly (it was fsynced per record all along —
+	// this only releases the descriptor).
+	return s.store.Close()
 }
 
 // Close aborts the service without draining: campaigns are canceled and the
@@ -265,13 +320,24 @@ func (s *Server) Close() error {
 	s.jobStop()
 	err := s.http.Close()
 	s.workers.Wait()
+	s.store.Close()
 	return err
 }
 
 // submit runs admission control for a campaign job: a draining server or a
 // full queue refuses immediately with guard.ErrOverload (HTTP 429 +
 // Retry-After) — the job is never started, so the client can simply retry.
-// On success the job has its ID and is queued.
+//
+// Admission order matters for durability: the queue-full check runs BEFORE
+// the manifest append so a rejected submission never pollutes the store, and
+// the manifest append runs BEFORE the enqueue so an acked job is on disk
+// first (durable-then-queue — a crash right after the append is recovered as
+// an interrupted job). The send after a successful length check cannot
+// block: every sender holds mu and the workers only drain.
+//
+// On success the job has its ID and is queued — or, when an Idempotency-Key
+// matched a previous submission with the same fingerprint, j.existing points
+// at that job and nothing new was started.
 func (s *Server) submit(j *job) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -279,19 +345,95 @@ func (s *Server) submit(j *job) error {
 		s.sc.Counter("server.shed").Inc()
 		return guard.Overloadf("server: draining, not admitting campaigns")
 	}
+	if j.idemKey != "" {
+		if id, ok := s.idem[j.idemKey]; ok {
+			prev, ok := s.jobs[id]
+			if ok && j.fingerprint != "" && prev.fingerprint != j.fingerprint {
+				return guard.Invalidf("server: Idempotency-Key already used by job %s with different parameters", id)
+			}
+			if ok {
+				s.sc.Counter("server.jobs.deduplicated").Inc()
+				j.existing = prev
+				return nil
+			}
+		}
+	}
+	if len(s.queue) == cap(s.queue) {
+		s.sc.Counter("server.rejected").Inc()
+		return guard.Overloadf("server: campaign queue full (%d queued)", s.cfg.QueueCap)
+	}
+	s.evictLocked(time.Now())
 	s.jobSeq++
 	j.id = fmt.Sprintf("job-%06d", s.jobSeq)
 	j.done = make(chan struct{})
 	j.state = jobQueued
-	select {
-	case s.queue <- j:
-		s.jobs[j.id] = j
-		s.sc.Counter("server.admitted").Inc()
-		s.sc.Gauge("server.queue.depth").Add(1)
-		return nil
-	default:
-		s.sc.Counter("server.rejected").Inc()
-		return guard.Overloadf("server: campaign queue full (%d queued)", s.cfg.QueueCap)
+	if s.store != nil && j.journalPath == "" && j.kind == "acceptance" {
+		// Auto-assign a checkpoint journal under the data dir so every
+		// durable acceptance job can resume after a crash even when the
+		// client named none.
+		j.journalPath = s.store.journalPath(j.id)
+	}
+	if s.store != nil {
+		if err := s.store.record(j.rec()); err != nil {
+			s.sc.Counter("server.store.errors").Inc()
+			return err
+		}
+	}
+	s.queue <- j
+	s.jobs[j.id] = j
+	if j.idemKey != "" {
+		s.idem[j.idemKey] = j.id
+	}
+	s.sc.Counter("server.admitted").Inc()
+	s.sc.Gauge("server.queue.depth").Add(1)
+	return nil
+}
+
+// evictLocked trims the job registry under mu: finished jobs older than
+// JobTTL go first, then — if the registry is still at MaxJobs — the oldest
+// finished jobs until it is below the cap. Running and queued jobs are never
+// evicted. Each eviction tombstones the manifest so a restart does not
+// resurrect the job.
+func (s *Server) evictLocked(now time.Time) {
+	if s.cfg.JobTTL < 0 && s.cfg.MaxJobs < 0 {
+		return
+	}
+	type cand struct {
+		j   *job
+		fin time.Time
+	}
+	var finished []cand
+	for _, j := range s.jobs {
+		if done, fin := j.terminal(); done {
+			finished = append(finished, cand{j, fin})
+		}
+	}
+	sort.Slice(finished, func(i, k int) bool { return finished[i].fin.Before(finished[k].fin) })
+	evict := func(c cand) {
+		delete(s.jobs, c.j.id)
+		if c.j.idemKey != "" && s.idem[c.j.idemKey] == c.j.id {
+			delete(s.idem, c.j.idemKey)
+		}
+		s.sc.Counter("server.jobs.evicted").Inc()
+		if s.store != nil {
+			if err := s.store.record(jobRecord{
+				ID: c.j.id, Kind: c.j.kind, State: jobEvicted, Fingerprint: c.j.fingerprint,
+			}); err != nil {
+				s.sc.Counter("server.store.errors").Inc()
+			}
+		}
+	}
+	i := 0
+	if s.cfg.JobTTL > 0 {
+		for ; i < len(finished) && now.Sub(finished[i].fin) > s.cfg.JobTTL; i++ {
+			evict(finished[i])
+		}
+	}
+	if s.cfg.MaxJobs > 0 {
+		// +1: make room for the job being admitted.
+		for ; i < len(finished) && len(s.jobs)+1 > s.cfg.MaxJobs; i++ {
+			evict(finished[i])
+		}
 	}
 }
 
@@ -315,12 +457,16 @@ func (s *Server) worker() {
 // runJob executes one campaign under its own guard scope (derived from the
 // server's job context so a forced stop cancels it), with panic isolation
 // via guard.Run and, for journaled acceptance campaigns, the checkpoint
-// journal opened for the duration of the run.
+// journal opened for the duration of the run. With a durable store the
+// running and terminal transitions are appended to the manifest; a persist
+// failure is counted (server.store.errors), never silent, and does not take
+// the in-memory job down with it.
 func (s *Server) runJob(j *job) {
 	running := s.sc.Gauge("server.jobs.running")
 	running.Add(1)
 	defer running.Add(-1)
 	j.setState(jobRunning)
+	s.persist(j)
 
 	ctx, cancel := context.WithCancel(s.jobCtx)
 	defer cancel()
@@ -331,9 +477,11 @@ func (s *Server) runJob(j *job) {
 	if j.journalPath != "" {
 		var err error
 		var resume map[string]json.RawMessage
-		jr, resume, err = openJobJournal(j.journalPath, j.resume)
+		jr, resume, err = openJobJournal(j.journalPath, j.resume,
+			journal.Options{SyncEvery: s.cfg.SyncEvery, FS: s.cfg.FS})
 		if err != nil {
 			j.finish(nil, err)
+			s.persist(j)
 			return
 		}
 		if ap, ok := camp.(eval.AcceptanceParams); ok {
@@ -354,4 +502,17 @@ func (s *Server) runJob(j *job) {
 		s.sc.Counter("server.panics_recovered").Inc()
 	}
 	j.finish(sanitizeResult(res), err)
+	s.persist(j)
+}
+
+// persist appends the job's current state to the manifest (no-op without a
+// store). Failures increment server.store.errors; the in-memory job stays
+// authoritative for this process's lifetime.
+func (s *Server) persist(j *job) {
+	if s.store == nil {
+		return
+	}
+	if err := s.store.record(j.rec()); err != nil {
+		s.sc.Counter("server.store.errors").Inc()
+	}
 }

@@ -237,6 +237,55 @@ func TestCampaignJobs(t *testing.T) {
 	}
 }
 
+// TestJobsListing pins GET /v1/jobs on an ordinary (non-durable) server:
+// every submitted job appears in ID order with state, kind and fingerprint,
+// no result payloads, and no recovery provenance (nothing was recovered).
+func TestJobsListing(t *testing.T) {
+	_, base := newTestServer(t, nil)
+	var ids []string
+	for i := 0; i < 2; i++ {
+		st, _, v := doJSON(t, "POST", base+"/v1/campaign/montecarlo", map[string]any{
+			"trials": 20, "max_tasks": 3, "horizon": 200,
+		})
+		if st != http.StatusAccepted {
+			t.Fatalf("submit %d: %d %v", i, st, v)
+		}
+		ids = append(ids, v["id"].(string))
+	}
+	for _, id := range ids {
+		waitJob(t, base, id)
+	}
+	st, _, list := doJSON(t, "GET", base+"/v1/jobs", nil)
+	if st != http.StatusOK || list["count"] != float64(2) {
+		t.Fatalf("listing: %d %v", st, list)
+	}
+	jobs := list["jobs"].([]any)
+	for i, raw := range jobs {
+		e := raw.(map[string]any)
+		if e["id"] != ids[i] {
+			t.Fatalf("listing order: entry %d is %v, want %s", i, e["id"], ids[i])
+		}
+		if e["state"] != "done" || e["kind"] != "montecarlo" {
+			t.Fatalf("listing entry: %v", e)
+		}
+		if fp, _ := e["fingerprint"].(string); len(fp) != 32 {
+			t.Fatalf("listing fingerprint: %v", e["fingerprint"])
+		}
+		if _, ok := e["result"]; ok {
+			t.Fatalf("listing carries result payload: %v", e)
+		}
+		if _, ok := e["recovered"]; ok {
+			t.Fatalf("non-recovered job marked recovered: %v", e)
+		}
+	}
+	// Both campaigns had identical parameters: identical fingerprints.
+	a := jobs[0].(map[string]any)["fingerprint"]
+	b := jobs[1].(map[string]any)["fingerprint"]
+	if a != b {
+		t.Fatalf("equal campaigns, different fingerprints: %v vs %v", a, b)
+	}
+}
+
 func TestDebugMuxMounted(t *testing.T) {
 	_, base := newTestServer(t, nil)
 	resp, err := http.Get(base + "/debug/vars")
