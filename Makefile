@@ -7,7 +7,7 @@ GO ?= go
 BENCH_OUT ?= bench.out
 BENCH_JSON ?= BENCH_PR3.json
 
-.PHONY: build test check race vet lint-api bench bench-smoke bench-pr5 bench-regress figures
+.PHONY: build test check race vet lint-api bench bench-smoke bench-pr5 bench-pr8 bench-regress bench-regress-pr8 figures
 
 build:
 	$(GO) build ./...
@@ -53,6 +53,25 @@ bench-pr5:
 	$(GO) test . -run '^$$' -bench 'AcceptanceCampaign|SimTrial' -benchmem > bench_pr5.out
 	$(GO) run ./cmd/benchjson -in bench_pr5.out -out BENCH_PR5.json
 	@echo "wrote BENCH_PR5.json"
+
+# bench-pr8 captures the result-cache layer: the memoized Figure 5 kernel
+# sweep (cache=cold populates a fresh cache, cache=warm answers the whole
+# sweep by lookup — the repeated-sweep speedup) and the incremental task-set
+# re-analysis after a single-task edit (mode=full vs mode=incremental; the
+# recomputed_frac metric records the fraction of terms that had to recompute,
+# <0.5 by design). The report is gated by tools/benchregress like the others.
+bench-pr8:
+	$(GO) test . -run '^$$' -bench 'MemoSweep|AnalyzeSetEdit' -benchmem > bench_pr8.out
+	$(GO) run ./cmd/benchjson -in bench_pr8.out -out BENCH_PR8.json
+	@echo "wrote BENCH_PR8.json"
+
+# bench-regress-pr8 is bench-regress for the result-cache layer: rerun the
+# memoized-sweep and incremental-AnalyzeSet benchmarks and compare against
+# the checked-in BENCH_PR8.json baseline (machine-speed normalised).
+bench-regress-pr8:
+	$(GO) test . -run '^$$' -bench 'MemoSweep|AnalyzeSetEdit' -benchtime 300ms -benchmem > bench_pr8_current.out
+	$(GO) run ./cmd/benchjson -in bench_pr8_current.out -out bench_pr8_current.json
+	$(GO) run ./tools/benchregress -baseline BENCH_PR8.json -current bench_pr8_current.json -tolerance 0.30
 
 # bench-regress is the CI tripwire: rerun the analysis-kernel benchmarks,
 # render a fresh report to bench_current.json (NOT the checked-in baseline

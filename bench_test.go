@@ -25,6 +25,7 @@ import (
 	"fnpr/internal/delay"
 	"fnpr/internal/eval"
 	"fnpr/internal/fixednpr"
+	"fnpr/internal/memo"
 	"fnpr/internal/npr"
 	"fnpr/internal/sched"
 	"fnpr/internal/sim"
@@ -677,5 +678,139 @@ func BenchmarkEDFTests(b *testing.B) {
 				b.Fatal(err)
 			}
 		}
+	})
+}
+
+// BenchmarkMemoSweep measures the content-addressed result cache on the
+// Figure 5 kernel workload: Algorithm 1 over the default Q grid on the three
+// calibrated benchmark functions (indexed, 4096 pieces). cache=off is the
+// uncached reference, cache=cold populates a fresh cache every iteration
+// (the per-sweep overhead of memoization), and cache=warm repeats the sweep
+// against a prepopulated cache so every query is answered by lookup. The
+// cache=cold/cache=warm pair feeds the speedup table of BENCH_PR8.json —
+// the repeated-sweep payoff the -cache flag buys.
+func BenchmarkMemoSweep(b *testing.B) {
+	const n = 4096
+	byName, err := delay.CalibratedParams().BenchmarksAt(n)
+	if err != nil {
+		b.Fatal(err)
+	}
+	names := delay.BenchmarkOrder()
+	fns := make([]delay.Function, len(names))
+	for i, nm := range names {
+		p, ok := byName[nm]
+		if !ok {
+			b.Fatalf("missing benchmark function %q", nm)
+		}
+		fns[i] = delay.NewIndexed(p)
+	}
+	qs := eval.DefaultQGrid()
+	sweep := func(b *testing.B, c *memo.Cache) {
+		b.Helper()
+		for _, f := range fns {
+			for _, q := range qs {
+				if _, err := core.Analyze(nil, f, q, core.Options{Memo: c}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	b.Run("cache=off", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sweep(b, nil)
+		}
+	})
+	b.Run("cache=cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sweep(b, core.NewResultCache(memo.Options{}))
+		}
+	})
+	b.Run("cache=warm", func(b *testing.B) {
+		c := core.NewResultCache(memo.Options{})
+		sweep(b, c) // prepopulate: every timed query hits
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			sweep(b, c)
+		}
+	})
+}
+
+// BenchmarkAnalyzeSetEdit measures the incremental task-set analysis: an
+// 8-task set is analyzed over a 10-point Q grid, then one task's delay
+// function is edited and the set re-analyzed. mode=full recomputes all 80
+// terms from scratch; mode=incremental re-analyzes against the cache warmed
+// by the previous run, so only the edited task's 10 terms recompute. Each
+// iteration uses a distinct mutant so the edited column can never self-cache
+// across iterations. The recomputed_frac metric (recomputed terms / total
+// terms, <0.5 required) and the mode=full/mode=incremental speedup feed
+// BENCH_PR8.json.
+func BenchmarkAnalyzeSetEdit(b *testing.B) {
+	const nTasks = 8
+	r := rand.New(rand.NewSource(20260808))
+	type curve struct{ xs, vs []float64 }
+	curves := make([]curve, nTasks)
+	ts := make(task.Set, nTasks)
+	base := make([]delay.Function, nTasks)
+	for i := range ts {
+		np := 300 + r.Intn(200)
+		xs := []float64{0}
+		vs := make([]float64, 0, np)
+		for k := 0; k < np; k++ {
+			xs = append(xs, xs[len(xs)-1]+0.5+r.Float64()*2)
+			vs = append(vs, r.Float64()*2)
+		}
+		p, err := delay.NewPiecewise(xs, vs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		curves[i] = curve{xs: xs, vs: vs}
+		ts[i] = task.Task{Name: fmt.Sprintf("t%d", i), C: p.Domain(), T: 10000}
+		base[i] = p
+	}
+	qs := []float64{3, 4, 5, 6, 7, 8, 9, 10, 12, 15}
+	// mutant returns the function slice with task 0's curve perturbed by an
+	// iteration-unique amount — a fresh fingerprint every time.
+	mutant := func(i int) []delay.Function {
+		fns := append([]delay.Function(nil), base...)
+		vs := append([]float64(nil), curves[0].vs...)
+		vs[0] += float64(i+1) * 1e-9
+		p, err := delay.NewPiecewise(curves[0].xs, vs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		fns[0] = p
+		return fns
+	}
+	b.Run("mode=full", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := eval.AnalyzeSet(nil, ts, mutant(i), eval.SweepOptions{Qs: qs}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("mode=incremental", func(b *testing.B) {
+		c := core.NewResultCache(memo.Options{})
+		if _, err := eval.AnalyzeSet(nil, ts, base, eval.SweepOptions{Qs: qs, Memo: c}); err != nil {
+			b.Fatal(err)
+		}
+		var recomputed, total int
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := eval.AnalyzeSet(nil, ts, mutant(i), eval.SweepOptions{Qs: qs, Memo: c})
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, sr := range res {
+				for _, pt := range sr.Points {
+					if pt.Done {
+						total++
+						if !pt.Cached {
+							recomputed++
+						}
+					}
+				}
+			}
+		}
+		b.ReportMetric(float64(recomputed)/float64(total), "recomputed_frac")
 	})
 }

@@ -341,3 +341,93 @@ func TestJournalResumeByteIdentical(t *testing.T) {
 		}
 	})
 }
+
+// TestResultCacheByteIdentical is the end-to-end contract for the -cache
+// flags: a cached Figure 5 sweep emits bytes identical to an uncached run,
+// the -cache-file snapshot written at exit warm-starts the next process, and
+// that warm run answers the whole sweep from the cache (memo.hits in the
+// metrics snapshot). Skipped with -short.
+func TestResultCacheByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end CLI runs skipped in -short mode")
+	}
+	tmp := t.TempDir()
+	bin := filepath.Join(tmp, "figures")
+	if out, err := exec.Command("go", "build", "-o", bin, "./cmd/figures").CombinedOutput(); err != nil {
+		t.Fatalf("building figures: %v\n%s", err, out)
+	}
+
+	run := func(t *testing.T, args ...string) string {
+		t.Helper()
+		cmd := exec.Command(bin, args...)
+		var stdout, stderr strings.Builder
+		cmd.Stdout = &stdout
+		cmd.Stderr = &stderr
+		if err := cmd.Run(); err != nil {
+			t.Fatalf("%v: %v\nstderr: %s", args, err, stderr.String())
+		}
+		return stdout.String()
+	}
+	counters := func(t *testing.T, path string) map[string]int64 {
+		t.Helper()
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var snap struct {
+			Counters map[string]int64 `json:"counters"`
+		}
+		if err := json.Unmarshal(raw, &snap); err != nil {
+			t.Fatalf("metrics snapshot does not parse: %v\n%s", err, raw)
+		}
+		return snap.Counters
+	}
+
+	dir := t.TempDir()
+	snapFile := filepath.Join(dir, "fig5.cache")
+	refCSV := filepath.Join(dir, "ref.csv")
+	coldCSV := filepath.Join(dir, "cold.csv")
+	warmCSV := filepath.Join(dir, "warm.csv")
+	coldMetrics := filepath.Join(dir, "cold.json")
+	warmMetrics := filepath.Join(dir, "warm.json")
+
+	// Reference run without any caching.
+	run(t, "-fig", "5", "-ascii=false", "-out", refCSV)
+	// Cold cached run: populates and persists the snapshot at exit.
+	run(t, "-fig", "5", "-ascii=false", "-out", coldCSV,
+		"-cache", "-cache-file", snapFile, "-metrics-out", coldMetrics)
+	// Warm run in a fresh process: loads the snapshot, answers from it.
+	run(t, "-fig", "5", "-ascii=false", "-out", warmCSV,
+		"-cache", "-cache-file", snapFile, "-metrics-out", warmMetrics)
+
+	ref, err := os.ReadFile(refCSV)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []string{coldCSV, warmCSV} {
+		got, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != string(ref) {
+			t.Errorf("%s differs from the uncached reference\nref:\n%s\ngot:\n%s",
+				filepath.Base(f), ref, got)
+		}
+	}
+
+	cold := counters(t, coldMetrics)
+	if cold["memo.misses"] == 0 {
+		t.Errorf("cold run recorded no cache misses: %v", cold)
+	}
+	warm := counters(t, warmMetrics)
+	if warm["memo.persist.loaded"] == 0 {
+		t.Errorf("warm run loaded nothing from the snapshot: %v", warm)
+	}
+	if warm["memo.hits"] == 0 {
+		t.Errorf("warm run recorded no cache hits: %v", warm)
+	}
+	if warm["memo.hits"] < cold["memo.misses"] {
+		t.Errorf("warm hits %d < cold misses %d; sweep not fully warm-started",
+			warm["memo.hits"], cold["memo.misses"])
+	}
+}

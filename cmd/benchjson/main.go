@@ -3,8 +3,9 @@
 // (ns/op, B/op, allocs/op and every b.ReportMetric custom unit, so headline
 // bound values ride along) plus before/after tables pairing each baseline
 // variant with its optimised twin — kernel=scan vs kernel=indexed,
-// mode=unpooled vs mode=pooled, workers=1 vs workers=8 — as an ns/op
-// speedup and, where -benchmem ran, an allocs/op reduction factor.
+// mode=unpooled vs mode=pooled, workers=1 vs workers=8, cache=cold vs
+// cache=warm, mode=full vs mode=incremental — as an ns/op speedup and,
+// where -benchmem ran, an allocs/op reduction factor.
 //
 // Usage:
 //
@@ -69,6 +70,8 @@ var pairs = []struct{ base, opt string }{
 	{"kernel=scan", "kernel=indexed"},
 	{"mode=unpooled", "mode=pooled"},
 	{"workers=1", "workers=8"},
+	{"cache=cold", "cache=warm"},
+	{"mode=full", "mode=incremental"},
 }
 
 var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)

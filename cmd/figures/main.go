@@ -43,6 +43,12 @@ func main() {
 	flag.Parse()
 	g := limits.Guard()
 
+	// The result cache (when -cache/-cache-file asked for one) flows into
+	// the sweeps through limits.SweepOptions; Exit persists it back.
+	if _, err := limits.OpenCache(); err != nil {
+		fatal(err)
+	}
+
 	p, err := pickParams(*params)
 	if err != nil {
 		fatal(err)

@@ -8,7 +8,12 @@
 //	      [-campaign-workers 2] [-analyze-concurrency N] [-journal-dir DIR]
 //	      [-data-dir DIR] [-sync close|always|N] [-job-ttl 1h] [-max-jobs 1024]
 //	      [-timeout 30s] [-max-iter N] [-metrics] [-metrics-out FILE]
-//	      [-debug-addr ADDR]
+//	      [-debug-addr ADDR] [-cache] [-cache-size N]
+//
+// -cache enables the content-addressed result cache: repeated /v1/analyze
+// requests for the same (function, Q, options) are answered from memory
+// (the response gains "cached": true), and /v1/analyzeset accepts
+// "delta": true to reuse per-task terms across edits. See DESIGN.md §14.
 //
 // The shared -timeout and -max-iter flags are reinterpreted as server-wide
 // caps: no request may run longer than -timeout wall-clock or charge more
@@ -65,6 +70,8 @@ func main() {
 		sync         = flag.String("sync", "close", "checkpoint-journal sync policy: close (on close only), always (every record), or every Nth record")
 		jobTTL       = flag.Duration("job-ttl", server.DefaultJobTTL, "how long finished jobs stay pollable before eviction (negative disables)")
 		maxJobs      = flag.Int("max-jobs", server.DefaultMaxJobs, "max jobs kept in the registry; oldest finished jobs are evicted first (negative disables)")
+		cache        = flag.Bool("cache", false, "enable the content-addressed result cache for /v1/analyze and delta-mode /v1/analyzeset")
+		cacheSize    = flag.Int("cache-size", 0, "result cache entry bound (0 = default; only with -cache)")
 	)
 	limits := cli.Flags()
 	flag.Parse()
@@ -74,6 +81,15 @@ func main() {
 	syncEvery, err := cli.ParseSyncPolicy(*sync)
 	if err != nil {
 		fatal(err)
+	}
+	cacheEntries := 0
+	if *cache {
+		cacheEntries = *cacheSize
+		if cacheEntries == 0 {
+			cacheEntries = -1 // memo default
+		}
+	} else if *cacheSize != 0 {
+		fatal(cli.Usagef("-cache-size requires -cache"))
 	}
 
 	srv := server.New(server.Config{
@@ -89,6 +105,7 @@ func main() {
 		SyncEvery:          syncEvery,
 		JobTTL:             *jobTTL,
 		MaxJobs:            *maxJobs,
+		CacheEntries:       cacheEntries,
 		Registry:           obs.Default(),
 	})
 	if err := srv.Start(); err != nil {

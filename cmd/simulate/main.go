@@ -139,6 +139,10 @@ func bounds(g *guard.Ctx, limits *cli.Limits) error {
 		defer j.Close()
 	}
 	cli.Checkpoint(g, j)
+	cache, err := limits.OpenCache()
+	if err != nil {
+		return err
+	}
 	r := rand.New(rand.NewSource(limits.Seed))
 	fmt.Println("Randomized FNPR runs: per-task observed worst delay vs Algorithm 1 bound")
 	fmt.Printf("%6s %-8s %10s %14s %14s %8s\n", "trial", "task", "Q", "observed", "bound", "sound")
@@ -176,7 +180,7 @@ func bounds(g *guard.Ctx, limits *cli.Limits) error {
 			return err
 		}
 		for i := range ts {
-			r, err := core.Analyze(g, fns[i], ts[i].Q, core.Options{})
+			r, err := core.Analyze(g, fns[i], ts[i].Q, core.Options{Memo: cache})
 			if err != nil {
 				return err
 			}

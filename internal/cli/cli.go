@@ -30,9 +30,11 @@ import (
 	"syscall"
 	"time"
 
+	"fnpr/internal/core"
 	"fnpr/internal/eval"
 	"fnpr/internal/guard"
 	"fnpr/internal/journal"
+	"fnpr/internal/memo"
 	"fnpr/internal/obs"
 )
 
@@ -141,6 +143,20 @@ type Limits struct {
 	// the default), "always" (fsync every record), or a positive integer N
 	// (fsync every Nth record).
 	Sync string
+
+	// Cache, CacheFile and CacheSize are the result-cache surface, also
+	// registered by SweepFlags: -cache enables the content-addressed
+	// result cache for the run, -cache-file additionally warms it from a
+	// previous run's snapshot and persists it back at exit (implies
+	// -cache), -cache-size bounds the entry count. Cached results are
+	// bit-identical to fresh computations (DESIGN.md §14).
+	Cache     bool
+	CacheFile string
+	CacheSize int
+
+	// cache is the handle OpenCache built; SweepOptions attaches it and
+	// Exit persists it to CacheFile.
+	cache *memo.Cache
 }
 
 // active is the Limits most recently registered by Flags; Exit consults it so
@@ -176,6 +192,9 @@ func (l *Limits) SweepFlags() *Limits {
 	flag.Int64Var(&l.Seed, "seed", 1, "random seed for synthetic task-set generation and retry jitter")
 	flag.IntVar(&l.Workers, "workers", 0, "worker pool size for sweeps and campaigns (0 = GOMAXPROCS); results do not depend on it")
 	flag.StringVar(&l.Sync, "sync", "close", "journal sync policy: close (fsync on checkpoint/close), always (fsync every record), or N (fsync every Nth record)")
+	flag.BoolVar(&l.Cache, "cache", false, "memoize analysis results content-addressed by (function, Q, options); bit-identical, repeated sweeps become lookups")
+	flag.StringVar(&l.CacheFile, "cache-file", "", "warm the result cache from this snapshot file and persist it back at exit (implies -cache)")
+	flag.IntVar(&l.CacheSize, "cache-size", 0, "result cache entry bound (0 = default, negative = unbounded)")
 	return l
 }
 
@@ -237,16 +256,51 @@ func (l *Limits) Guard() *guard.Ctx {
 
 // SweepOptions assembles the eval.SweepOptions the batch-runtime flags
 // describe: the seeded default retry policy, the journal and resume view from
-// OpenJournal, and the guard's observability scope. Callers fill Qs (and
-// anything else sweep-specific) on the returned value.
+// OpenJournal, the result cache from OpenCache, and the guard's observability
+// scope. Callers fill Qs (and anything else sweep-specific) on the returned
+// value.
 func (l *Limits) SweepOptions(g *guard.Ctx, j *journal.Journal, resume map[string]json.RawMessage) eval.SweepOptions {
 	return eval.SweepOptions{
 		Workers: l.Workers,
 		Retry:   eval.DefaultSweepRetry(l.Seed),
 		Journal: j,
 		Resume:  resume,
+		Memo:    l.cache,
 		Obs:     g.Obs(),
 	}
+}
+
+// OpenCache builds the result cache the cache flags describe — nil (and no
+// error) when caching was not requested — and warms it from -cache-file when
+// that snapshot exists. The handle flows into sweeps via SweepOptions, and
+// Exit persists it back to -cache-file on every exit path, so consecutive
+// runs of the same analysis warm-start each other.
+func (l *Limits) OpenCache() (*memo.Cache, error) {
+	if l == nil || (!l.Cache && l.CacheFile == "") {
+		return nil, nil
+	}
+	if l.cache != nil {
+		return l.cache, nil
+	}
+	c := core.NewResultCache(memo.Options{MaxEntries: l.CacheSize, Obs: obs.NewScope(nil)})
+	if l.CacheFile != "" {
+		if _, err := c.Warm(l.CacheFile, journal.Options{}); err != nil {
+			return nil, fmt.Errorf("warming result cache: %w", err)
+		}
+	}
+	l.cache = c
+	return c, nil
+}
+
+// saveCache persists the result cache to -cache-file; a no-op without both.
+func (l *Limits) saveCache() error {
+	if l == nil || l.cache == nil || l.CacheFile == "" {
+		return nil
+	}
+	if err := l.cache.Persist(l.CacheFile, journal.Options{}); err != nil {
+		return fmt.Errorf("persisting result cache: %w", err)
+	}
+	return nil
 }
 
 // DumpMetrics writes the process-global registry snapshot to the sinks the
@@ -330,6 +384,12 @@ func Code(err error) int {
 // Code(err). Success paths call Exit(prog, nil) so the snapshot covers clean
 // runs too.
 func Exit(prog string, err error) {
+	if cerr := active.saveCache(); cerr != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", prog, cerr)
+		if err == nil {
+			err = cerr
+		}
+	}
 	if merr := active.DumpMetrics(); merr != nil {
 		fmt.Fprintf(os.Stderr, "%s: %v\n", prog, merr)
 		if err == nil {

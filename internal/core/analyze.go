@@ -6,6 +6,7 @@ import (
 
 	"fnpr/internal/delay"
 	"fnpr/internal/guard"
+	"fnpr/internal/memo"
 	"fnpr/internal/obs"
 )
 
@@ -68,6 +69,13 @@ type Options struct {
 	// are catalogued in DESIGN.md §10.
 	Obs *obs.Scope
 
+	// Memo, when non-nil, caches results content-addressed by the canonical
+	// fingerprint of (f, q, options) — see memo.go and DESIGN.md §14. Only
+	// traceless calls on fingerprintable functions consult it; everything
+	// else computes as usual. Build the cache with NewResultCache so it can
+	// persist across runs.
+	Memo *memo.Cache
+
 	// buf, when non-nil with Trace set, receives the iteration records in
 	// place of a fresh slice — the Walker reuse hook.
 	buf *[]Iteration
@@ -85,7 +93,31 @@ type Options struct {
 // UpperBoundTraceCtx, StateOfTheArt*, NaivePointSelection* and
 // RemainingBound* variant ladders, which remain as thin deprecated wrappers
 // for one PR (see DESIGN.md §10 for the deprecation window).
+//
+// With Options.Memo set, traceless calls are answered from the
+// content-addressed result cache when the exact same (function, Q, options)
+// request was analyzed before; hits are bit-identical to a fresh computation
+// and marked Result.Cached. See memo.go.
 func Analyze(g *guard.Ctx, f delay.Function, q float64, opts Options) (Result, error) {
+	if opts.Memo != nil && !opts.Trace && opts.buf == nil {
+		if key, verify, ok := memoKeyFor(f, q, opts); ok {
+			if v, hit := opts.Memo.Get(key, verify); hit {
+				res := v.(Result)
+				res.Cached = true
+				return res, nil
+			}
+			res, err := analyze(g, f, q, opts)
+			if err == nil {
+				opts.Memo.Put(key, verify, res, memoResultSize)
+			}
+			return res, err
+		}
+	}
+	return analyze(g, f, q, opts)
+}
+
+// analyze is the uncached analysis dispatch behind Analyze.
+func analyze(g *guard.Ctx, f delay.Function, q float64, opts Options) (Result, error) {
 	sc := opts.Obs
 	if sc == nil {
 		sc = g.Obs()

@@ -87,6 +87,10 @@ type Result struct {
 	Iterations []Iteration
 	// Diverged reports whether the analysis hit a zero-progress window.
 	Diverged bool
+	// Cached reports that this result was answered from Options.Memo rather
+	// than computed. Runtime-only: excluded from every serialized form so
+	// journals and API responses are byte-identical cache-on vs cache-off.
+	Cached bool `json:"-"`
 }
 
 // EffectiveWCET returns C' = C + TotalDelay (Equation 5 of the paper); +Inf

@@ -1,0 +1,156 @@
+// Content-addressing for Analyze results: this file derives the cache key of
+// an analysis request and supplies the codec that lets internal/memo persist
+// Result values. The verify string is the full canonical identity — the
+// delay function's fingerprint (internal/delay fingerprint.go) concatenated
+// with the exact bit patterns of every option that can change the answer —
+// and the primary key is a 64-bit FNV-1a fold of it. memo.Cache compares the
+// verify string on every hit, so the fold only has to be fast, not
+// collision-free (see the forced-collision test in memo_diff_test.go).
+package core
+
+import (
+	"encoding/hex"
+	"encoding/json"
+	"math"
+	"strconv"
+
+	"fnpr/internal/delay"
+	"fnpr/internal/memo"
+)
+
+// memoResultSize is the byte estimate charged per cached Result: the struct
+// itself plus the interned verify string's share of the entry bookkeeping.
+const memoResultSize = 128
+
+// NewResultCache builds a memo.Cache wired with the Result codec, so cli and
+// server construct caches that can Persist/Warm without reaching into this
+// package's encoding.
+func NewResultCache(opts memo.Options) *memo.Cache {
+	opts.Codec = resultCodec
+	return memo.New(opts)
+}
+
+// memoKeyFor derives (primary key, verify string) for an Analyze request.
+// ok is false when the function has no canonical fingerprint (an ad-hoc
+// Function implementation) — such requests bypass the cache entirely.
+func memoKeyFor(f delay.Function, q float64, opts Options) (key uint64, verify string, ok bool) {
+	fp, err := delay.FingerprintOf(f)
+	if err != nil {
+		return 0, "", false
+	}
+	// The identity bytes: fingerprint, method, Q bits, then each refinement
+	// with a presence byte so (Limited, MaxPreemptions=0) never aliases
+	// (unlimited) and (Remaining, From=0) never aliases (whole-job).
+	b := make([]byte, 0, delay.FingerprintSize+32)
+	b = append(b, fp[:]...)
+	b = append(b, byte(opts.Method))
+	b = appendBits(b, math.Float64bits(q))
+	if opts.Limited {
+		b = append(b, 1)
+		b = appendBits(b, uint64(opts.MaxPreemptions))
+	} else {
+		b = append(b, 0)
+	}
+	if opts.Remaining {
+		b = append(b, 1)
+		b = appendBits(b, math.Float64bits(opts.From))
+	} else {
+		b = append(b, 0)
+	}
+	verify = hex.EncodeToString(b)
+	return memoPrimaryKey(verify), verify, true
+}
+
+// memoPrimaryKey folds a verify string to the cache's 64-bit primary key.
+// A package variable so the collision-safety test can pin it to a constant
+// and prove that two colliding requests still get their own results.
+var memoPrimaryKey = fnv64a
+
+// fnv64a is the 64-bit FNV-1a hash (inlined to keep the per-request cost at
+// one pass over the string with no hasher allocation).
+func fnv64a(s string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	return h
+}
+
+// appendBits appends v little-endian.
+func appendBits(b []byte, v uint64) []byte {
+	return append(b,
+		byte(v), byte(v>>8), byte(v>>16), byte(v>>24),
+		byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56))
+}
+
+// resultJSON is the persisted encoding of a Result. TotalDelay travels as a
+// JSON number for finite values and as the strings "NaN" / "+Inf" / "-Inf"
+// otherwise, exactly like eval's sweepPointJSON — a diverged bound is +Inf
+// and encoding/json rejects non-finite floats. Finite values use the
+// shortest-roundtrip form, so a warmed entry answers with the same bits the
+// original run computed. Traces are never cached (Analyze skips the cache
+// for traced calls), so Iterations has no encoding.
+type resultJSON struct {
+	TotalDelay  json.RawMessage `json:"total_delay"`
+	Preemptions int             `json:"preemptions"`
+	Diverged    bool            `json:"diverged,omitempty"`
+}
+
+// resultCodec is the memo.Codec for Result values.
+var resultCodec = &memo.Codec{
+	Name: "fnpr-core-result/1",
+	Encode: func(v any) (json.RawMessage, error) {
+		res := v.(Result)
+		var td json.RawMessage
+		switch {
+		case math.IsNaN(res.TotalDelay):
+			td = json.RawMessage(`"NaN"`)
+		case math.IsInf(res.TotalDelay, 1):
+			td = json.RawMessage(`"+Inf"`)
+		case math.IsInf(res.TotalDelay, -1):
+			td = json.RawMessage(`"-Inf"`)
+		default:
+			td = json.RawMessage(strconv.AppendFloat(nil, res.TotalDelay, 'g', -1, 64))
+		}
+		return json.Marshal(resultJSON{
+			TotalDelay:  td,
+			Preemptions: res.Preemptions,
+			Diverged:    res.Diverged,
+		})
+	},
+	Decode: func(data json.RawMessage) (any, int64, error) {
+		var enc resultJSON
+		if err := json.Unmarshal(data, &enc); err != nil {
+			return nil, 0, err
+		}
+		res := Result{Preemptions: enc.Preemptions, Diverged: enc.Diverged}
+		var s string
+		if err := json.Unmarshal(enc.TotalDelay, &s); err == nil {
+			switch s {
+			case "NaN":
+				res.TotalDelay = math.NaN()
+			case "+Inf":
+				res.TotalDelay = math.Inf(1)
+			case "-Inf":
+				res.TotalDelay = math.Inf(-1)
+			default:
+				return nil, 0, errUnknownSpecial(s)
+			}
+		} else if err := json.Unmarshal(enc.TotalDelay, &res.TotalDelay); err != nil {
+			return nil, 0, err
+		}
+		return res, memoResultSize, nil
+	},
+}
+
+// errUnknownSpecial rejects a non-finite marker the codec does not know.
+type errUnknownSpecial string
+
+func (e errUnknownSpecial) Error() string {
+	return "core: unknown non-finite total_delay marker " + strconv.Quote(string(e))
+}

@@ -1,0 +1,284 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"fnpr/internal/delay"
+	"fnpr/internal/memo"
+	"fnpr/internal/obs"
+)
+
+// This file is the differential battery locking down the result cache: tens
+// of thousands of random (function, Q, options) triples — including
+// ulp-adjacent Q neighbors and mixed indexed/scan kernels — replayed through
+// Analyze cache-on vs cache-off, every result compared at the bit level. The
+// cache is only allowed to change speed, never a single float bit.
+
+// diffTriple is one randomized analysis request.
+type diffTriple struct {
+	scan    *delay.Piecewise
+	indexed *delay.Indexed
+	useIdx  bool // which kernel the cached run sees
+	q       float64
+	opts    Options
+}
+
+// genTriples builds n random triples: functions of 1..64 pieces, Qs both
+// safely convergent and deliberately divergent plus single-ulp neighbors,
+// and an option mix over every cacheable mode.
+func genTriples(t *testing.T, rng *rand.Rand, n int) []diffTriple {
+	t.Helper()
+	var out []diffTriple
+	for len(out) < n {
+		np := 1 + rng.Intn(64)
+		xs := []float64{0}
+		vs := make([]float64, 0, np)
+		maxF := 0.0
+		for i := 0; i < np; i++ {
+			xs = append(xs, xs[len(xs)-1]+0.05+rng.Float64()*0.4)
+			v := rng.Float64() * 8
+			vs = append(vs, v)
+			if v > maxF {
+				maxF = v
+			}
+		}
+		p, err := delay.NewPiecewise(xs, vs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ix := delay.NewIndexed(p)
+		// A handful of Qs per function, each at several ulp offsets: the
+		// cache must treat math.Nextafter neighbors as distinct requests.
+		for k := 0; k < 5 && len(out) < n; k++ {
+			var q float64
+			if k == 4 {
+				q = maxF * (0.3 + 0.4*rng.Float64()) // divergent region
+				if q <= 0 {
+					q = 0.5
+				}
+			} else {
+				q = maxF + 0.5 + rng.Float64()*p.Domain()
+			}
+			for _, qq := range []float64{q, math.Nextafter(q, math.Inf(1)), math.Nextafter(q, 0)} {
+				if len(out) >= n {
+					break
+				}
+				opts := Options{}
+				switch rng.Intn(10) {
+				case 0, 1:
+					opts.Method = Equation4
+				case 2:
+					opts.Limited = true
+					opts.MaxPreemptions = rng.Intn(5)
+				case 3:
+					opts.Remaining = true
+					opts.From = rng.Float64() * p.Domain() * 0.99
+				}
+				out = append(out, diffTriple{
+					scan: p, indexed: ix, useIdx: rng.Intn(2) == 0,
+					q: qq, opts: opts,
+				})
+			}
+		}
+	}
+	return out
+}
+
+// bitEqual compares two results at the float-bit level (so +Inf vs +Inf and
+// -0 vs 0 are judged exactly, not by ==).
+func bitEqual(a, b Result) bool {
+	return math.Float64bits(a.TotalDelay) == math.Float64bits(b.TotalDelay) &&
+		a.Preemptions == b.Preemptions &&
+		a.Diverged == b.Diverged
+}
+
+// TestMemoDifferential is satellite 1: >= 10k random triples, each analyzed
+// cache-off and cache-on with bit-identical results, then the whole battery
+// replayed against the warm cache — every replay must hit (>= 99% required;
+// all triples are fingerprintable here so the bar is 100%) and still match.
+func TestMemoDifferential(t *testing.T) {
+	const n = 10_000
+	rng := rand.New(rand.NewSource(20260808))
+	triples := genTriples(t, rng, n)
+
+	rec := obs.NewTestRecorder()
+	cache := NewResultCache(memo.Options{MaxEntries: 2 * n, Obs: rec.Scope()})
+
+	run := func(tr diffTriple, c *memo.Cache) Result {
+		t.Helper()
+		var f delay.Function = tr.scan
+		if c != nil && tr.useIdx {
+			// The cached run sometimes sees the indexed kernel while the
+			// reference ran the scan: the fingerprint identifies the
+			// function, not the kernel, and the kernels are bit-identical.
+			f = tr.indexed
+		}
+		o := tr.opts
+		o.Memo = c
+		res, err := Analyze(nil, f, tr.q, o)
+		if err != nil {
+			t.Fatalf("Analyze(q=%v, opts=%+v): %v", tr.q, tr.opts, err)
+		}
+		return res
+	}
+
+	// Pass 1: populate, comparing against the uncached reference.
+	for i, tr := range triples {
+		want := run(tr, nil)
+		got := run(tr, cache)
+		if !bitEqual(want, got) {
+			t.Fatalf("triple %d: cache-on run diverged from reference\nwant %+v\ngot  %+v", i, want, got)
+		}
+	}
+	// Pass 2: replay. Every request was stored, so every one must hit and
+	// every result must still be bit-identical.
+	hitsBefore := rec.Counter("memo.hits")
+	for i, tr := range triples {
+		want := run(tr, nil)
+		got := run(tr, cache)
+		if !bitEqual(want, got) {
+			t.Fatalf("replay %d: cached result diverged\nwant %+v\ngot  %+v", i, want, got)
+		}
+		if !got.Cached {
+			t.Fatalf("replay %d: result not served from cache", i)
+		}
+	}
+	hits := rec.Counter("memo.hits") - hitsBefore
+	if frac := float64(hits) / float64(n); frac < 0.99 {
+		t.Fatalf("replay hit rate %.4f (%d/%d), want >= 0.99", frac, hits, n)
+	}
+	if got := rec.Counter("memo.collisions"); got != 0 {
+		// Not a correctness failure (collisions verify and recompute), but
+		// with 10k random requests on a 64-bit fold one would be astonishing
+		// and worth a look.
+		t.Errorf("unexpected primary-key collisions: %d", got)
+	}
+}
+
+// TestMemoCollisionSafety forces every request onto one primary key by
+// pinning the fold function, then proves the verify step returns each
+// request its own result — a collision costs a recompute, never a wrong
+// answer.
+func TestMemoCollisionSafety(t *testing.T) {
+	orig := memoPrimaryKey
+	memoPrimaryKey = func(string) uint64 { return 0xC011151099 }
+	defer func() { memoPrimaryKey = orig }()
+
+	f1, err := delay.NewPiecewise([]float64{0, 5, 10}, []float64{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := delay.NewPiecewise([]float64{0, 5, 10}, []float64{2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := obs.NewTestRecorder()
+	cache := NewResultCache(memo.Options{Obs: rec.Scope()})
+
+	want1, err := Analyze(nil, f1, 6, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want2, err := Analyze(nil, f2, 6, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bitEqual(want1, want2) {
+		t.Fatal("test functions chose indistinguishable results; pick better ones")
+	}
+	got1, err := Analyze(nil, f1, 6, Options{Memo: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got2, err := Analyze(nil, f2, 6, Options{Memo: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bitEqual(got1, want1) || got1.Cached {
+		t.Fatalf("first colliding request: %+v, want fresh %+v", got1, want1)
+	}
+	if !bitEqual(got2, want2) || got2.Cached {
+		t.Fatalf("second colliding request served a wrong or stale result: %+v, want %+v", got2, want2)
+	}
+	if got := rec.Counter("memo.collisions"); got < 1 {
+		t.Fatalf("memo.collisions = %d, want >= 1", got)
+	}
+	// Replaying request 2 hits now (last writer owns the slot); request 1
+	// collides again and recomputes — still correct.
+	re2, _ := Analyze(nil, f2, 6, Options{Memo: cache})
+	if !bitEqual(re2, want2) || !re2.Cached {
+		t.Fatalf("replay of slot owner: %+v", re2)
+	}
+	re1, _ := Analyze(nil, f1, 6, Options{Memo: cache})
+	if !bitEqual(re1, want1) || re1.Cached {
+		t.Fatalf("replay of evicted collider: %+v", re1)
+	}
+}
+
+// TestMemoBypasses pins the modes that must not consult the cache: traced
+// calls (their Iterations are not cached) and functions outside the
+// canonical families (no fingerprint, no key).
+func TestMemoBypasses(t *testing.T) {
+	p, err := delay.NewPiecewise([]float64{0, 10}, []float64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := obs.NewTestRecorder()
+	cache := NewResultCache(memo.Options{Obs: rec.Scope()})
+	res, err := Analyze(nil, p, 4, Options{Trace: true, Memo: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Iterations) == 0 {
+		t.Fatal("traced call lost its trace")
+	}
+	if cache.Len() != 0 {
+		t.Fatal("traced call populated the cache")
+	}
+	// Same request untraced twice: second is a hit and carries no trace.
+	if _, err := Analyze(nil, p, 4, Options{Memo: cache}); err != nil {
+		t.Fatal(err)
+	}
+	hit, err := Analyze(nil, p, 4, Options{Memo: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit.Cached || hit.Iterations != nil {
+		t.Fatalf("untraced replay: %+v", hit)
+	}
+	// And a traced call after the hit still computes a fresh trace.
+	traced, err := Analyze(nil, p, 4, Options{Trace: true, Memo: cache})
+	if err != nil || len(traced.Iterations) == 0 || traced.Cached {
+		t.Fatalf("traced call after warm cache: %+v, %v", traced, err)
+	}
+}
+
+// TestResultCodecRoundtrip proves the persistence codec is bit-exact,
+// including the non-finite encodings a diverged bound produces.
+func TestResultCodecRoundtrip(t *testing.T) {
+	cases := []Result{
+		{TotalDelay: 3.0000000000000004, Preemptions: 7},
+		{TotalDelay: math.Inf(1), Preemptions: 1, Diverged: true},
+		{TotalDelay: 0, Preemptions: 0},
+		{TotalDelay: math.Copysign(0, -1)},
+		{TotalDelay: 1e-308, Preemptions: 2},
+	}
+	for i, res := range cases {
+		data, err := resultCodec.Encode(res)
+		if err != nil {
+			t.Fatalf("case %d: encode: %v", i, err)
+		}
+		back, _, err := resultCodec.Decode(data)
+		if err != nil {
+			t.Fatalf("case %d: decode %s: %v", i, data, err)
+		}
+		if !bitEqual(res, back.(Result)) {
+			t.Fatalf("case %d: roundtrip %s changed %+v to %+v", i, data, res, back)
+		}
+	}
+	if _, _, err := resultCodec.Decode([]byte(`{"total_delay":"weird"}`)); err == nil {
+		t.Fatal("unknown non-finite marker decoded")
+	}
+}

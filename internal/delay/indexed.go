@@ -4,6 +4,7 @@ import (
 	"math"
 	"math/bits"
 	"os"
+	"sync"
 	"time"
 
 	"fnpr/internal/obs"
@@ -60,6 +61,12 @@ type Indexed struct {
 	// skip it; pieces above the threshold are re-checked with the exact
 	// scan test, keeping results bit-identical.
 	slack float64
+
+	// fp caches the canonical fingerprint (fingerprint.go), computed
+	// lazily: sweeps fingerprint the same shared Indexed once per grid
+	// point, and sync.Once keeps that safe and amortized.
+	fpOnce sync.Once
+	fp     Fingerprint
 }
 
 // NewIndexed builds the query index for p in O(n log n) time and memory

@@ -68,6 +68,27 @@ func AnalyzeSet(g *guard.Ctx, ts task.Set, fns []delay.Function, opts SweepOptio
 	for k := range res {
 		out[live[k]] = res[k]
 	}
+	// Account the incremental-recomputation split: with a result cache
+	// attached (SweepOptions.Memo), the terms whose (function, Q) identity
+	// is unchanged since an earlier run are reused and only the edited
+	// tasks' terms are recomputed. The counter pair is how the incremental
+	// tests — and a -metrics snapshot — see the split.
+	sc := opts.scope(g)
+	var reused, recomputed int64
+	for _, r := range res {
+		for _, pt := range r.Points {
+			if !pt.Done {
+				continue
+			}
+			if pt.Cached {
+				reused++
+			} else {
+				recomputed++
+			}
+		}
+	}
+	sc.Counter("sweep.analyzeset.reused").Add(reused)
+	sc.Counter("sweep.analyzeset.recomputed").Add(recomputed)
 	return out, err
 }
 

@@ -1,0 +1,168 @@
+package eval
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"fnpr/internal/core"
+	"fnpr/internal/delay"
+	"fnpr/internal/memo"
+	"fnpr/internal/obs"
+	"fnpr/internal/task"
+)
+
+// memoTestSet builds n tasks with random step delay functions whose domains
+// match their WCETs.
+func memoTestSet(t *testing.T, rng *rand.Rand, n int) (task.Set, []delay.Function) {
+	t.Helper()
+	ts := make(task.Set, n)
+	fns := make([]delay.Function, n)
+	for i := range ts {
+		np := 3 + rng.Intn(10)
+		xs := []float64{0}
+		vs := make([]float64, 0, np)
+		for k := 0; k < np; k++ {
+			xs = append(xs, xs[len(xs)-1]+0.5+rng.Float64()*2)
+			vs = append(vs, rng.Float64()*2)
+		}
+		p, err := delay.NewPiecewise(xs, vs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts[i] = task.Task{Name: "t" + string(rune('A'+i)), C: p.Domain(), T: 1000}
+		fns[i] = p
+	}
+	return ts, fns
+}
+
+// TestAnalyzeSetIncremental is the incremental-invalidation half of
+// satellite 3: analyze a set, mutate one task's delay function, re-analyze
+// with the same cache, and prove — through the sweep.analyzeset counters —
+// that exactly the edited task's terms recomputed while everything else was
+// reused, with results bit-equal to a full recompute.
+func TestAnalyzeSetIncremental(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	const nTasks = 6
+	ts, fns := memoTestSet(t, rng, nTasks)
+	qs := []float64{4, 5, 6, 7, 8, 9, 10, 12}
+
+	cache := core.NewResultCache(memo.Options{})
+
+	// Run 1: populate the cache (everything recomputes).
+	rec1 := obs.NewTestRecorder()
+	if _, err := AnalyzeSet(nil, ts, fns, SweepOptions{Qs: qs, Memo: cache, Obs: rec1.Scope()}); err != nil {
+		t.Fatal(err)
+	}
+	if got := rec1.Counter("sweep.analyzeset.recomputed"); got != int64(nTasks*len(qs)) {
+		t.Fatalf("cold run recomputed %d terms, want %d", got, nTasks*len(qs))
+	}
+	if got := rec1.Counter("sweep.analyzeset.reused"); got != 0 {
+		t.Fatalf("cold run reused %d terms, want 0", got)
+	}
+
+	// Edit one task: nudge one piece value by an ulp — the smallest edit
+	// that changes the function's identity.
+	edit := 2
+	p := fns[edit].(*delay.Piecewise)
+	xs, vs := p.Breakpoints(), p.Values()
+	vs2 := append([]float64(nil), vs...)
+	vs2[0] = math.Nextafter(vs2[0], 100)
+	p2, err := delay.NewPiecewise(xs, vs2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	edited := append([]delay.Function(nil), fns...)
+	edited[edit] = p2
+
+	// Run 2: incremental — only the edited task's column may recompute.
+	rec2 := obs.NewTestRecorder()
+	inc, err := AnalyzeSet(nil, ts, edited, SweepOptions{Qs: qs, Memo: cache, Obs: rec2.Scope()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recomputed := rec2.Counter("sweep.analyzeset.recomputed")
+	reused := rec2.Counter("sweep.analyzeset.reused")
+	if recomputed != int64(len(qs)) {
+		t.Fatalf("incremental run recomputed %d terms, want %d (one task's column)", recomputed, len(qs))
+	}
+	if reused != int64((nTasks-1)*len(qs)) {
+		t.Fatalf("incremental run reused %d terms, want %d", reused, (nTasks-1)*len(qs))
+	}
+	if frac := float64(recomputed) / float64(recomputed+reused); frac >= 0.5 {
+		t.Fatalf("recomputed fraction %.3f, acceptance requires < 0.5", frac)
+	}
+
+	// Run 3: the oracle — a full recompute with no cache.
+	full, err := AnalyzeSet(nil, ts, edited, SweepOptions{Qs: qs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range full {
+		for k := range full[i].Points {
+			w, g := full[i].Points[k], inc[i].Points[k]
+			if math.Float64bits(w.Value) != math.Float64bits(g.Value) ||
+				w.Degraded != g.Degraded || w.Quarantined != g.Quarantined {
+				t.Fatalf("task %s Q=%g: incremental %+v differs from full recompute %+v",
+					full[i].Name, w.Q, g, w)
+			}
+		}
+	}
+	// Unedited tasks were served from cache; the edited one was not.
+	for i := range inc {
+		for k := range inc[i].Points {
+			if cached := inc[i].Points[k].Cached; cached == (i == edit) {
+				t.Fatalf("task %d Q-index %d: Cached=%v, edited task is %d", i, k, cached, edit)
+			}
+		}
+	}
+}
+
+// TestQSweepMemoBitIdentity locks the sweep-level contract: the same sweep
+// run cache-off, cache-cold and cache-warm produces bit-identical point
+// tables (Cached flags aside), and the warm run computes nothing.
+func TestQSweepMemoBitIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	ts, fns := memoTestSet(t, rng, 4)
+	_ = ts
+	specs := make([]SweepSpec, len(fns))
+	for i, f := range fns {
+		specs[i] = SweepSpec{Name: "s" + string(rune('0'+i)), F: f}
+	}
+	qs := []float64{3, 4.5, 6, 7.25, 9}
+
+	ref, err := QSweep(nil, specs, SweepOptions{Qs: qs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := core.NewResultCache(memo.Options{})
+	cold, err := QSweep(nil, specs, SweepOptions{Qs: qs, Memo: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := obs.NewTestRecorder()
+	warm, err := QSweep(nil, specs, SweepOptions{Qs: qs, Memo: cache, Obs: rec.Scope()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ref {
+		for k := range ref[i].Points {
+			a, b, c := ref[i].Points[k], cold[i].Points[k], warm[i].Points[k]
+			if math.Float64bits(a.Value) != math.Float64bits(b.Value) ||
+				math.Float64bits(a.Value) != math.Float64bits(c.Value) {
+				t.Fatalf("spec %s Q=%g: values diverge across cache modes: %v / %v / %v",
+					ref[i].Name, a.Q, a.Value, b.Value, c.Value)
+			}
+			if b.Cached {
+				t.Fatalf("cold run spec %s Q=%g claims a cache hit", ref[i].Name, a.Q)
+			}
+			if !c.Cached {
+				t.Fatalf("warm run spec %s Q=%g missed", ref[i].Name, a.Q)
+			}
+		}
+	}
+	// The warm sweep must not have run a single Algorithm 1 walk.
+	if got := rec.Counter("core.alg1.runs"); got != 0 {
+		t.Fatalf("warm sweep ran %d analyses, want 0", got)
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"fnpr/internal/delay"
 	"fnpr/internal/guard"
 	"fnpr/internal/journal"
+	"fnpr/internal/memo"
 	"fnpr/internal/obs"
 	"fnpr/internal/retry"
 )
@@ -147,6 +148,10 @@ type SweepPoint struct {
 	// quarantined). Points of an aborted sweep that were never reached
 	// have Done == false.
 	Done bool
+	// Cached reports the point was answered from SweepOptions.Memo instead
+	// of computed. Runtime-only, never serialized: journal records and API
+	// responses are byte-identical whether or not a cache was attached.
+	Cached bool `json:"-"`
 }
 
 // Code derives the machine-readable failure string from the typed classes:
@@ -307,6 +312,14 @@ type SweepOptions struct {
 	// recomputed. The restored values are bit-exact, so a resumed sweep's
 	// output is byte-identical to an uninterrupted run's.
 	Resume map[string]json.RawMessage
+
+	// Memo, when non-nil, is the content-addressed result cache every grid
+	// point consults before computing (core.Options.Memo): a repeated sweep
+	// over the same functions and grid is answered from memory, and an
+	// edited task set recomputes only the terms whose fingerprints changed.
+	// Hits are bit-identical to fresh computations and marked
+	// SweepPoint.Cached. Build with core.NewResultCache.
+	Memo *memo.Cache
 
 	// NoIndex disables the per-spec query index (delay.AutoIndex), forcing
 	// every grid point onto the linear-scan kernel. The indexed and scan
@@ -569,15 +582,15 @@ func QSweep(g *guard.Ctx, specs []SweepSpec, opts SweepOptions) ([]SweepResult, 
 						sc.Emit(obs.Event{Type: obs.PointRetried, Spec: spec.Name, Q: q, Attempt: n + 1})
 					}
 				}
-				v, err := retry.Do(pol, settled, func(attempt int) (float64, error) {
+				v, err := retry.Do(pol, settled, func(attempt int) (core.Result, error) {
 					pt.Attempts = attempt + 1
-					return guard.Run(g, label, func() (float64, error) {
-						r, err := core.Analyze(g, spec.F, q, core.Options{Obs: sc})
-						return r.TotalDelay, err
+					return guard.Run(g, label, func() (core.Result, error) {
+						return core.Analyze(g, spec.F, q, core.Options{Obs: sc, Memo: opts.Memo})
 					})
 				})
 				if err == nil {
-					pt.Value = v
+					pt.Value = v.TotalDelay
+					pt.Cached = v.Cached
 					finish(jb, pt, false)
 					if timed {
 						busyNs += time.Since(jobStart).Nanoseconds()
@@ -597,9 +610,8 @@ func QSweep(g *guard.Ctx, specs []SweepSpec, opts SweepOptions) ([]SweepResult, 
 				// Rung 2: degrade to the Equation 4 bound, itself under
 				// a recovery scope (a poisoned function can panic in
 				// Domain/MaxOn too).
-				fb, ferr := guard.Run(g, label+" (Eq.4 fallback)", func() (float64, error) {
-					r, rerr := core.Analyze(g, spec.F, q, core.Options{Method: core.Equation4, Obs: sc})
-					return r.TotalDelay, rerr
+				fb, ferr := guard.Run(g, label+" (Eq.4 fallback)", func() (core.Result, error) {
+					return core.Analyze(g, spec.F, q, core.Options{Method: core.Equation4, Obs: sc, Memo: opts.Memo})
 				})
 				if ferr != nil {
 					if fatal(ferr) {
@@ -617,7 +629,8 @@ func QSweep(g *guard.Ctx, specs []SweepSpec, opts SweepOptions) ([]SweepResult, 
 					pt.Fallback = ReasonOf(ferr)
 					pt.Note = fmt.Sprintf("%v; fallback: %v", err, ferr)
 				} else {
-					pt.Value = fb
+					pt.Value = fb.TotalDelay
+					pt.Cached = fb.Cached
 					pt.Degraded = true
 					pt.Primary = ReasonOf(err)
 					pt.Note = err.Error()

@@ -1,0 +1,218 @@
+package memo
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	"fnpr/internal/guard"
+	"fnpr/internal/journal"
+	"fnpr/internal/obs"
+)
+
+// testCodec stores float64 values as JSON numbers.
+func testCodec() *Codec {
+	return &Codec{
+		Name: "test-float/1",
+		Encode: func(v any) (json.RawMessage, error) {
+			return json.Marshal(v.(float64))
+		},
+		Decode: func(data json.RawMessage) (any, int64, error) {
+			var v float64
+			if err := json.Unmarshal(data, &v); err != nil {
+				return nil, 0, err
+			}
+			return v, 8, nil
+		},
+	}
+}
+
+func TestGetPutVerify(t *testing.T) {
+	rec := obs.NewTestRecorder()
+	c := New(Options{Obs: rec.Scope()})
+	if _, ok := c.Get(1, "fp-a"); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put(1, "fp-a", 42.0, 8)
+	v, ok := c.Get(1, "fp-a")
+	if !ok || v.(float64) != 42.0 {
+		t.Fatalf("Get = %v, %v", v, ok)
+	}
+	// Same primary key, different fingerprint: the collision guard must
+	// answer miss, never the other fingerprint's value.
+	if v, ok := c.Get(1, "fp-b"); ok {
+		t.Fatalf("collision served a wrong hit: %v", v)
+	}
+	if got := rec.Counter("memo.collisions"); got != 1 {
+		t.Fatalf("memo.collisions = %d, want 1", got)
+	}
+	if got := rec.Counter("memo.hits"); got != 1 {
+		t.Fatalf("memo.hits = %d, want 1", got)
+	}
+	if got := rec.Counter("memo.misses"); got != 2 {
+		t.Fatalf("memo.misses = %d, want 2 (cold + collision)", got)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	rec := obs.NewTestRecorder()
+	// One shard, four entries: inserting a fifth evicts the least recently
+	// used.
+	c := New(Options{Shards: 1, MaxEntries: 4, Obs: rec.Scope()})
+	for i := uint64(0); i < 4; i++ {
+		c.Put(i, fmt.Sprintf("fp-%d", i), float64(i), 8)
+	}
+	// Touch key 0 so key 1 is now the LRU.
+	if _, ok := c.Get(0, "fp-0"); !ok {
+		t.Fatal("key 0 missing before eviction")
+	}
+	c.Put(9, "fp-9", 9.0, 8)
+	if _, ok := c.Get(1, "fp-1"); ok {
+		t.Fatal("LRU entry survived eviction")
+	}
+	if _, ok := c.Get(0, "fp-0"); !ok {
+		t.Fatal("recently used entry was evicted")
+	}
+	if got := rec.Counter("memo.evictions"); got != 1 {
+		t.Fatalf("memo.evictions = %d, want 1", got)
+	}
+	if c.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", c.Len())
+	}
+	if got := rec.Registry().Gauge("memo.entries").Value(); got != 4 {
+		t.Fatalf("memo.entries = %g, want 4", got)
+	}
+	if got := rec.Registry().Gauge("memo.bytes").Value(); got != 32 {
+		t.Fatalf("memo.bytes = %g, want 32", got)
+	}
+}
+
+func TestReplaceKeepsSingleEntry(t *testing.T) {
+	rec := obs.NewTestRecorder()
+	c := New(Options{Obs: rec.Scope()})
+	c.Put(7, "fp", 1.0, 8)
+	c.Put(7, "fp", 2.0, 16)
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", c.Len())
+	}
+	if v, ok := c.Get(7, "fp"); !ok || v.(float64) != 2.0 {
+		t.Fatalf("Get = %v, %v; want 2", v, ok)
+	}
+	if got := rec.Registry().Gauge("memo.bytes").Value(); got != 16 {
+		t.Fatalf("memo.bytes = %g, want 16 after replace", got)
+	}
+}
+
+func TestPersistWarmRoundtrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "memo.cache")
+	c := New(Options{Codec: testCodec()})
+	c.Put(1, "fp-a", 1.5, 8)
+	c.Put(2, "fp-b", 2.5, 8)
+	if err := c.Persist(path, journal.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	warm := New(Options{Codec: testCodec()})
+	n, err := warm.Warm(path, journal.Options{})
+	if err != nil || n != 2 {
+		t.Fatalf("Warm = %d, %v; want 2, nil", n, err)
+	}
+	if v, ok := warm.Get(1, "fp-a"); !ok || v.(float64) != 1.5 {
+		t.Fatalf("warmed Get(1) = %v, %v", v, ok)
+	}
+	if v, ok := warm.Get(2, "fp-b"); !ok || v.(float64) != 2.5 {
+		t.Fatalf("warmed Get(2) = %v, %v", v, ok)
+	}
+	// The fingerprint still guards warmed entries.
+	if _, ok := warm.Get(1, "fp-z"); ok {
+		t.Fatal("warmed entry answered a mismatched fingerprint")
+	}
+}
+
+func TestWarmRejectsForeignCodec(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "memo.cache")
+	c := New(Options{Codec: testCodec()})
+	c.Put(1, "fp", 1.0, 8)
+	if err := c.Persist(path, journal.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	other := New(Options{Codec: &Codec{
+		Name:   "other/1",
+		Encode: testCodec().Encode,
+		Decode: testCodec().Decode,
+	}})
+	if _, err := other.Warm(path, journal.Options{}); !errors.Is(err, guard.ErrInvalidInput) {
+		t.Fatalf("foreign codec warm = %v, want ErrInvalidInput", err)
+	}
+}
+
+func TestWarmMissingFileIsColdStart(t *testing.T) {
+	c := New(Options{Codec: testCodec()})
+	n, err := c.Warm(filepath.Join(t.TempDir(), "absent.cache"), journal.Options{})
+	if err != nil || n != 0 {
+		t.Fatalf("Warm(absent) = %d, %v; want 0, nil", n, err)
+	}
+}
+
+func TestWarmSkipsUndecodableEntries(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "memo.cache")
+	j, _, err := journal.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(metaKey, persistMeta{Format: persistFormat, Codec: "test-float/1"}); err != nil {
+		t.Fatal(err)
+	}
+	// One good entry, one with a value the codec rejects, one with a bad key.
+	if err := j.Append(entryKeyPrefix+"1", persistEntry{Verify: "fp", Value: json.RawMessage(`3.25`)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(entryKeyPrefix+"2", persistEntry{Verify: "fp", Value: json.RawMessage(`"not a float"`)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(entryKeyPrefix+"zz-bad-hex!", persistEntry{Verify: "fp", Value: json.RawMessage(`1`)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	c := New(Options{Codec: testCodec()})
+	n, err := c.Warm(path, journal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("Warm = %d entries, want 1 (others undecodable)", n)
+	}
+	if v, ok := c.Get(1, "fp"); !ok || v.(float64) != 3.25 {
+		t.Fatalf("good entry missing after partial warm: %v, %v", v, ok)
+	}
+}
+
+func TestPersistWithoutCodecFails(t *testing.T) {
+	c := New(Options{})
+	if err := c.Persist(filepath.Join(t.TempDir(), "x"), journal.Options{}); !errors.Is(err, guard.ErrInvalidInput) {
+		t.Fatalf("Persist without codec = %v, want ErrInvalidInput", err)
+	}
+	if _, err := c.Warm(filepath.Join(t.TempDir(), "x"), journal.Options{}); !errors.Is(err, guard.ErrInvalidInput) {
+		t.Fatalf("Warm without codec = %v, want ErrInvalidInput", err)
+	}
+}
+
+func TestNilCacheIsInert(t *testing.T) {
+	var c *Cache
+	if _, ok := c.Get(1, "fp"); ok {
+		t.Fatal("nil cache hit")
+	}
+	c.Put(1, "fp", 1.0, 8)
+	if c.Len() != 0 {
+		t.Fatal("nil cache has entries")
+	}
+	if err := c.Persist("nowhere", journal.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := c.Warm("nowhere", journal.Options{}); n != 0 || err != nil {
+		t.Fatal("nil cache warm")
+	}
+}

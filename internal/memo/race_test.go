@@ -1,0 +1,99 @@
+package memo
+
+import (
+	"fmt"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"fnpr/internal/journal"
+	"fnpr/internal/obs"
+)
+
+// TestConcurrentMixedTraffic is the memo-level half of satellite torture:
+// readers, writers, an eviction-heavy churner, and periodic Persist/Warm all
+// hammer one small sharded cache. Run under -race (the CI race job does);
+// correctness here is "no data race, no wrong hit" — every observed hit must
+// carry the value that was Put under that exact (key, verify) pair.
+func TestConcurrentMixedTraffic(t *testing.T) {
+	rec := obs.NewTestRecorder()
+	// Tiny capacity so eviction runs constantly; 4 shards so keys collide on
+	// shard locks often.
+	c := New(Options{Shards: 4, MaxEntries: 64, Obs: rec.Scope(), Codec: testCodec()})
+	path := filepath.Join(t.TempDir(), "memo.cache")
+
+	const (
+		workers = 8
+		iters   = 2000
+		hotKeys = 32 // fits the cache: repeated touches must hit
+	)
+	value := func(k uint64) float64 { return float64(k) * 1.5 }
+	verify := func(k uint64) string { return fmt.Sprintf("fp-%d", k) }
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				// Three quarters of the traffic hammers a hot set small
+				// enough to stay resident (guaranteed hits); the rest is a
+				// stream of never-repeated keys (guaranteed evictions).
+				var k uint64
+				if i%4 == 3 {
+					k = 1<<32 + uint64(w*iters+i)
+				} else {
+					k = uint64((i*7 + w*13) % hotKeys)
+				}
+				if v, ok := c.Get(k, verify(k)); ok {
+					if v.(float64) != value(k) {
+						t.Errorf("key %d: hit returned %v, want %v", k, v, value(k))
+						return
+					}
+				} else {
+					c.Put(k, verify(k), value(k), 8)
+				}
+				// Deliberate primary-key collisions: a different verify
+				// string must never be served the stored value.
+				if i%17 == 0 {
+					if v, ok := c.Get(k, "other-fingerprint"); ok {
+						t.Errorf("key %d: collision served %v", k, v)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	// Persistence racing the traffic: snapshot + rewrite the file while
+	// writers churn, then warm a throwaway cache from whatever was captured.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 20; i++ {
+			if err := c.Persist(path, journal.Options{}); err != nil {
+				t.Errorf("Persist: %v", err)
+				return
+			}
+			side := New(Options{MaxEntries: 64, Codec: testCodec()})
+			if _, err := side.Warm(path, journal.Options{}); err != nil {
+				t.Errorf("Warm: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+
+	if got := rec.Counter("memo.hits"); got == 0 {
+		t.Error("no hits observed; traffic pattern broken")
+	}
+	if got := rec.Counter("memo.evictions"); got == 0 {
+		t.Error("no evictions observed; churn pattern broken")
+	}
+	if c.Len() > 64+3 { // per-shard rounding can exceed the total bound by at most shards-1
+		t.Errorf("Len = %d, want <= 67", c.Len())
+	}
+	// The gauge must agree with a quiesced direct count.
+	if got := rec.Registry().Gauge("memo.entries").Value(); int(got) != c.Len() {
+		t.Errorf("memo.entries gauge %g disagrees with Len %d", got, c.Len())
+	}
+}

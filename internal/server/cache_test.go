@@ -1,0 +1,113 @@
+package server
+
+import (
+	"net/http"
+	"testing"
+)
+
+// TestAnalyzeCached proves a -cache server answers the second identical
+// /v1/analyze request from the result cache: the response values are
+// identical, the advisory "cached" marker appears only on the hit, and the
+// memo.hits counter moves — the same invariant the serve-smoke CI step
+// asserts against a real binary.
+func TestAnalyzeCached(t *testing.T) {
+	s, base := newTestServer(t, func(c *Config) { c.CacheEntries = 1024 })
+
+	st1, _, v1 := doJSON(t, "POST", base+"/v1/analyze", analyzeBody(15, 40))
+	if st1 != http.StatusOK {
+		t.Fatalf("first analyze: status %d body %v", st1, v1)
+	}
+	if _, present := v1["cached"]; present {
+		t.Fatalf("first analyze claims a cache hit: %v", v1)
+	}
+	st2, _, v2 := doJSON(t, "POST", base+"/v1/analyze", analyzeBody(15, 40))
+	if st2 != http.StatusOK {
+		t.Fatalf("second analyze: status %d body %v", st2, v2)
+	}
+	if v2["cached"] != true {
+		t.Fatalf("second identical analyze not served from cache: %v", v2)
+	}
+	for _, k := range []string{"total_delay", "preemptions", "diverged"} {
+		if v1[k] != v2[k] {
+			t.Fatalf("field %s changed across cache hit: %v vs %v", k, v1[k], v2[k])
+		}
+	}
+	if got := s.cfg.Registry.Counter("memo.hits").Value(); got < 1 {
+		t.Fatalf("memo.hits = %d, want >= 1", got)
+	}
+	// A different Q is a different request — no false hit.
+	st3, _, v3 := doJSON(t, "POST", base+"/v1/analyze", analyzeBody(16, 40))
+	if st3 != http.StatusOK {
+		t.Fatalf("third analyze: status %d body %v", st3, v3)
+	}
+	if _, present := v3["cached"]; present {
+		t.Fatalf("different Q served from cache: %v", v3)
+	}
+}
+
+// TestAnalyzeSetDelta drives the incremental /v1/analyzeset mode: the first
+// delta request computes everything, a repeat reuses everything, and editing
+// one task's delay function recomputes only that task's terms.
+func TestAnalyzeSetDelta(t *testing.T) {
+	_, base := newTestServer(t, func(c *Config) { c.CacheEntries = 4096 })
+	mkBody := func(peak float64) map[string]any {
+		return map[string]any{
+			"spec": map[string]any{
+				"policy": "fp",
+				"tasks": []any{
+					// "hi" has no delay function: nothing to compute, so it
+					// must never count toward the recomputed/reused split.
+					map[string]any{"name": "hi", "c": 5, "t": 100, "q": 4, "prio": 0},
+					map[string]any{"name": "a", "c": 30, "t": 300, "q": 5, "prio": 1,
+						"delay": map[string]any{"kind": "frontloaded", "peak": peak, "tail": 0.5}},
+					map[string]any{"name": "b", "c": 40, "t": 400, "q": 6, "prio": 2,
+						"delay": map[string]any{"kind": "frontloaded", "peak": 3, "tail": 0.5}},
+				},
+			},
+			"qs":    []float64{15, 20, 30},
+			"delta": true,
+		}
+	}
+	st, _, v := doJSON(t, "POST", base+"/v1/analyzeset", mkBody(2))
+	if st != http.StatusOK {
+		t.Fatalf("cold delta: status %d body %v", st, v)
+	}
+	if v["recomputed"].(float64) != 6 || v["reused"].(float64) != 0 {
+		t.Fatalf("cold delta split: recomputed=%v reused=%v, want 6/0", v["recomputed"], v["reused"])
+	}
+	st, _, v = doJSON(t, "POST", base+"/v1/analyzeset", mkBody(2))
+	if st != http.StatusOK {
+		t.Fatalf("repeat delta: status %d body %v", st, v)
+	}
+	if v["recomputed"].(float64) != 0 || v["reused"].(float64) != 6 {
+		t.Fatalf("repeat delta split: recomputed=%v reused=%v, want 0/6", v["recomputed"], v["reused"])
+	}
+	// Edit task a's function: only its 3 grid points recompute.
+	st, _, v = doJSON(t, "POST", base+"/v1/analyzeset", mkBody(2.5))
+	if st != http.StatusOK {
+		t.Fatalf("edited delta: status %d body %v", st, v)
+	}
+	if v["recomputed"].(float64) != 3 || v["reused"].(float64) != 3 {
+		t.Fatalf("edited delta split: recomputed=%v reused=%v, want 3/3", v["recomputed"], v["reused"])
+	}
+}
+
+// TestAnalyzeSetDeltaRequiresCache pins the error path: delta mode against a
+// cacheless server is invalid input, not silent full recomputation.
+func TestAnalyzeSetDeltaRequiresCache(t *testing.T) {
+	_, base := newTestServer(t, nil)
+	body := map[string]any{
+		"spec": map[string]any{
+			"policy": "fp",
+			"tasks": []any{
+				map[string]any{"name": "a", "c": 30, "t": 300, "q": 5, "prio": 0,
+					"delay": map[string]any{"kind": "frontloaded", "peak": 2, "tail": 0.5}},
+			},
+		},
+		"delta": true,
+	}
+	st, _, v := doJSON(t, "POST", base+"/v1/analyzeset", body)
+	if st != http.StatusBadRequest {
+		t.Fatalf("delta without cache: status %d body %v, want 400", st, v)
+	}
+}

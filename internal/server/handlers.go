@@ -224,18 +224,25 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	res, err := guard.Run(g, "analyze", func() (core.Result, error) {
 		return core.Analyze(g, fn, req.Q, core.Options{
 			Method: method, Limited: req.Limited, MaxPreemptions: req.MaxPreemptions,
+			Memo: s.memo,
 		})
 	})
 	if err != nil {
 		s.fail(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	resp := map[string]any{
 		"total_delay": jsonNum(res.TotalDelay),
 		"preemptions": res.Preemptions,
 		"diverged":    res.Diverged,
 		"steps":       g.Steps(),
-	})
+	}
+	// Advisory, present only on a hit: a cold cache-enabled response stays
+	// byte-identical to an uncached one.
+	if res.Cached {
+		resp["cached"] = true
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // analyzeSetRequest is the wire form of one eval.AnalyzeSet call: a task-set
@@ -244,6 +251,12 @@ type analyzeSetRequest struct {
 	Spec spec.File `json:"spec"`
 	// Qs is the Q grid; empty selects eval.DefaultQGrid().
 	Qs []float64 `json:"qs,omitempty"`
+	// Delta opts into incremental analysis against the server's result
+	// cache (requires -cache): per-task interference terms whose
+	// (function, Q) identity is unchanged since an earlier request are
+	// reused instead of recomputed, and the response reports the
+	// "recomputed"/"reused" split. Values are bit-identical either way.
+	Delta bool `json:"delta,omitempty"`
 }
 
 func (s *Server) handleAnalyzeSet(w http.ResponseWriter, r *http.Request) {
@@ -267,25 +280,58 @@ func (s *Server) handleAnalyzeSet(w http.ResponseWriter, r *http.Request) {
 	if len(qs) == 0 {
 		qs = eval.DefaultQGrid()
 	}
+	if req.Delta && s.memo == nil {
+		s.fail(w, guard.Invalidf("server: delta mode requires the result cache (start with -cache)"))
+		return
+	}
 	g, cancel, err := s.reqGuard(r, s.cfg.AnalyzeBudget)
 	if err != nil {
 		s.fail(w, err)
 		return
 	}
 	defer cancel()
+	opts := eval.SweepOptions{Qs: qs, Obs: s.sc}
+	if req.Delta {
+		opts.Memo = s.memo
+	}
 	res, err := guard.Run(g, "analyzeset", func() ([]eval.SweepResult, error) {
-		return eval.AnalyzeSet(g, prob.Tasks, prob.Delay, eval.SweepOptions{Qs: qs, Obs: s.sc})
+		return eval.AnalyzeSet(g, prob.Tasks, prob.Delay, opts)
 	})
 	if err != nil {
 		s.fail(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	resp := map[string]any{
 		"policy":  prob.Policy,
 		"qs":      qs,
 		"results": res,
 		"steps":   g.Steps(),
-	})
+	}
+	if req.Delta {
+		// Mirror the sweep.analyzeset.{reused,recomputed} counters: only
+		// analyzed terms count — tasks without a delay function have
+		// nothing to compute, and undone (quarantined) points decided
+		// nothing.
+		var reused, recomputed int
+		for i, r := range res {
+			if i < len(prob.Delay) && prob.Delay[i] == nil {
+				continue
+			}
+			for _, pt := range r.Points {
+				if !pt.Done {
+					continue
+				}
+				if pt.Cached {
+					reused++
+				} else {
+					recomputed++
+				}
+			}
+		}
+		resp["reused"] = reused
+		resp["recomputed"] = recomputed
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // acceptanceRequest is the wire form of an acceptance-campaign submission.

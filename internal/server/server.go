@@ -34,11 +34,13 @@ import (
 	"sync/atomic"
 	"time"
 
+	"fnpr/internal/core"
 	"fnpr/internal/delay"
 	"fnpr/internal/eval"
 	"fnpr/internal/fsfault"
 	"fnpr/internal/guard"
 	"fnpr/internal/journal"
+	"fnpr/internal/memo"
 	"fnpr/internal/obs"
 )
 
@@ -110,6 +112,12 @@ type Config struct {
 	// file I/O — the disk-fault injection seam (internal/fsfault). Nil
 	// selects the real filesystem.
 	FS fsfault.FS
+	// CacheEntries, when positive, enables the content-addressed result
+	// cache (internal/memo) with that entry bound: /v1/analyze answers
+	// repeated identical requests from memory, and /v1/analyzeset requests
+	// with "delta": true reuse unchanged per-task terms across calls.
+	// Negative selects memo.DefaultMaxEntries; zero disables caching.
+	CacheEntries int
 	// Registry receives the server's metrics; nil means obs.Default().
 	Registry *obs.Registry
 	// WrapDelay, when non-nil, wraps every delay function built for
@@ -196,6 +204,10 @@ type Server struct {
 	jobCtx     context.Context
 	jobStop    context.CancelFunc
 	analyzeSem chan struct{}
+
+	// memo is the content-addressed result cache shared by the synchronous
+	// analysis endpoints (nil unless Config.CacheEntries enables it).
+	memo *memo.Cache
 }
 
 // New builds a server from cfg. Nothing runs until Start.
@@ -208,6 +220,13 @@ func New(cfg Config) *Server {
 		idem:       map[string]string{},
 		queue:      make(chan *job, cfg.QueueCap),
 		analyzeSem: make(chan struct{}, cfg.AnalyzeConcurrency),
+	}
+	if cfg.CacheEntries != 0 {
+		entries := cfg.CacheEntries
+		if entries < 0 {
+			entries = 0 // memo.DefaultMaxEntries
+		}
+		s.memo = core.NewResultCache(memo.Options{MaxEntries: entries, Obs: s.sc})
 	}
 	s.jobCtx, s.jobStop = context.WithCancel(context.Background())
 	s.mux = s.routes()

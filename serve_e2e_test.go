@@ -40,6 +40,7 @@ func TestServeSmoke(t *testing.T) {
 		"-addr", "127.0.0.1:0",
 		"-drain-timeout", "10s",
 		"-journal-dir", journalDir,
+		"-cache",
 		"-metrics-out", metrics)
 	stderr, err := cmd.StderrPipe()
 	if err != nil {
@@ -127,6 +128,25 @@ func TestServeSmoke(t *testing.T) {
 	if td, ok := v["total_delay"].(float64); !ok || td <= 0 {
 		t.Fatalf("analyze: total_delay %v", v["total_delay"])
 	}
+	if _, ok := v["cached"]; ok {
+		t.Fatalf("first analyze already marked cached: %v", v)
+	}
+
+	// The identical request again: the result cache (-cache) must answer it,
+	// bit-identical and flagged advisory "cached".
+	st, v2 := post("/v1/analyze", map[string]any{
+		"delay": map[string]any{"kind": "frontloaded", "peak": 3, "tail": 0.5},
+		"c":     40, "q": 15,
+	})
+	if st != 200 {
+		t.Fatalf("repeated analyze: %d %v", st, v2)
+	}
+	if v2["cached"] != true {
+		t.Fatalf("repeated analyze not served from the cache: %v", v2)
+	}
+	if v2["total_delay"] != v["total_delay"] {
+		t.Fatalf("cached total_delay %v != computed %v", v2["total_delay"], v["total_delay"])
+	}
 
 	// Asynchronous campaign: submit, then poll the job to completion.
 	st, v = post("/v1/campaign/acceptance", map[string]any{
@@ -202,5 +222,9 @@ func TestServeSmoke(t *testing.T) {
 	counters, _ := snap["counters"].(map[string]any)
 	if _, ok := counters["server.admitted"]; !ok {
 		t.Fatalf("metrics snapshot missing counter server.admitted:\n%s", raw)
+	}
+	if hits, _ := counters["memo.hits"].(float64); hits < 1 {
+		t.Fatalf("metrics snapshot shows no result-cache hits (memo.hits=%v):\n%s",
+			counters["memo.hits"], raw)
 	}
 }
