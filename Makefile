@@ -7,7 +7,7 @@ GO ?= go
 BENCH_OUT ?= bench.out
 BENCH_JSON ?= BENCH_PR3.json
 
-.PHONY: build test check race vet lint-api bench bench-smoke bench-pr5 bench-pr8 bench-regress bench-regress-pr8 figures
+.PHONY: build test check race vet lint-api bench bench-smoke bench-pr5 bench-pr8 bench-pr9 bench-regress bench-regress-pr8 bench-regress-pr9 figures
 
 build:
 	$(GO) build ./...
@@ -72,6 +72,26 @@ bench-regress-pr8:
 	$(GO) test . -run '^$$' -bench 'MemoSweep|AnalyzeSetEdit' -benchtime 300ms -benchmem > bench_pr8_current.out
 	$(GO) run ./cmd/benchjson -in bench_pr8_current.out -out bench_pr8_current.json
 	$(GO) run ./tools/benchregress -baseline BENCH_PR8.json -current bench_pr8_current.json -tolerance 0.30
+
+# bench-pr9 captures the fixpoint-solver layer: the delay-aware RTA over
+# warm-seeded task sets under the monotone baseline and the cutting-plane
+# solver, at several delay-curve sizes. The report's speedup table pairs
+# solver=monotone with solver=cutting (ns/op), and the rta-iters/op metric
+# records the engine-evaluation count each solver needed — the cutting
+# solver's count is the one the PR 9 acceptance bar (≥25% below the
+# warm-start baseline) is read from.
+bench-pr9:
+	$(GO) test . -run '^$$' -bench 'RTASolver' -benchmem > bench_pr9.out
+	$(GO) run ./cmd/benchjson -in bench_pr9.out -out BENCH_PR9.json
+	@echo "wrote BENCH_PR9.json"
+
+# bench-regress-pr9 is bench-regress for the solver layer: rerun the
+# solver-comparison benchmarks and compare against the checked-in
+# BENCH_PR9.json baseline (machine-speed normalised).
+bench-regress-pr9:
+	$(GO) test . -run '^$$' -bench 'RTASolver' -benchtime 300ms -benchmem > bench_pr9_current.out
+	$(GO) run ./cmd/benchjson -in bench_pr9_current.out -out bench_pr9_current.json
+	$(GO) run ./tools/benchregress -baseline BENCH_PR9.json -current bench_pr9_current.json -tolerance 0.30
 
 # bench-regress is the CI tripwire: rerun the analysis-kernel benchmarks,
 # render a fresh report to bench_current.json (NOT the checked-in baseline

@@ -27,6 +27,7 @@ import (
 	"fnpr/internal/fixednpr"
 	"fnpr/internal/memo"
 	"fnpr/internal/npr"
+	"fnpr/internal/obs"
 	"fnpr/internal/sched"
 	"fnpr/internal/sim"
 	"fnpr/internal/synth"
@@ -333,13 +334,101 @@ func BenchmarkDelayAwareRTA(b *testing.B) {
 	fns := []delay.Function{nil, delay.FrontLoaded(4, 0.5, 20), delay.FrontLoaded(5, 0.5, 40)}
 	for _, m := range []sched.DelayMethod{sched.Algorithm1, sched.Equation4} {
 		b.Run(m.String(), func(b *testing.B) {
-			a := sched.FNPRAnalysis{Tasks: ts, Delay: fns, Method: m}
 			for i := 0; i < b.N; i++ {
-				if _, err := a.ResponseTimesFP(); err != nil {
+				if _, err := sched.Analyze(nil, ts, sched.Options{Delay: fns, Method: m}); err != nil {
 					b.Fatal(err)
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkRTASolver measures the fixed-priority RTA under the monotone and
+// cutting-plane fixpoint solvers on a population of wide-period task sets
+// whose delay functions are piecewise curves at n pieces (indexed, so the
+// per-task core bound stays cheap and the fixpoint engine dominates). Both
+// solvers are warm-started from the no-delay response times, exactly like
+// the analysis pipelines; results are bit-identical, only the iteration
+// count differs. The rta-iters/op metric is the engine-evaluation count per
+// analysis pass (sched.rta.solver.iterations), and the solver=monotone vs
+// solver=cutting pair feeds the speedup table of BENCH_PR9.json.
+func BenchmarkRTASolver(b *testing.B) {
+	const sets = 10
+	type fixture struct {
+		ts   task.Set
+		fns  []delay.Function
+		warm []float64
+	}
+	build := func(pieces int) []fixture {
+		var out []fixture
+		for trial := 0; len(out) < sets; trial++ {
+			r := synth.SubRand(1903, pieces, trial)
+			ts, err := synth.TaskSet(r, synth.TaskSetParams{
+				N: 10, Utilization: 0.55 + 0.15*r.Float64(),
+				PeriodLo: 10, PeriodHi: 10_000, RoundPeriod: true,
+				QFraction: 0.9, MinQ: 0.1,
+			})
+			if err != nil {
+				continue
+			}
+			fns := make([]delay.Function, len(ts))
+			for i := 1; i < len(ts); i++ {
+				peak := 0.8 * ts[i].Q
+				if peak > 0.9*ts[i].C {
+					peak = 0.9 * ts[i].C
+				}
+				if peak <= 0 {
+					continue
+				}
+				// A decaying sawtooth over the task's execution at the
+				// requested resolution.
+				xs := make([]float64, pieces+1)
+				vs := make([]float64, pieces)
+				for k := 0; k <= pieces; k++ {
+					xs[k] = ts[i].C * float64(k) / float64(pieces)
+				}
+				for k := 0; k < pieces; k++ {
+					frac := float64(k) / float64(pieces)
+					vs[k] = peak * (0.05 + 0.95*(1-frac)*(0.7+0.3*float64((7*k)%5)/4))
+				}
+				p, err := delay.NewPiecewise(xs, vs)
+				if err != nil {
+					b.Fatal(err)
+				}
+				fns[i] = delay.NewIndexed(p)
+			}
+			nd, err := sched.Analyze(nil, ts, sched.Options{Solver: sched.SolverMonotone})
+			if err != nil {
+				continue
+			}
+			out = append(out, fixture{ts: ts, fns: fns, warm: nd.Response})
+		}
+		return out
+	}
+	for _, n := range []int{64, 1024, 16384} {
+		fixtures := build(n)
+		for _, sv := range []struct {
+			name   string
+			solver sched.Solver
+		}{{"monotone", sched.SolverMonotone}, {"cutting", sched.SolverCutting}} {
+			b.Run(fmt.Sprintf("solver=%s/n=%d", sv.name, n), func(b *testing.B) {
+				reg := obs.NewRegistry()
+				sc := obs.NewScope(reg)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					for _, fx := range fixtures {
+						_, err := sched.Analyze(nil, fx.ts, sched.Options{
+							Delay: fx.fns, Method: sched.Algorithm1,
+							Warm: fx.warm, Solver: sv.solver, Obs: sc,
+						})
+						if err != nil {
+							b.Fatal(err)
+						}
+					}
+				}
+				b.ReportMetric(float64(reg.Counter("sched.rta.solver.iterations").Value())/float64(b.N), "rta-iters/op")
+			})
+		}
 	}
 }
 
@@ -504,19 +593,18 @@ func BenchmarkLimitedRefinement(b *testing.B) {
 		{Name: "lo", C: 60, T: 600, D: 400, Q: 10, Prio: 2},
 	}
 	fns := []delay.Function{nil, delay.Constant(1, 9), delay.Constant(3, 60)}
-	a := sched.FNPRAnalysis{Tasks: ts, Delay: fns, Method: sched.Algorithm1}
 	var plainR, limR float64
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		plain, err := a.ResponseTimesFP()
+		plain, err := sched.Analyze(nil, ts, sched.Options{Delay: fns, Method: sched.Algorithm1})
 		if err != nil {
 			b.Fatal(err)
 		}
-		lim, err := a.ResponseTimesFPLimited()
+		lim, err := sched.Analyze(nil, ts, sched.Options{Delay: fns, Method: sched.Algorithm1, Limited: true})
 		if err != nil {
 			b.Fatal(err)
 		}
-		plainR, limR = plain[2], lim.Response[2]
+		plainR, limR = plain.Response[2], lim.Response[2]
 	}
 	b.ReportMetric(plainR, "R-plain")
 	b.ReportMetric(limR, "R-limited")

@@ -24,6 +24,7 @@ import (
 	"math"
 
 	"fnpr/internal/cli"
+	"fnpr/internal/core"
 	"fnpr/internal/delay"
 	"fnpr/internal/guard"
 	"fnpr/internal/npr"
@@ -40,10 +41,15 @@ func main() {
 		horizon  = flag.Float64("horizon", 10000, "simulation horizon (with -simulate)")
 		example  = flag.Bool("example", false, "print a sample specification and exit")
 		margin   = flag.Bool("margin", false, "also compute the delay criticality margin (FP only)")
+		solverFl = flag.String("solver", "auto", "fixpoint solver: auto, monotone or cutting (results are identical; cutting needs far fewer iterations)")
 	)
 	limits := cli.Flags()
 	flag.Parse()
 	g := limits.Guard()
+	solver, err := core.ParseSolver(*solverFl)
+	if err != nil {
+		fatal(cli.Usagef("%v", err))
+	}
 
 	if *example {
 		printExample()
@@ -80,12 +86,12 @@ func main() {
 
 	switch p.Policy {
 	case "fp":
-		analyseFP(g, p)
+		analyseFP(g, p, solver)
 		if *margin {
-			reportMargin(g, p)
+			reportMargin(g, p, solver)
 		}
 	case "edf":
-		analyseEDF(g, p)
+		analyseEDF(g, p, solver)
 	}
 
 	if *simulate {
@@ -94,23 +100,29 @@ func main() {
 	fatal(nil)
 }
 
-func analyseFP(g *guard.Ctx, p *spec.Problem) {
-	a := sched.FNPRAnalysis{Tasks: p.Tasks, Delay: p.Delay, Method: sched.Algorithm1}
-
+func analyseFP(g *guard.Ctx, p *spec.Problem, solver sched.Solver) {
 	fmt.Printf("%-10s %12s %12s %12s %12s %10s\n",
 		"task", "R(no-delay)", "R(alg1)", "R(alg1-lim)", "R(eq4)", "deadline")
 
-	// Delay-free reference: same analysis with all-nil delay functions.
-	free := sched.FNPRAnalysis{Tasks: p.Tasks, Delay: make([]delay.Function, len(p.Tasks)), Method: sched.Algorithm1}
-	rFree, err := free.ResponseTimesFPCtx(g)
+	// Delay-free reference: same analysis with all-nil delay functions. Its
+	// response times lower-bound every delay-aware variant, so they warm-seed
+	// the other fixpoints (bit-identical results, fewer iterations).
+	free, err := sched.Analyze(g, p.Tasks, sched.Options{
+		Delay: make([]delay.Function, len(p.Tasks)), Method: sched.Algorithm1, Solver: solver,
+	})
 	if err != nil {
 		fatal(err)
 	}
-	rAlg, errAlg := a.ResponseTimesFPCtx(g)
-	lim, errLim := a.ResponseTimesFPLimitedCtx(g)
-	a4 := a
-	a4.Method = sched.Equation4
-	rEq4, errEq4 := a4.ResponseTimesFPCtx(g)
+	rFree := free.Response
+	alg, errAlg := sched.Analyze(g, p.Tasks, sched.Options{
+		Delay: p.Delay, Method: sched.Algorithm1, Solver: solver, Warm: rFree,
+	})
+	lim, errLim := sched.Analyze(g, p.Tasks, sched.Options{
+		Delay: p.Delay, Method: sched.Algorithm1, Limited: true, Solver: solver, Warm: rFree,
+	})
+	eq4, errEq4 := sched.Analyze(g, p.Tasks, sched.Options{
+		Delay: p.Delay, Method: sched.Equation4, Solver: solver, Warm: rFree,
+	})
 	for _, err := range []error{errAlg, errLim, errEq4} {
 		// Divergence errors are reported per-column below; a tripped
 		// resource limit aborts the whole run with exit code 3.
@@ -122,38 +134,35 @@ func analyseFP(g *guard.Ctx, p *spec.Problem) {
 	for i, tk := range p.Tasks {
 		fmt.Printf("%-10s %12s %12s %12s %12s %10g\n",
 			tk.Name,
-			fmtR(rFree, i, nil),
-			fmtR(rAlg, i, errAlg),
-			fmtLim(lim, i, errLim),
-			fmtR(rEq4, i, errEq4),
+			fmtRes(free, i, nil),
+			fmtRes(alg, i, errAlg),
+			fmtRes(lim, i, errLim),
+			fmtRes(eq4, i, errEq4),
 			tk.Deadline())
 	}
 	fmt.Println()
-	report := func(name string, rts []float64, err error) {
+	report := func(name string, res *sched.Result, err error) {
 		switch {
 		case err != nil:
 			fmt.Printf("  %-22s error: %v\n", name, err)
-		case sched.Schedulable(p.Tasks, rts):
+		case res.Schedulable:
 			fmt.Printf("  %-22s SCHEDULABLE\n", name)
 		default:
 			fmt.Printf("  %-22s not schedulable\n", name)
 		}
 	}
-	report("no delay (optimistic):", rFree, nil)
-	report("Algorithm 1:", rAlg, errAlg)
-	if errLim == nil {
-		report("Algorithm 1 + limit:", lim.Response, nil)
-	} else {
-		report("Algorithm 1 + limit:", nil, errLim)
-	}
-	report("Equation 4:", rEq4, errEq4)
+	report("no delay (optimistic):", free, nil)
+	report("Algorithm 1:", alg, errAlg)
+	report("Algorithm 1 + limit:", lim, errLim)
+	report("Equation 4:", eq4, errEq4)
 }
 
 // reportMargin prints the largest factor by which every delay function can
 // grow while the set stays schedulable under Algorithm 1.
-func reportMargin(g *guard.Ctx, p *spec.Problem) {
-	a := sched.FNPRAnalysis{Tasks: p.Tasks, Delay: p.Delay, Method: sched.Algorithm1}
-	m, err := a.DelayMarginCtx(g, 100, 0.01)
+func reportMargin(g *guard.Ctx, p *spec.Problem, solver sched.Solver) {
+	m, err := sched.DelayMargin(g, p.Tasks, sched.Options{
+		Delay: p.Delay, Method: sched.Algorithm1, Solver: solver,
+	}, 100, 0.01)
 	if err != nil {
 		if cli.Code(err) == cli.ExitResource {
 			fatal(err)
@@ -164,16 +173,17 @@ func reportMargin(g *guard.Ctx, p *spec.Problem) {
 	fmt.Printf("\n  delay criticality margin: %.2fx (delay functions can scale by this factor)\n", m)
 }
 
-func analyseEDF(g *guard.Ctx, p *spec.Problem) {
+func analyseEDF(g *guard.Ctx, p *spec.Problem, solver sched.Solver) {
 	for _, m := range []sched.DelayMethod{sched.Algorithm1, sched.Equation4} {
-		a := sched.FNPRAnalysis{Tasks: p.Tasks, Delay: p.Delay, Method: m}
-		ok, err := a.SchedulableEDFCtx(g)
+		res, err := sched.Analyze(g, p.Tasks, sched.Options{
+			Policy: sched.EDF, Delay: p.Delay, Method: m, Solver: solver,
+		})
 		switch {
 		case err != nil && cli.Code(err) == cli.ExitResource:
 			fatal(err)
 		case err != nil:
 			fmt.Printf("  EDF with %-12s error: %v\n", m, err)
-		case ok:
+		case res.Schedulable:
 			fmt.Printf("  EDF with %-12s SCHEDULABLE\n", m)
 		default:
 			fmt.Printf("  EDF with %-12s not schedulable\n", m)
@@ -200,21 +210,14 @@ func runSimulation(g *guard.Ctx, p *spec.Problem, horizon float64) {
 	fmt.Print(res.Summary())
 }
 
-func fmtR(rts []float64, i int, err error) string {
-	if err != nil || rts == nil {
+func fmtRes(res *sched.Result, i int, err error) string {
+	if err != nil || res == nil || res.Response == nil {
 		return "err"
 	}
-	if math.IsInf(rts[i], 1) {
+	if math.IsInf(res.Response[i], 1) {
 		return "miss"
 	}
-	return fmt.Sprintf("%.2f", rts[i])
-}
-
-func fmtLim(lim *sched.LimitedResult, i int, err error) string {
-	if err != nil || lim == nil {
-		return "err"
-	}
-	return fmtR(lim.Response, i, nil)
+	return fmt.Sprintf("%.2f", res.Response[i])
 }
 
 func printExample() {

@@ -44,32 +44,24 @@ func main() {
 		delay.FrontLoaded(3, 0.5, 20),
 	}
 
-	a := sched.FNPRAnalysis{Tasks: qs, Delay: fns, Method: sched.Algorithm1}
-	cp, err := a.EffectiveWCETs()
+	res, err := sched.Analyze(nil, qs, sched.Options{Policy: sched.EDF, Delay: fns, Method: sched.Algorithm1})
 	if err != nil {
 		log.Fatal(err)
 	}
+	cp := res.EffectiveC
 	fmt.Println("\neffective WCETs (Equation 5):")
 	for i, tk := range qs {
 		fmt.Printf("  %-8s C=%6.2f  C'=%6.2f  (+%.2f delay)\n", tk.Name, tk.C, cp[i], cp[i]-tk.C)
 	}
 
-	ok, err := a.SchedulableEDF()
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("\ndelay-aware EDF schedulable with Algorithm 1: %v\n", ok)
+	fmt.Printf("\ndelay-aware EDF schedulable with Algorithm 1: %v\n", res.Schedulable)
 
 	// Same analysis with the pessimistic Equation 4 bound.
-	a4 := sched.FNPRAnalysis{Tasks: qs, Delay: fns, Method: sched.Equation4}
-	cp4, err := a4.EffectiveWCETs()
+	res4, err := sched.Analyze(nil, qs, sched.Options{Policy: sched.EDF, Delay: fns, Method: sched.Equation4})
 	if err != nil {
 		log.Fatal(err)
 	}
-	ok4, err := a4.SchedulableEDF()
-	if err != nil {
-		log.Fatal(err)
-	}
+	cp4 := res4.EffectiveC
 	fmt.Printf("delay-aware EDF schedulable with Equation 4:  %v (C' = %.2f, %.2f, %.2f)\n",
-		ok4, cp4[0], cp4[1], cp4[2])
+		res4.Schedulable, cp4[0], cp4[1], cp4[2])
 }

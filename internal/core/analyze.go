@@ -64,6 +64,20 @@ type Options struct {
 	Remaining bool
 	From      float64
 
+	// Solver selects the fixpoint strategy for the Equation 4 bound:
+	// cutting-plane jumps with monotone fallback (SolverAuto, the default)
+	// or the classic monotone iteration (SolverMonotone). Results are
+	// bit-identical either way, so Solver is excluded from the Memo cache
+	// key and cached results are shared across solvers.
+	Solver Solver
+
+	// Hints, when non-nil, seeds the Algorithm 1 walk's crossing search
+	// from a previous similar walk and records this walk's crossings back
+	// into Hints.Out — the cross-Q sharing hook used by eval.QSweep.
+	// Purely an accelerator: results are bit-identical with any hints, so
+	// Hints is excluded from the Memo cache key.
+	Hints *WalkHints
+
 	// Obs overrides the observability scope for this call; when nil the
 	// scope attached to the guard (guard.Ctx.WithObs) is used. Metric names
 	// are catalogued in DESIGN.md §10.
@@ -129,7 +143,7 @@ func analyze(g *guard.Ctx, f delay.Function, q float64, opts Options) (Result, e
 		if opts.Trace || opts.Limited || opts.Remaining {
 			return Result{}, guard.Invalidf("core: Trace/Limited/Remaining apply to Algorithm1 only (method %v)", opts.Method)
 		}
-		return analyzeEq4(g, sc, f, q)
+		return analyzeEq4(g, sc, f, q, opts.Solver)
 	case NaiveUnsound:
 		if opts.Trace || opts.Limited || opts.Remaining {
 			return Result{}, guard.Invalidf("core: Trace/Limited/Remaining apply to Algorithm1 only (method %v)", opts.Method)
@@ -149,7 +163,7 @@ func analyze(g *guard.Ctx, f delay.Function, q float64, opts Options) (Result, e
 		// when the caller did not ask to keep a trace.
 		trace = new([]Iteration)
 	}
-	res, err := upperBoundFrom(g, sc, f, q, q, trace)
+	res, err := upperBoundFrom(g, sc, f, q, q, trace, opts.Hints)
 	if err != nil {
 		return Result{}, err
 	}
@@ -201,7 +215,7 @@ func limitCharges(f delay.Function, res Result, n int) float64 {
 
 // analyzeEq4 is the Equation 4 baseline under Analyze: validation, the global
 // maximum, then the fixpoint.
-func analyzeEq4(g *guard.Ctx, sc *obs.Scope, f delay.Function, q float64) (Result, error) {
+func analyzeEq4(g *guard.Ctx, sc *obs.Scope, f delay.Function, q float64, solver Solver) (Result, error) {
 	if f == nil {
 		return Result{}, guard.Invalidf("core: nil delay function")
 	}
@@ -210,7 +224,7 @@ func analyzeEq4(g *guard.Ctx, sc *obs.Scope, f delay.Function, q float64) (Resul
 	}
 	c := f.Domain()
 	_, maxF := f.MaxOn(0, c)
-	v, err := eq4Fixpoint(g, sc, c, q, maxF)
+	v, err := eq4Fixpoint(g, sc, c, q, maxF, solver)
 	if err != nil {
 		return Result{}, err
 	}
@@ -244,7 +258,7 @@ func analyzeRemaining(g *guard.Ctx, sc *obs.Scope, f delay.Function, q float64, 
 	if err != nil {
 		return Result{}, err
 	}
-	res, err := upperBoundFrom(g, sc, suffix, q, q-current, opts.traceBuf())
+	res, err := upperBoundFrom(g, sc, suffix, q, q-current, opts.traceBuf(), nil)
 	if err != nil {
 		return Result{}, err
 	}
@@ -283,12 +297,23 @@ func kernelQueryCounter(sc *obs.Scope, f delay.Function) *obs.Counter {
 // delay C' - C; +Inf when the fixpoint diverges (maxDelay >= q). It charges
 // one guard step per fixpoint iteration.
 func Eq4Fixpoint(g *guard.Ctx, c, q, maxDelay float64) (float64, error) {
-	return eq4Fixpoint(g, g.Obs(), c, q, maxDelay)
+	return eq4Fixpoint(g, g.Obs(), c, q, maxDelay, SolverAuto)
 }
 
 // eq4Fixpoint is the shared Equation 4 fixpoint loop, instrumented with
-// core.eq4.runs / core.eq4.iterations.
-func eq4Fixpoint(g *guard.Ctx, sc *obs.Scope, c, q, maxDelay float64) (float64, error) {
+// core.eq4.runs / core.eq4.iterations (plus core.eq4.cuts and
+// core.eq4.fallbacks for the cutting-plane solver).
+//
+// The recurrence is cur' = c + ceil(cur/q)·m with m = maxDelay < q. For the
+// cutting solvers the linear relaxation ceil(x/q) ≥ x/q yields the global
+// cutting plane h(x) = c + (x/q)·m ≤ g(x), whose root c·q/(q-m) lower-bounds
+// the least fixpoint; one shaved jump there replaces the O(root/q) monotone
+// ramp, and the remaining monotone steps settle the exact ceil terms. A
+// post-jump iterate that fails to increase would mean the jump overshot (the
+// shave makes that practically impossible — see the cutRelShave comment), in
+// which case the loop reverts to the last monotonically-produced value and
+// continues without jumps, counting core.eq4.fallbacks.
+func eq4Fixpoint(g *guard.Ctx, sc *obs.Scope, c, q, maxDelay float64, solver Solver) (float64, error) {
 	if c <= 0 || q <= 0 || maxDelay < 0 ||
 		math.IsNaN(c) || math.IsNaN(q) || math.IsNaN(maxDelay) ||
 		math.IsInf(c, 0) || math.IsInf(q, 0) || math.IsInf(maxDelay, 0) {
@@ -304,9 +329,26 @@ func eq4Fixpoint(g *guard.Ctx, sc *obs.Scope, c, q, maxDelay float64) (float64, 
 		// delay per window: the fixpoint diverges.
 		return math.Inf(1), nil
 	}
+	var cut float64
+	haveCut := false
+	if solver != SolverMonotone && maxDelay <= cutSlopeCap*q {
+		root := c * q / (q - maxDelay)
+		cut = root - math.Max(cutRelShave*root, cutAbsShave)
+		haveCut = !math.IsInf(cut, 0) && !math.IsNaN(cut)
+	}
 	cur := c
-	var iters int64
-	defer func() { itc.Add(iters) }()
+	lastSound := cur
+	speculative, jumpedLast := false, false
+	var iters, cuts, falls int64
+	defer func() {
+		itc.Add(iters)
+		if cuts > 0 {
+			sc.Counter("core.eq4.cuts").Add(cuts)
+		}
+		if falls > 0 {
+			sc.Counter("core.eq4.fallbacks").Add(falls)
+		}
+	}()
 	for i := 0; i < maxIterations; i++ {
 		if err := g.Tick(); err != nil {
 			return 0, err
@@ -314,9 +356,25 @@ func eq4Fixpoint(g *guard.Ctx, sc *obs.Scope, c, q, maxDelay float64) (float64, 
 		iters++
 		next := c + math.Ceil(cur/q)*maxDelay
 		if next <= cur {
-			return cur - c, nil
+			if !speculative || (!jumpedLast && next == cur) {
+				return cur - c, nil
+			}
+			// Numerical doubt right after a jump: revert to the last
+			// monotonically-produced value and iterate plainly.
+			falls++
+			cur, speculative, jumpedLast, haveCut = lastSound, false, false, false
+			continue
 		}
+		jumpedLast = false
 		cur = next
+		if !speculative {
+			lastSound = cur
+		}
+		if haveCut && cut > cur {
+			cur, speculative, jumpedLast = cut, true, true
+			haveCut = false
+			cuts++
+		}
 	}
 	return math.Inf(1), nil
 }

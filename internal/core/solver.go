@@ -1,0 +1,111 @@
+package core
+
+import (
+	"fmt"
+
+	"fnpr/internal/guard"
+)
+
+// Solver selects the fixpoint strategy used by the iterative bounds: the
+// Equation 4 fixpoint here in core and the response-time / demand fixpoints
+// in internal/sched (which aliases this type).
+//
+// The cutting-plane strategy (Singh-style, see DESIGN.md §15) solves the
+// linearized relaxation of the current recurrence exactly and jumps to the
+// largest root of that cutting plane (shaved by a relative safety margin)
+// instead of iterating R_{k+1} = f(R_k) one release at a time. Jump targets
+// are always strictly below the relaxation's real root, so the subsequent
+// monotone steps converge to the same least fixpoint; on any numerical doubt
+// — a post-jump iterate that fails to increase, a speculative
+// deadline crossing, a relaxation slope too close to 1 — the solver reverts
+// to the last value produced by plain monotone iteration and disables further
+// jumps, making the run a warm-started monotone iteration from there on.
+// Results are bit-identical across solvers; only iteration counts differ
+// (differentially asserted on 10k random task sets in internal/sched).
+type Solver int
+
+const (
+	// SolverAuto picks the default strategy: cutting-plane jumps with
+	// automatic fallback to monotone iteration on numerical doubt.
+	SolverAuto Solver = iota
+	// SolverMonotone forces the classic monotone fixpoint iteration
+	// (exactly the pre-solver behaviour, tick for tick).
+	SolverMonotone
+	// SolverCutting requests the cutting-plane strategy explicitly; it
+	// still falls back to monotone iteration on numerical doubt (there is
+	// no unsafe mode).
+	SolverCutting
+)
+
+// String implements fmt.Stringer with the names ParseSolver accepts.
+func (s Solver) String() string {
+	switch s {
+	case SolverAuto:
+		return "auto"
+	case SolverMonotone:
+		return "monotone"
+	case SolverCutting:
+		return "cutting"
+	default:
+		return fmt.Sprintf("Solver(%d)", int(s))
+	}
+}
+
+// ParseSolver parses a -solver flag / "solver" request field value.
+func ParseSolver(s string) (Solver, error) {
+	switch s {
+	case "", "auto":
+		return SolverAuto, nil
+	case "monotone":
+		return SolverMonotone, nil
+	case "cutting", "cutting-plane":
+		return SolverCutting, nil
+	default:
+		return 0, guard.Invalidf("core: unknown solver %q (want auto, monotone or cutting)", s)
+	}
+}
+
+// Cutting-plane safety margins, shared by the Equation 4 fixpoint here and
+// the sched response-time solver.
+//
+// A jump target is the relaxation root shaved by max(cutRelShave·|root|,
+// cutAbsShave). Floating-point error in the root computation is a few ulps
+// (~1e-16 relative) amplified by at most 1/(1-slope) ≤ 1000 under
+// cutSlopeCap, so the shave exceeds it by orders of magnitude and the target
+// stays strictly below the real root — and therefore at or below the least
+// fixpoint the monotone iteration converges to. Slopes above cutSlopeCap
+// amplify rounding beyond what the shave covers, so no jump is attempted.
+const (
+	cutRelShave = 1e-9
+	cutAbsShave = 1e-12
+	cutSlopeCap = 0.999
+)
+
+// maxHintPieces caps the number of per-iteration piece indices a walk records
+// into WalkHints.Out: hints are a constant-factor accelerator for the common
+// short walks, and unbounded recording would let a divergent walk grow the
+// slice without limit.
+const maxHintPieces = 4096
+
+// WalkHints carries cross-run seeding for the Algorithm 1 walk. Adjacent Q
+// grid points walk nearly the same delay function, so the piece index where
+// iteration k's descending-line crossing was found in one walk is an
+// excellent first candidate for iteration k of the neighbouring walk
+// (eval.QSweep threads these between grid points and counts
+// sweep.qshare.{seeded,cold}).
+//
+// Hints are strictly an accelerator: a wrong or stale hint costs one extra
+// exact recheck and the search falls back to the full bisection, so results
+// are bit-identical with any In contents. Hints only take effect on indexed
+// delay functions (the scan kernel has no crossing index to seed).
+type WalkHints struct {
+	// In seeds iteration k of the walk with In[k], the piece index where a
+	// previous similar walk found its crossing (-1 recorded no crossing).
+	// Entries beyond the walk's iteration count are ignored.
+	In []int32
+	// Out receives this walk's per-iteration crossing pieces (capped at
+	// maxHintPieces; -1 for iterations without a crossing), replacing any
+	// previous contents. It is only populated when the walk actually runs
+	// on an indexed function.
+	Out []int32
+}

@@ -254,39 +254,34 @@ func acceptanceTrial(g *guard.Ctx, p AcceptanceParams, point int, u float64, tri
 		fns[i] = fn
 	}
 	// No-delay envelope first: its response times seed the others.
-	none := sched.FNPRAnalysis{Tasks: ts, Delay: make([]delay.Function, len(ts)), Method: sched.Algorithm1}
-	ndRTs, err := none.ResponseTimesFPCtx(g)
-	if err == nil && sched.Schedulable(ts, ndRTs) {
-		v.admit[3] = true
-	} else if err != nil {
-		if guard.Abortive(err) {
-			return v, err
-		}
-		ndRTs = nil
-	}
-	a := sched.FNPRAnalysis{Tasks: ts, Delay: fns, Method: sched.Algorithm1, Warm: ndRTs}
-	a1RTs, err := a.ResponseTimesFPCtx(g)
-	if err == nil && sched.Schedulable(ts, a1RTs) {
-		v.admit[0] = true
-	} else if err != nil {
-		if guard.Abortive(err) {
-			return v, err
-		}
-		a1RTs = nil
-	}
-	if lim, err := a.ResponseTimesFPLimitedCtx(g); err == nil && sched.Schedulable(ts, lim.Response) {
-		v.admit[1] = true
-	} else if err != nil && guard.Abortive(err) {
+	var ndRTs []float64
+	nd, err := sched.Analyze(g, ts, sched.Options{Delay: make([]delay.Function, len(ts)), Method: sched.Algorithm1})
+	if err == nil {
+		v.admit[3] = nd.Schedulable
+		ndRTs = nd.Response
+	} else if guard.Abortive(err) {
 		return v, err
 	}
-	a4 := a
-	a4.Method = sched.Equation4
-	if a1RTs != nil {
-		a4.Warm = a1RTs // Algorithm 1 lower-bounds Equation 4
+	var a1RTs []float64
+	a1, err := sched.Analyze(g, ts, sched.Options{Delay: fns, Method: sched.Algorithm1, Warm: ndRTs})
+	if err == nil {
+		v.admit[0] = a1.Schedulable
+		a1RTs = a1.Response
+	} else if guard.Abortive(err) {
+		return v, err
 	}
-	if rts, err := a4.ResponseTimesFPCtx(g); err == nil && sched.Schedulable(ts, rts) {
-		v.admit[2] = true
-	} else if err != nil && guard.Abortive(err) {
+	if lim, err := sched.Analyze(g, ts, sched.Options{Delay: fns, Method: sched.Algorithm1, Limited: true, Warm: ndRTs}); err == nil {
+		v.admit[1] = lim.Schedulable
+	} else if guard.Abortive(err) {
+		return v, err
+	}
+	e4Warm := ndRTs
+	if a1RTs != nil {
+		e4Warm = a1RTs // Algorithm 1 lower-bounds Equation 4
+	}
+	if e4, err := sched.Analyze(g, ts, sched.Options{Delay: fns, Method: sched.Equation4, Warm: e4Warm}); err == nil {
+		v.admit[2] = e4.Schedulable
+	} else if guard.Abortive(err) {
 		return v, err
 	}
 	return v, nil

@@ -1,0 +1,93 @@
+package eval
+
+import (
+	"math"
+	"testing"
+
+	"fnpr/internal/delay"
+	"fnpr/internal/obs"
+)
+
+// qshareFixture builds a delay function with enough pieces that AutoIndex
+// wraps it in the query index (the hint-capable kernel) and a Q grid inside
+// its interesting range.
+func qshareFixture(t *testing.T) (delay.Function, []float64) {
+	t.Helper()
+	const n = 48
+	xs := make([]float64, n+1)
+	ys := make([]float64, n)
+	for i := range xs {
+		xs[i] = float64(2 * i)
+	}
+	for i := range ys {
+		// A rough sawtooth: high early spikes decaying towards the tail,
+		// so Algorithm 1's windows walk several pieces per query.
+		ys[i] = 0.5 + float64((13*i)%7) + 5/float64(i+1)
+	}
+	f, err := delay.NewPiecewise(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := make([]float64, 0, 10)
+	for q := 12.0; q < 52; q += 4 {
+		qs = append(qs, q)
+	}
+	return f, qs
+}
+
+// TestQSweepCrossQHints: on a single-worker sweep, each grid point's walk is
+// seeded from the pieces the previous point recorded (sweep.qshare.seeded);
+// only the curve's first computed point starts cold. The hints are advisory
+// only — the indexed-with-hints sweep must agree bit for bit with the plain
+// scan-kernel sweep.
+func TestQSweepCrossQHints(t *testing.T) {
+	f, qs := qshareFixture(t)
+	reg := obs.NewRegistry()
+	hinted, err := QSweep(nil, []SweepSpec{{Name: "curve", F: f}},
+		SweepOptions{Qs: qs, Workers: 1, Obs: obs.NewScope(reg)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, pt := range hinted[0].Points {
+		if pt.Degraded || pt.Quarantined {
+			t.Fatalf("point Q=%g degraded: %s", qs[i], pt.Note)
+		}
+	}
+	seeded := reg.Counter("sweep.qshare.seeded").Value()
+	cold := reg.Counter("sweep.qshare.cold").Value()
+	if cold < 1 {
+		t.Fatalf("no cold grid point (seeded=%d cold=%d)", seeded, cold)
+	}
+	if seeded == 0 {
+		t.Fatalf("cross-Q seeding never happened (cold=%d over %d points)", cold, len(qs))
+	}
+	if seeded+cold > int64(len(qs)) {
+		t.Fatalf("qshare counters exceed grid: seeded=%d cold=%d over %d points", seeded, cold, len(qs))
+	}
+	scan, err := QSweep(nil, []SweepSpec{{Name: "curve", F: f}},
+		SweepOptions{Qs: qs, NoIndex: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range qs {
+		hv, sv := hinted[0].Points[i].Value, scan[0].Points[i].Value
+		if hv != sv && !(math.IsNaN(hv) && math.IsNaN(sv)) {
+			t.Fatalf("hinted and scan kernels differ at Q=%g: %g vs %g", qs[i], hv, sv)
+		}
+	}
+}
+
+// TestQSweepScanKernelNoHintCounters: the scan kernel records no walk pieces,
+// so a NoIndex sweep must leave the qshare counters untouched (they count
+// hint-capable walks only).
+func TestQSweepScanKernelNoHintCounters(t *testing.T) {
+	f, qs := qshareFixture(t)
+	reg := obs.NewRegistry()
+	if _, err := QSweep(nil, []SweepSpec{{Name: "curve", F: f}},
+		SweepOptions{Qs: qs, Workers: 1, NoIndex: true, Obs: obs.NewScope(reg)}); err != nil {
+		t.Fatal(err)
+	}
+	if s, c := reg.Counter("sweep.qshare.seeded").Value(), reg.Counter("sweep.qshare.cold").Value(); s != 0 || c != 0 {
+		t.Fatalf("scan kernel bumped qshare counters: seeded=%d cold=%d", s, c)
+	}
+}

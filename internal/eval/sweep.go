@@ -321,6 +321,11 @@ type SweepOptions struct {
 	// SweepPoint.Cached. Build with core.NewResultCache.
 	Memo *memo.Cache
 
+	// Solver selects the fixpoint solver every grid point runs with
+	// (core.SolverAuto by default: cutting-plane acceleration with
+	// monotone fallback). Results are bit-identical across solvers.
+	Solver core.Solver
+
 	// NoIndex disables the per-spec query index (delay.AutoIndex), forcing
 	// every grid point onto the linear-scan kernel. The indexed and scan
 	// kernels are bit-for-bit equivalent (proven by the differential and
@@ -464,6 +469,19 @@ func QSweep(g *guard.Ctx, specs []SweepSpec, opts SweepOptions) ([]SweepResult, 
 		results[i] = SweepResult{Name: s.Name, Points: make([]SweepPoint, len(qs))}
 	}
 
+	// Cross-Q hint slots, one per spec: the walk pieces recorded by the most
+	// recently computed grid point seed the descending-line searches of the
+	// next point on the same curve (core.WalkHints — bit-identical, the hint
+	// only short-circuits provably equivalent query work). Adjacent Q points
+	// cross similar piece sequences, so the seed usually lands. Workers
+	// race on the slot, but hints are advisory: any stored sequence is a
+	// valid seed for any Q, so last-writer-wins needs no ordering.
+	type hintSlot struct {
+		mu     sync.Mutex
+		pieces []int32
+	}
+	hintSlots := make([]hintSlot, len(specs))
+
 	var (
 		mu       sync.Mutex
 		abortErr error
@@ -582,15 +600,34 @@ func QSweep(g *guard.Ctx, specs []SweepSpec, opts SweepOptions) ([]SweepResult, 
 						sc.Emit(obs.Event{Type: obs.PointRetried, Spec: spec.Name, Q: q, Attempt: n + 1})
 					}
 				}
+				var hints core.WalkHints
 				v, err := retry.Do(pol, settled, func(attempt int) (core.Result, error) {
 					pt.Attempts = attempt + 1
 					return guard.Run(g, label, func() (core.Result, error) {
-						return core.Analyze(g, spec.F, q, core.Options{Obs: sc, Memo: opts.Memo})
+						hs := &hintSlots[jb.si]
+						hs.mu.Lock()
+						in := hs.pieces
+						hs.mu.Unlock()
+						// Fresh Out every attempt: the stored slice is only
+						// ever read (as a later walk's In), never appended to.
+						hints = core.WalkHints{In: in}
+						return core.Analyze(g, spec.F, q, core.Options{Obs: sc, Memo: opts.Memo, Solver: opts.Solver, Hints: &hints})
 					})
 				})
 				if err == nil {
 					pt.Value = v.TotalDelay
 					pt.Cached = v.Cached
+					if !v.Cached && len(hints.Out) > 0 {
+						if len(hints.In) > 0 {
+							sc.Counter("sweep.qshare.seeded").Inc()
+						} else {
+							sc.Counter("sweep.qshare.cold").Inc()
+						}
+						hs := &hintSlots[jb.si]
+						hs.mu.Lock()
+						hs.pieces = hints.Out
+						hs.mu.Unlock()
+					}
 					finish(jb, pt, false)
 					if timed {
 						busyNs += time.Since(jobStart).Nanoseconds()
@@ -611,7 +648,7 @@ func QSweep(g *guard.Ctx, specs []SweepSpec, opts SweepOptions) ([]SweepResult, 
 				// a recovery scope (a poisoned function can panic in
 				// Domain/MaxOn too).
 				fb, ferr := guard.Run(g, label+" (Eq.4 fallback)", func() (core.Result, error) {
-					return core.Analyze(g, spec.F, q, core.Options{Method: core.Equation4, Obs: sc, Memo: opts.Memo})
+					return core.Analyze(g, spec.F, q, core.Options{Method: core.Equation4, Obs: sc, Memo: opts.Memo, Solver: opts.Solver})
 				})
 				if ferr != nil {
 					if fatal(ferr) {

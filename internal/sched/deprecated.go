@@ -1,0 +1,197 @@
+package sched
+
+import (
+	"fnpr/internal/core"
+	"fnpr/internal/delay"
+	"fnpr/internal/guard"
+	"fnpr/internal/task"
+)
+
+// This file holds the pre-Analyze entry points, kept for one PR so external
+// callers can migrate at their own pace. Every wrapper forwards to the same
+// internals as Analyze with core.SolverMonotone, preserving the legacy
+// tick-for-tick iteration behaviour (including guard budgets and the
+// sched.rta.iterations counter); use Options.Solver to opt into the cutting
+// solvers.
+
+// ResponseTimes computes the classic fixed-priority response times (tasks
+// sorted by priority, index 0 highest) by the standard fixpoint iteration:
+//
+//	Ri = Ci + Σ_{j<i} ceil((Ri + Jj)/Tj) * Cj
+//
+// It returns the fixpoint response times; a task whose iteration exceeds its
+// deadline gets +Inf (unschedulable) and iteration continues for the others.
+//
+// Deprecated: use Analyze with the zero Options.
+func ResponseTimes(ts task.Set) ([]float64, error) {
+	return ResponseTimesCtx(nil, ts)
+}
+
+// ResponseTimesCtx is ResponseTimes under a guard scope: the fixpoint charges
+// one guard step per iteration, so runaway iterations can be canceled or
+// budget-bounded. A nil guard means no limits.
+//
+// Deprecated: use Analyze with the zero Options.
+func ResponseTimesCtx(g *guard.Ctx, ts task.Set) ([]float64, error) {
+	return responseTimes(g, g.Obs(), ts, nil, nil, nil, core.SolverMonotone)
+}
+
+// ResponseTimesCRPD computes response times with cache-related preemption
+// delay folded into the interference term:
+//
+//	Ri = Ci + Σ_{j<i} ceil((Ri + Jj)/Tj) * (Cj + γij)
+//
+// with γij picked by the method. This reproduces the state-of-the-art
+// integration styles the paper compares against.
+//
+// Deprecated: use Analyze with Options.CRPD.
+func ResponseTimesCRPD(ts task.Set, m CRPDMethod, p CRPDParams) ([]float64, error) {
+	return ResponseTimesCRPDCtx(nil, ts, m, p)
+}
+
+// ResponseTimesCRPDCtx is ResponseTimesCRPD under a guard scope.
+//
+// Deprecated: use Analyze with Options.CRPD.
+func ResponseTimesCRPDCtx(g *guard.Ctx, ts task.Set, m CRPDMethod, p CRPDParams) ([]float64, error) {
+	gamma, err := crpdGamma(ts, m, p)
+	if err != nil {
+		return nil, err
+	}
+	return responseTimes(g, g.Obs(), ts, gamma, nil, nil, core.SolverMonotone)
+}
+
+// FNPRAnalysis couples the floating-NPR task model with the paper's delay
+// bound: each task carries its preemption delay function, its Q, and the
+// analysis uses the effective WCET C'i = Ci + Algorithm1(fi, Qi).
+//
+// Deprecated: use Analyze with Options{Delay, Method, Warm}.
+type FNPRAnalysis struct {
+	// Tasks is the priority-sorted task set (for FP) or any order (EDF).
+	Tasks task.Set
+	// Delay holds each task's preemption delay function; a nil entry
+	// means the task suffers no preemption delay. Function domains must
+	// equal the task's C.
+	Delay []delay.Function
+	// Method selects how the cumulative delay is bounded; see
+	// DelayMethod.
+	Method DelayMethod
+	// Warm optionally seeds the response-time fixpoints from previously
+	// computed response times (jitter-inclusive, indexed like Tasks).
+	//
+	// Soundness contract: Warm[i] must be a proven lower bound on task
+	// i's response time under THIS analysis — in practice, the response
+	// times of the same task set under pointwise-smaller effective WCETs.
+	// Delay bounds are non-negative, so the plain no-delay FNPR response
+	// times lower-bound every delay-aware variant, and the Algorithm 1
+	// response times lower-bound the (coarser) Equation 4 ones. A valid
+	// seed changes nothing but the iteration count: results stay
+	// bit-identical (see responseTimes). Non-finite or too-small entries
+	// fall back to a cold start per task.
+	Warm []float64
+}
+
+// options lowers the legacy struct to an Options value with the legacy
+// monotone solver.
+func (a FNPRAnalysis) options() Options {
+	return Options{
+		Method: a.Method,
+		Delay:  a.Delay,
+		Warm:   a.Warm,
+		Solver: core.SolverMonotone,
+	}
+}
+
+// EffectiveWCETs computes C'i for every task under the selected method
+// (Equation 5 of the paper).
+//
+// Deprecated: use Analyze; Result.EffectiveC carries these values.
+func (a FNPRAnalysis) EffectiveWCETs() ([]float64, error) {
+	return a.EffectiveWCETsCtx(nil)
+}
+
+// EffectiveWCETsCtx is EffectiveWCETs under a guard scope: each task's delay
+// bound runs with cancellation and budget checks.
+//
+// Deprecated: use Analyze; Result.EffectiveC carries these values.
+func (a FNPRAnalysis) EffectiveWCETsCtx(g *guard.Ctx) ([]float64, error) {
+	if len(a.Delay) != len(a.Tasks) {
+		return nil, guard.Invalidf("sched: %d delay functions for %d tasks", len(a.Delay), len(a.Tasks))
+	}
+	return effectiveWCETs(g, g.Obs(), a.Tasks, a.options())
+}
+
+// ResponseTimesFP runs the fixed-priority RTA with effective WCETs and the
+// floating-NPR blocking term: a lower-priority task inside its NPR can delay
+// τi by up to min(Qk, C'k):
+//
+//	Ri = C'i + max_{k>i} min(Qk, C'k) + Σ_{j<i} ceil((Ri+Jj)/Tj) * C'j
+//
+// Deprecated: use Analyze with Options{Delay, Method}.
+func (a FNPRAnalysis) ResponseTimesFP() ([]float64, error) {
+	return a.ResponseTimesFPCtx(nil)
+}
+
+// ResponseTimesFPCtx is ResponseTimesFP under a guard scope.
+//
+// Deprecated: use Analyze with Options{Delay, Method}.
+func (a FNPRAnalysis) ResponseTimesFPCtx(g *guard.Ctx) ([]float64, error) {
+	cp, err := a.EffectiveWCETsCtx(g)
+	if err != nil {
+		return nil, err
+	}
+	return fpResponseTimes(g, g.Obs(), a.Tasks, a.options(), cp)
+}
+
+// ResponseTimesFPLimited runs the fixed-priority FNPR response-time analysis
+// with the cumulative delay of each task refined by the number of
+// higher-priority releases within its response time.
+//
+// Deprecated: use Analyze with Options.Limited.
+func (a FNPRAnalysis) ResponseTimesFPLimited() (*LimitedResult, error) {
+	return a.ResponseTimesFPLimitedCtx(nil)
+}
+
+// ResponseTimesFPLimitedCtx is ResponseTimesFPLimited under a guard scope.
+//
+// Deprecated: use Analyze with Options.Limited.
+func (a FNPRAnalysis) ResponseTimesFPLimitedCtx(g *guard.Ctx) (*LimitedResult, error) {
+	return limitedAnalysis(g, g.Obs(), a.Tasks, a.options())
+}
+
+// SchedulableEDF runs the processor-demand test with effective WCETs and the
+// floating-NPR blocking term of Bertogna and Baruah: for every absolute
+// deadline t up to the analysis horizon,
+//
+//	dbf'(t) + max_{Dj > t} min(Qj, C'j) <= t
+//
+// Deprecated: use Analyze with Options{Policy: EDF, Delay, Method}.
+func (a FNPRAnalysis) SchedulableEDF() (bool, error) {
+	return a.SchedulableEDFCtx(nil)
+}
+
+// SchedulableEDFCtx is SchedulableEDF under a guard scope: the demand-bound
+// sweep charges one guard step per deadline checked.
+//
+// Deprecated: use Analyze with Options{Policy: EDF, Delay, Method}.
+func (a FNPRAnalysis) SchedulableEDFCtx(g *guard.Ctx) (bool, error) {
+	cp, err := a.EffectiveWCETsCtx(g)
+	if err != nil {
+		return false, err
+	}
+	return edfSchedulable(g, g.Obs(), a.Tasks, a.options(), cp)
+}
+
+// DelayMargin computes the largest delay-scale factor preserving FP
+// schedulability; see the package-level DelayMargin.
+//
+// Deprecated: use the package-level DelayMargin.
+func (a FNPRAnalysis) DelayMargin(maxScale, precision float64) (float64, error) {
+	return a.DelayMarginCtx(nil, maxScale, precision)
+}
+
+// DelayMarginCtx is DelayMargin under a guard scope.
+//
+// Deprecated: use the package-level DelayMargin.
+func (a FNPRAnalysis) DelayMarginCtx(g *guard.Ctx, maxScale, precision float64) (float64, error) {
+	return DelayMargin(g, a.Tasks, a.options(), maxScale, precision)
+}

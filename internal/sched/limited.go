@@ -5,11 +5,13 @@ import (
 
 	"fnpr/internal/core"
 	"fnpr/internal/guard"
+	"fnpr/internal/obs"
+	"fnpr/internal/task"
 )
 
 // LimitedResult carries the outcome of the preemption-count-refined FNPR
 // response-time analysis (the paper's future work (ii), implemented via
-// core.UpperBoundLimited).
+// core's Limited mode).
 type LimitedResult struct {
 	// Response holds the per-task response times (+Inf = unschedulable).
 	Response []float64
@@ -20,53 +22,57 @@ type LimitedResult struct {
 	PreemptionLimit []int
 }
 
-// ResponseTimesFPLimited runs the fixed-priority FNPR response-time analysis
-// with the cumulative delay of each task refined by the number of
-// higher-priority releases within its response time: at most that many
-// preemptions can occur, so the delay is bounded by the sum of the largest
-// per-window charges of Algorithm 1 (core.UpperBoundLimited).
+// limitedAnalysis runs the fixed-priority FNPR response-time analysis with
+// the cumulative delay of each task refined by the number of higher-priority
+// releases within its response time: at most that many preemptions can
+// occur, so the delay is bounded by the sum of the largest per-window
+// charges of Algorithm 1.
 //
 // The analysis iterates a decreasing fixpoint from the unlimited bound:
 // response times yield preemption-count limits, limits yield tighter C',
 // tighter C' yield smaller response times, until stable. When a task's
-// response exceeds its deadline the count is computed at the deadline (a
-// job that misses is not analysed beyond it), keeping the test sound for
-// all tasks it declares schedulable.
-func (a FNPRAnalysis) ResponseTimesFPLimited() (*LimitedResult, error) {
-	return a.ResponseTimesFPLimitedCtx(nil)
-}
-
-// ResponseTimesFPLimitedCtx is ResponseTimesFPLimited under a guard scope.
-func (a FNPRAnalysis) ResponseTimesFPLimitedCtx(g *guard.Ctx) (*LimitedResult, error) {
-	n := len(a.Tasks)
-	if len(a.Delay) != n {
-		return nil, guard.Invalidf("sched: %d delay functions for %d tasks", len(a.Delay), n)
+// response exceeds its deadline the count is computed at the deadline (a job
+// that misses is not analysed beyond it), keeping the test sound for all
+// tasks it declares schedulable.
+func limitedAnalysis(g *guard.Ctx, sc *obs.Scope, ts task.Set, opts Options) (*LimitedResult, error) {
+	n := len(ts)
+	if len(opts.Delay) != n {
+		return nil, guard.Invalidf("sched: %d delay functions for %d tasks", len(opts.Delay), n)
 	}
-	if a.Method != Algorithm1 {
-		return nil, guard.Invalidf("sched: preemption-count refinement requires Algorithm1, got %v", a.Method)
+	if opts.Method != Algorithm1 {
+		return nil, guard.Invalidf("sched: preemption-count refinement requires Algorithm1, got %v", opts.Method)
+	}
+	boundAt := func(i, lim int) (core.Result, error) {
+		return core.Analyze(g, opts.Delay[i], ts[i].Q, core.Options{
+			Limited:        lim >= 0,
+			MaxPreemptions: lim,
+			Solver:         opts.Solver,
+			Obs:            sc,
+			Memo:           opts.Memo,
+		})
 	}
 	// Initial C': the unlimited Algorithm 1 bound, or (for divergent
 	// bounds) the count-limited bound at the deadline — the refinement
 	// is precisely what makes such tasks analysable.
 	cp := make([]float64, n)
 	limits := make([]int, n)
-	for i, tk := range a.Tasks {
+	for i, tk := range ts {
 		limits[i] = -1
-		if a.Delay[i] == nil {
+		if opts.Delay[i] == nil {
 			cp[i] = tk.C
 			continue
 		}
-		if d := a.Delay[i].Domain(); math.Abs(d-tk.C) > 1e-9 {
+		if d := opts.Delay[i].Domain(); math.Abs(d-tk.C) > 1e-9 {
 			return nil, guard.Invalidf("sched: task %s has C=%g but delay function domain %g", tk.Name, tk.C, d)
 		}
 		if tk.Q <= 0 {
 			return nil, guard.Invalidf("sched: task %s has no NPR length Q", tk.Name)
 		}
-		lim, err := a.deadlineCount(i)
+		lim, err := countAt(ts, i, tk.Deadline())
 		if err != nil {
 			return nil, err
 		}
-		b, err := core.Analyze(g, a.Delay[i], tk.Q, core.Options{Limited: lim >= 0, MaxPreemptions: lim})
+		b, err := boundAt(i, lim)
 		if err != nil {
 			return nil, err
 		}
@@ -79,27 +85,27 @@ func (a FNPRAnalysis) ResponseTimesFPLimitedCtx(g *guard.Ctx) (*LimitedResult, e
 		if err := g.Tick(); err != nil {
 			return nil, err
 		}
-		r, err := a.rtaWith(g, cp)
+		r, err := fpResponseTimes(g, sc, ts, opts, cp)
 		if err != nil {
 			return nil, err
 		}
 		rts = r
 		changed := false
-		for i, tk := range a.Tasks {
-			if a.Delay[i] == nil {
+		for i, tk := range ts {
+			if opts.Delay[i] == nil {
 				continue
 			}
 			horizon := rts[i]
 			if math.IsInf(horizon, 1) || horizon > tk.Deadline() {
 				horizon = tk.Deadline()
 			}
-			lim, err := a.countAt(i, horizon)
+			lim, err := countAt(ts, i, horizon)
 			if err != nil {
 				return nil, err
 			}
 			if lim != limits[i] {
 				limits[i] = lim
-				b, err := core.Analyze(g, a.Delay[i], tk.Q, core.Options{Limited: lim >= 0, MaxPreemptions: lim})
+				b, err := boundAt(i, lim)
 				if err != nil {
 					return nil, err
 				}
@@ -117,51 +123,13 @@ func (a FNPRAnalysis) ResponseTimesFPLimitedCtx(g *guard.Ctx) (*LimitedResult, e
 	return &LimitedResult{Response: rts, EffectiveC: cp, PreemptionLimit: limits}, nil
 }
 
-// deadlineCount bounds task i's preemptions by the higher-priority releases
-// within its deadline.
-func (a FNPRAnalysis) deadlineCount(i int) (int, error) {
-	return a.countAt(i, a.Tasks[i].Deadline())
-}
-
-func (a FNPRAnalysis) countAt(i int, horizon float64) (int, error) {
+// countAt bounds task i's preemptions by the higher-priority releases within
+// the horizon.
+func countAt(ts task.Set, i int, horizon float64) (int, error) {
 	var periods, jitters []float64
 	for j := 0; j < i; j++ {
-		periods = append(periods, a.Tasks[j].T)
-		jitters = append(jitters, a.Tasks[j].Jitter)
+		periods = append(periods, ts[j].T)
+		jitters = append(jitters, ts[j].Jitter)
 	}
 	return core.PreemptionCount(horizon, periods, jitters)
-}
-
-// rtaWith runs the blocking-aware RTA with the given effective WCETs.
-func (a FNPRAnalysis) rtaWith(g *guard.Ctx, cp []float64) ([]float64, error) {
-	inflated := a.Tasks.Clone()
-	for i := range inflated {
-		if math.IsInf(cp[i], 1) {
-			return nil, guard.Divergedf("sched: task %s has divergent delay bound", inflated[i].Name)
-		}
-		inflated[i].C = cp[i]
-	}
-	for _, tk := range inflated {
-		if tk.C > tk.Deadline() {
-			rts := make([]float64, len(inflated))
-			for i := range rts {
-				rts[i] = math.Inf(1)
-			}
-			return rts, nil
-		}
-	}
-	blocking := func(i int) float64 {
-		var b float64
-		for k := i + 1; k < len(inflated); k++ {
-			q := math.Min(inflated[k].Q, cp[k])
-			if q > b {
-				b = q
-			}
-		}
-		return b
-	}
-	// a.Warm is sound here too: the refinement only ever evaluates C'
-	// vectors at or above the plain C vector, and the response time is
-	// monotone in C' (both directly and through the blocking term).
-	return responseTimes(g, inflated, nil, blocking, a.Warm)
 }

@@ -5,6 +5,12 @@
 // Petters-style preempter-damage inflation), and the floating-NPR analyses
 // that plug in the effective WCET C' = C + total_delay of Equation 5 for
 // both fixed-priority and EDF scheduling.
+//
+// Analyze is the package's single entry point; Options selects the policy
+// (fixed-priority or EDF), the delay method, CRPD inflation, the
+// preemption-count refinement, the fixpoint solver and warm seeding. The
+// ResponseTimes*/FNPRAnalysis.* families are deprecated wrappers kept for
+// one PR (see deprecated.go).
 package sched
 
 import (
@@ -12,32 +18,13 @@ import (
 	"math"
 
 	"fnpr/internal/core"
-	"fnpr/internal/delay"
 	"fnpr/internal/guard"
-	"fnpr/internal/npr"
+	"fnpr/internal/obs"
 	"fnpr/internal/task"
 )
 
 // maxRTAIterations caps the response-time fixpoint iteration.
 const maxRTAIterations = 1_000_000
-
-// ResponseTimes runs the classic fully-preemptive fixed-priority RTA on a
-// priority-sorted set (index 0 = highest priority):
-//
-//	Ri = Ci + Σ_{j<i} ceil((Ri + Jj)/Tj) * Cj
-//
-// It returns the fixpoint response times; a task whose iteration exceeds its
-// deadline gets +Inf (unschedulable) and iteration continues for the others.
-func ResponseTimes(ts task.Set) ([]float64, error) {
-	return responseTimes(nil, ts, nil, nil, nil)
-}
-
-// ResponseTimesCtx is ResponseTimes under a guard scope: the fixpoint charges
-// one guard step per iteration, so runaway iterations can be canceled or
-// budget-bounded. A nil guard means no limits.
-func ResponseTimesCtx(g *guard.Ctx, ts task.Set) ([]float64, error) {
-	return responseTimes(g, ts, nil, nil, nil)
-}
 
 // CRPDMethod selects how preemption costs inflate the RTA.
 type CRPDMethod int
@@ -79,26 +66,15 @@ type CRPDParams struct {
 	Damage []float64
 }
 
-// ResponseTimesCRPD runs the fully-preemptive RTA with preemption costs
-// charged per higher-priority release:
-//
-//	Ri = Ci + Σ_{j<i} ceil((Ri + Jj)/Tj) * (Cj + γij)
-//
-// with γij picked by the method. This reproduces the state-of-the-art
-// integration styles the paper compares against.
-func ResponseTimesCRPD(ts task.Set, m CRPDMethod, p CRPDParams) ([]float64, error) {
-	return ResponseTimesCRPDCtx(nil, ts, m, p)
-}
-
-// ResponseTimesCRPDCtx is ResponseTimesCRPD under a guard scope.
-func ResponseTimesCRPDCtx(g *guard.Ctx, ts task.Set, m CRPDMethod, p CRPDParams) ([]float64, error) {
+// crpdGamma builds the per-preemption cost function for the CRPD-aware RTA.
+func crpdGamma(ts task.Set, m CRPDMethod, p CRPDParams) (func(i, j int) float64, error) {
 	if m == NoCRPD {
-		return ResponseTimesCtx(g, ts)
+		return nil, nil
 	}
 	if len(p.MaxCRPD) != len(ts) {
 		return nil, guard.Invalidf("sched: MaxCRPD has %d entries for %d tasks", len(p.MaxCRPD), len(ts))
 	}
-	gamma := func(i, j int) float64 {
+	return func(i, j int) float64 {
 		switch m {
 		case BusquetsMax:
 			return p.MaxCRPD[i]
@@ -111,8 +87,29 @@ func ResponseTimesCRPDCtx(g *guard.Ctx, ts task.Set, m CRPDMethod, p CRPDParams)
 		default:
 			return 0
 		}
+	}, nil
+}
+
+// DelayMethod selects the cumulative-delay bound used for C'.
+type DelayMethod int
+
+const (
+	// Algorithm1 uses the paper's Algorithm 1 (the contribution).
+	Algorithm1 DelayMethod = iota
+	// Equation4 uses the state-of-the-art iterative bound.
+	Equation4
+)
+
+// String implements fmt.Stringer.
+func (m DelayMethod) String() string {
+	switch m {
+	case Algorithm1:
+		return "algorithm1"
+	case Equation4:
+		return "equation4"
+	default:
+		return fmt.Sprintf("DelayMethod(%d)", int(m))
 	}
-	return responseTimes(g, ts, gamma, nil, nil)
 }
 
 // responseTimes is the shared fixpoint engine. gamma(i,j) is the preemption
@@ -129,7 +126,13 @@ func ResponseTimesCRPDCtx(g *guard.Ctx, ts task.Set, m CRPDMethod, p CRPDParams)
 // to a cold start; only the iteration count shrinks. Callers must guarantee
 // warm[i] <= task i's true response time; entries that are non-finite or
 // below the cold-start value are ignored (cold start is always sound).
-func responseTimes(g *guard.Ctx, ts task.Set, gamma func(i, j int) float64, blocking func(i int) float64, warm []float64) ([]float64, error) {
+//
+// solver selects the fixpoint strategy: core.SolverMonotone iterates the
+// recurrence one step at a time (exactly the pre-solver behaviour), the
+// cutting solvers additionally jump to the shaved root of the linearized
+// recurrence between monotone steps — same fixpoints, far fewer iterations.
+// See solver.go for the cut construction and the fallback rules.
+func responseTimes(g *guard.Ctx, sc *obs.Scope, ts task.Set, gamma func(i, j int) float64, blocking func(i int) float64, warm []float64, solver core.Solver) ([]float64, error) {
 	if err := ts.Validate(); err != nil {
 		return nil, err
 	}
@@ -139,16 +142,19 @@ func responseTimes(g *guard.Ctx, ts task.Set, gamma func(i, j int) float64, bloc
 	if err := g.Err(); err != nil {
 		return nil, err
 	}
-	sc := g.Obs()
 	iters := sc.Counter("sched.rta.iterations")
+	solverIters := sc.Counter("sched.rta.solver.iterations")
 	seeded := sc.Counter("sched.rta.warm.seeded")
+	cuts := sc.Counter("sched.rta.solver.cuts")
+	falls := sc.Counter("sched.rta.solver.fallbacks")
 	out := make([]float64, len(ts))
 	for i, tk := range ts {
 		b := 0.0
 		if blocking != nil {
 			b = blocking(i)
 		}
-		r := tk.C + b
+		base := tk.C + b
+		r := base
 		if i < len(warm) {
 			// warm values include jitter; the iteration variable does not.
 			if w := warm[i] - tk.Jitter; w > r && !math.IsInf(w, 1) && !math.IsNaN(w) {
@@ -156,30 +162,97 @@ func responseTimes(g *guard.Ctx, ts task.Set, gamma func(i, j int) float64, bloc
 				seeded.Inc()
 			}
 		}
+		deadline := tk.Deadline()
+		// Cutting-plane state: lastSound is the most recent iterate
+		// produced by plain monotone steps (always a certified lower bound
+		// on the least fixpoint); iterates past a jump are speculative
+		// until the chain re-converges, and any doubt signal reverts to
+		// lastSound with jumps disabled — a warm-started monotone run.
+		lastSound := r
+		speculative, jumpedLast := false, false
+		// jumps gates cutting-plane acceleration; refute gates the
+		// no-fixpoint-below-deadline certificate. A deadline fallback
+		// disables jumps but keeps refuting (the certificate anchors only
+		// at certified monotone iterates, so it stays sound and can end
+		// the re-climb early); an overshoot fallback disables both, since
+		// it casts doubt on the relaxation itself.
+		jumps := solver != core.SolverMonotone && i > 0
+		refute := jumps
 		ok := false
 		for iter := 0; iter < maxRTAIterations; iter++ {
 			if err := g.Tick(); err != nil {
 				return nil, err
 			}
 			iters.Inc()
-			next := tk.C + b
+			solverIters.Inc()
+			next := base
 			for j := 0; j < i; j++ {
-				g := 0.0
+				gm := 0.0
 				if gamma != nil {
-					g = gamma(i, j)
+					gm = gamma(i, j)
 				}
-				next += math.Ceil((r+ts[j].Jitter)/ts[j].T) * (ts[j].C + g)
+				next += math.Ceil((r+ts[j].Jitter)/ts[j].T) * (ts[j].C + gm)
 			}
-			if next == r {
+			if next == r && (!speculative || !jumpedLast) {
 				ok = true
 				break
 			}
+			if next <= r && speculative {
+				// A non-increasing iterate on a speculative chain means the
+				// jump overshot or landed on a fixpoint it cannot certify
+				// as least. Revert and iterate plainly. (Outside
+				// speculation a decreasing iterate only arises from a
+				// contract-violating warm seed; the chain then follows the
+				// legacy decreasing path below.)
+				falls.Inc()
+				r = lastSound
+				speculative, jumpedLast = false, false
+				jumps, refute = false, false
+				continue
+			}
+			jumpedLast = false
 			r = next
-			if r+tk.Jitter > tk.Deadline() {
-				break
+			if !speculative {
+				lastSound = r
+			}
+			if r+tk.Jitter > deadline {
+				if !speculative {
+					break
+				}
+				// The deadline verdict must come from a certified chain:
+				// re-derive it monotonically from the last sound iterate.
+				falls.Inc()
+				r = lastSound
+				speculative, jumps = false, false
+				continue
+			}
+			if jumps || (refute && !speculative) {
+				root, found, unsat := cutRoot(ts, gamma, i, base, r, deadline-tk.Jitter)
+				if unsat && !speculative {
+					// The relaxation stays above the diagonal all the way to
+					// the deadline: no fixpoint exists at or below it, so the
+					// monotone climb could only end past the deadline. Same
+					// +Inf verdict, without the climb. (Speculative chains
+					// may not conclude verdicts; they never reach here with
+					// unsat anyway, as speculation starts only after a root
+					// was found.)
+					cuts.Inc()
+					break
+				}
+				if jumps && found {
+					cut := root - math.Max(cutRelShave*math.Abs(root), cutAbsShave)
+					if cap := deadline - tk.Jitter; cut > cap {
+						cut = cap
+					}
+					if cut > r {
+						r = cut
+						speculative, jumpedLast = true, true
+						cuts.Inc()
+					}
+				}
 			}
 		}
-		if !ok || r+tk.Jitter > tk.Deadline() {
+		if !ok || r+tk.Jitter > deadline {
 			out[i] = math.Inf(1)
 			continue
 		}
@@ -217,120 +290,75 @@ func HyperbolicTest(ts task.Set) bool {
 	return p <= 2
 }
 
-// FNPRAnalysis couples the floating-NPR task model with the paper's delay
-// bound: each task carries its preemption delay function, its Q, and the
-// analysis uses the effective WCET C'i = Ci + Algorithm1(fi, Qi).
-type FNPRAnalysis struct {
-	// Tasks is the priority-sorted task set (for FP) or any order (EDF).
-	Tasks task.Set
-	// Delay holds each task's preemption delay function; a nil entry
-	// means the task suffers no preemption delay. Function domains must
-	// equal the task's C.
-	Delay []delay.Function
-	// Method selects how the cumulative delay is bounded; see
-	// DelayMethod.
-	Method DelayMethod
-	// Warm optionally seeds the response-time fixpoints from previously
-	// computed response times (jitter-inclusive, indexed like Tasks).
-	//
-	// Soundness contract: Warm[i] must be a proven lower bound on task
-	// i's response time under THIS analysis — in practice, the response
-	// times of the same task set under pointwise-smaller effective WCETs.
-	// Delay bounds are non-negative, so the plain no-delay FNPR response
-	// times lower-bound every delay-aware variant, and the Algorithm 1
-	// response times lower-bound the (coarser) Equation 4 ones. A valid
-	// seed changes nothing but the iteration count: results stay
-	// bit-identical (see responseTimes). Non-finite or too-small entries
-	// fall back to a cold start per task.
-	Warm []float64
-}
-
-// DelayMethod selects the cumulative-delay bound used for C'.
-type DelayMethod int
-
-const (
-	// Algorithm1 uses the paper's Algorithm 1 (the contribution).
-	Algorithm1 DelayMethod = iota
-	// Equation4 uses the state-of-the-art iterative bound.
-	Equation4
-)
-
-// String implements fmt.Stringer.
-func (m DelayMethod) String() string {
-	switch m {
-	case Algorithm1:
-		return "algorithm1"
-	case Equation4:
-		return "equation4"
-	default:
-		return fmt.Sprintf("DelayMethod(%d)", int(m))
+// effectiveWCETs computes C'i = Ci + delay_bound(fi, Qi) for every task
+// (Equation 5 of the paper). A nil Delay slice means no task suffers
+// preemption delay. Per-task bounds run through core.Analyze, so
+// Options.Memo makes them content-addressed: re-analysing a task set after a
+// single-task edit recomputes only the edited task's bound (counted by
+// sched.cprime.cached / sched.cprime.computed).
+func effectiveWCETs(g *guard.Ctx, sc *obs.Scope, ts task.Set, opts Options) ([]float64, error) {
+	out := make([]float64, len(ts))
+	if opts.Delay == nil {
+		for i, tk := range ts {
+			out[i] = tk.C
+		}
+		return out, nil
 	}
-}
-
-// EffectiveWCETs computes C'i for every task under the selected method
-// (Equation 5 of the paper).
-func (a FNPRAnalysis) EffectiveWCETs() ([]float64, error) {
-	return a.EffectiveWCETsCtx(nil)
-}
-
-// EffectiveWCETsCtx is EffectiveWCETs under a guard scope: each task's delay
-// bound runs with cancellation and budget checks.
-func (a FNPRAnalysis) EffectiveWCETsCtx(g *guard.Ctx) ([]float64, error) {
-	if len(a.Delay) != len(a.Tasks) {
-		return nil, guard.Invalidf("sched: %d delay functions for %d tasks", len(a.Delay), len(a.Tasks))
+	if len(opts.Delay) != len(ts) {
+		return nil, guard.Invalidf("sched: %d delay functions for %d tasks", len(opts.Delay), len(ts))
 	}
-	out := make([]float64, len(a.Tasks))
-	for i, tk := range a.Tasks {
-		if a.Delay[i] == nil {
+	cached := sc.Counter("sched.cprime.cached")
+	computed := sc.Counter("sched.cprime.computed")
+	for i, tk := range ts {
+		if opts.Delay[i] == nil {
 			out[i] = tk.C
 			continue
 		}
-		if d := a.Delay[i].Domain(); math.Abs(d-tk.C) > 1e-9 {
+		if d := opts.Delay[i].Domain(); math.Abs(d-tk.C) > 1e-9 {
 			return nil, guard.Invalidf("sched: task %s has C=%g but delay function domain %g", tk.Name, tk.C, d)
 		}
 		if tk.Q <= 0 {
 			return nil, guard.Invalidf("sched: task %s has no NPR length Q", tk.Name)
 		}
-		var opts core.Options
-		switch a.Method {
+		copts := core.Options{Solver: opts.Solver, Obs: sc, Memo: opts.Memo}
+		switch opts.Method {
 		case Algorithm1:
 		case Equation4:
-			opts.Method = core.Equation4
+			copts.Method = core.Equation4
 		default:
-			return nil, guard.Invalidf("sched: unknown delay method %v", a.Method)
+			return nil, guard.Invalidf("sched: unknown delay method %v", opts.Method)
 		}
-		r, err := core.Analyze(g, a.Delay[i], tk.Q, opts)
+		r, err := core.Analyze(g, opts.Delay[i], tk.Q, copts)
 		if err != nil {
 			return nil, fmt.Errorf("sched: task %s: %w", tk.Name, err)
+		}
+		if r.Cached {
+			cached.Inc()
+		} else {
+			computed.Inc()
 		}
 		out[i] = tk.C + r.TotalDelay
 	}
 	return out, nil
 }
 
-// ResponseTimesFP runs the fixed-priority RTA with effective WCETs and the
-// floating-NPR blocking term: a lower-priority task inside its NPR can delay
-// τi by up to min(Qk, C'k):
-//
-//	Ri = C'i + max_{k>i} min(Qk, C'k) + Σ_{j<i} ceil((Ri+Jj)/Tj) * C'j
-func (a FNPRAnalysis) ResponseTimesFP() ([]float64, error) {
-	return a.ResponseTimesFPCtx(nil)
-}
-
-// ResponseTimesFPCtx is ResponseTimesFP under a guard scope.
-func (a FNPRAnalysis) ResponseTimesFPCtx(g *guard.Ctx) ([]float64, error) {
-	cp, err := a.EffectiveWCETsCtx(g)
-	if err != nil {
-		return nil, err
-	}
-	inflated := a.Tasks.Clone()
+// inflate clones ts with C replaced by the effective WCETs; a divergent
+// entry yields a Divergedf error.
+func inflate(ts task.Set, cp []float64) (task.Set, error) {
+	inflated := ts.Clone()
 	for i := range inflated {
 		if math.IsInf(cp[i], 1) {
 			return nil, guard.Divergedf("sched: task %s has divergent delay bound", inflated[i].Name)
 		}
 		inflated[i].C = cp[i]
 	}
-	blocking := func(i int) float64 {
+	return inflated, nil
+}
+
+// fpBlocking builds the floating-NPR blocking closure over the inflated set:
+// a lower-priority task inside its NPR can delay τi by up to min(Qk, C'k).
+func fpBlocking(inflated task.Set, cp []float64) func(i int) float64 {
+	return func(i int) float64 {
 		var b float64
 		for k := i + 1; k < len(inflated); k++ {
 			q := math.Min(inflated[k].Q, cp[k])
@@ -339,6 +367,17 @@ func (a FNPRAnalysis) ResponseTimesFPCtx(g *guard.Ctx) ([]float64, error) {
 			}
 		}
 		return b
+	}
+}
+
+// fpResponseTimes runs the fixed-priority RTA with effective WCETs and the
+// floating-NPR blocking term:
+//
+//	Ri = C'i + max_{k>i} min(Qk, C'k) + Σ_{j<i} ceil((Ri+Jj)/Tj) * C'j
+func fpResponseTimes(g *guard.Ctx, sc *obs.Scope, ts task.Set, opts Options, cp []float64) ([]float64, error) {
+	inflated, err := inflate(ts, cp)
+	if err != nil {
+		return nil, err
 	}
 	// Validation of the inflated set may fail C <= D before the RTA can
 	// report it gracefully, so check tasks individually here.
@@ -351,58 +390,5 @@ func (a FNPRAnalysis) ResponseTimesFPCtx(g *guard.Ctx) ([]float64, error) {
 			return rts, nil
 		}
 	}
-	return responseTimes(g, inflated, nil, blocking, a.Warm)
-}
-
-// SchedulableEDF runs the processor-demand test with effective WCETs and the
-// floating-NPR blocking term of Bertogna and Baruah: for every absolute
-// deadline t up to the analysis horizon,
-//
-//	dbf'(t) + max_{Dj > t} min(Qj, C'j) <= t
-func (a FNPRAnalysis) SchedulableEDF() (bool, error) {
-	return a.SchedulableEDFCtx(nil)
-}
-
-// SchedulableEDFCtx is SchedulableEDF under a guard scope: the demand-bound
-// sweep charges one guard step per deadline checked.
-func (a FNPRAnalysis) SchedulableEDFCtx(g *guard.Ctx) (bool, error) {
-	cp, err := a.EffectiveWCETsCtx(g)
-	if err != nil {
-		return false, err
-	}
-	inflated := a.Tasks.Clone()
-	for i := range inflated {
-		if math.IsInf(cp[i], 1) {
-			return false, nil
-		}
-		inflated[i].C = cp[i]
-	}
-	if inflated.Utilization() > 1 {
-		return false, nil
-	}
-	horizon, err := npr.AnalysisHorizon(inflated)
-	if err != nil {
-		return false, err
-	}
-	// Check at every absolute deadline up to the horizon.
-	for _, tk := range inflated {
-		for d := tk.Deadline(); d <= horizon; d += tk.T {
-			if err := g.Tick(); err != nil {
-				return false, err
-			}
-			demand := npr.DemandBound(inflated, d)
-			var blocking float64
-			for j := range inflated {
-				if inflated[j].Deadline() > d {
-					if q := math.Min(inflated[j].Q, cp[j]); q > blocking {
-						blocking = q
-					}
-				}
-			}
-			if demand+blocking > d+1e-9 {
-				return false, nil
-			}
-		}
-	}
-	return true, nil
+	return responseTimes(g, sc, inflated, nil, fpBlocking(inflated, cp), opts.Warm, opts.Solver)
 }

@@ -6,6 +6,7 @@ import (
 
 	"fnpr/internal/delay"
 	"fnpr/internal/guard"
+	"fnpr/internal/task"
 )
 
 // DelayMargin computes the system's criticality margin with respect to
@@ -16,24 +17,24 @@ import (
 //
 // Schedulability is monotone in the scale (larger delays only inflate C'
 // and blocking), so the margin is found by binary search to the given
-// precision.
-func (a FNPRAnalysis) DelayMargin(maxScale, precision float64) (float64, error) {
-	return a.DelayMarginCtx(nil, maxScale, precision)
-}
-
-// DelayMarginCtx is DelayMargin under a guard scope: each schedulability
-// probe runs guarded, and cancellation/budget errors abort the search
-// (divergence at a probe still just means "unschedulable at this scale").
-func (a FNPRAnalysis) DelayMarginCtx(g *guard.Ctx, maxScale, precision float64) (float64, error) {
+// precision. Each probe runs Analyze with opts and the scaled functions;
+// cancellation/budget errors abort the search, while divergence at a probe
+// just means "unschedulable at this scale". Warm seeds are dropped from the
+// probes: response times computed at one scale do not lower-bound those at
+// another.
+func DelayMargin(g *guard.Ctx, ts task.Set, opts Options, maxScale, precision float64) (float64, error) {
 	if maxScale <= 0 || precision <= 0 || math.IsNaN(maxScale) || math.IsNaN(precision) {
 		return 0, guard.Invalidf("sched: invalid margin search parameters maxScale=%g precision=%g", maxScale, precision)
 	}
-	if len(a.Delay) != len(a.Tasks) {
-		return 0, guard.Invalidf("sched: %d delay functions for %d tasks", len(a.Delay), len(a.Tasks))
+	if len(opts.Delay) != len(ts) {
+		return 0, guard.Invalidf("sched: %d delay functions for %d tasks", len(opts.Delay), len(ts))
+	}
+	if opts.Policy != FP || opts.CRPD != NoCRPD || opts.Limited {
+		return 0, guard.Invalidf("sched: margin search supports only the plain FP delay analysis")
 	}
 	check := func(k float64) (bool, error) {
-		scaled := make([]delay.Function, len(a.Delay))
-		for i, f := range a.Delay {
+		scaled := make([]delay.Function, len(opts.Delay))
+		for i, f := range opts.Delay {
 			if f == nil {
 				continue
 			}
@@ -47,8 +48,10 @@ func (a FNPRAnalysis) DelayMarginCtx(g *guard.Ctx, maxScale, precision float64) 
 			}
 			scaled[i] = s
 		}
-		b := FNPRAnalysis{Tasks: a.Tasks, Delay: scaled, Method: a.Method}
-		rts, err := b.ResponseTimesFPCtx(g)
+		probe := opts
+		probe.Delay = scaled
+		probe.Warm = nil
+		res, err := Analyze(g, ts, probe)
 		if err != nil {
 			if errors.Is(err, guard.ErrCanceled) || errors.Is(err, guard.ErrBudgetExceeded) {
 				return false, err
@@ -57,7 +60,7 @@ func (a FNPRAnalysis) DelayMarginCtx(g *guard.Ctx, maxScale, precision float64) 
 			// scale, not a caller error.
 			return false, nil
 		}
-		return Schedulable(a.Tasks, rts), nil
+		return res.Schedulable, nil
 	}
 	ok, err := check(0)
 	if err != nil {

@@ -159,9 +159,8 @@ func TestEDFAnalysisAdmitsImplySimulationMeetsDeadlines(t *testing.T) {
 				fns[i] = delay.FrontLoaded(peak, peak/4, c)
 			}
 		}
-		a := sched.FNPRAnalysis{Tasks: ts, Delay: fns, Method: sched.Algorithm1}
-		ok, err := a.SchedulableEDF()
-		if err != nil || !ok {
+		ar, err := sched.Analyze(nil, ts, sched.Options{Policy: sched.EDF, Delay: fns, Method: sched.Algorithm1})
+		if err != nil || !ar.Schedulable {
 			continue
 		}
 		admitted++

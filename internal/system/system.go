@@ -237,21 +237,22 @@ func Analyze(cfgSys Config) (*Result, error) {
 		}
 	}
 
-	analysis := sched.FNPRAnalysis{Tasks: sorted, Delay: fns, Method: sched.Algorithm1}
+	opts := sched.Options{Delay: fns, Method: sched.Algorithm1}
 	switch cfgSys.Policy {
 	case npr.FixedPriority:
-		rts, err := analysis.ResponseTimesFP()
+		r, err := sched.Analyze(nil, sorted, opts)
 		if err != nil {
 			return nil, err
 		}
-		res.ResponseTimes = rts
-		res.Schedulable = sched.Schedulable(sorted, rts)
+		res.ResponseTimes = r.Response
+		res.Schedulable = r.Schedulable
 	case npr.EDF:
-		ok, err := analysis.SchedulableEDF()
+		opts.Policy = sched.EDF
+		r, err := sched.Analyze(nil, sorted, opts)
 		if err != nil {
 			return nil, err
 		}
-		res.Schedulable = ok
+		res.Schedulable = r.Schedulable
 	default:
 		return nil, fmt.Errorf("system: unknown policy %v", cfgSys.Policy)
 	}

@@ -32,21 +32,14 @@ import (
 // "pkgdir:Recv.Name" for methods, with pkgdir relative to the module root.
 // Do not add entries for new code; deprecate the old name instead.
 var allowlist = map[string]bool{
-	"internal/core:ExactWorstCaseCtx":                       true,
-	"internal/npr:AssignQCtx":                               true,
-	"internal/npr:EDFBlockingToleranceCtx":                  true,
-	"internal/npr:EDFSchedulableCtx":                        true,
-	"internal/npr:FPBlockingToleranceCtx":                   true,
-	"internal/npr:QPACtx":                                   true,
-	"internal/npr:ValidateQCtx":                             true,
-	"internal/sched:ResponseTimesCRPDCtx":                   true,
-	"internal/sched:ResponseTimesCtx":                       true,
-	"internal/sched:FNPRAnalysis.DelayMarginCtx":            true,
-	"internal/sched:FNPRAnalysis.EffectiveWCETsCtx":         true,
-	"internal/sched:FNPRAnalysis.ResponseTimesFPCtx":        true,
-	"internal/sched:FNPRAnalysis.ResponseTimesFPLimitedCtx": true,
-	"internal/sched:FNPRAnalysis.SchedulableEDFCtx":         true,
-	"internal/sim:RunCtx":                                   true,
+	"internal/core:ExactWorstCaseCtx":      true,
+	"internal/npr:AssignQCtx":              true,
+	"internal/npr:EDFBlockingToleranceCtx": true,
+	"internal/npr:EDFSchedulableCtx":       true,
+	"internal/npr:FPBlockingToleranceCtx":  true,
+	"internal/npr:QPACtx":                  true,
+	"internal/npr:ValidateQCtx":            true,
+	"internal/sim:RunCtx":                  true,
 }
 
 var suffixes = []string{"Ctx", "Opts"}
