@@ -7,7 +7,7 @@ GO ?= go
 BENCH_OUT ?= bench.out
 BENCH_JSON ?= BENCH_PR3.json
 
-.PHONY: build test check race vet lint-api bench bench-smoke bench-pr5 bench-pr8 bench-pr9 bench-regress bench-regress-pr8 bench-regress-pr9 figures
+.PHONY: build test check race vet lint-api bench bench-smoke bench-pr5 bench-pr8 bench-pr9 bench-pr10 bench-regress bench-regress-pr8 bench-regress-pr9 bench-regress-pr10 nfr figures
 
 build:
 	$(GO) build ./...
@@ -93,6 +93,25 @@ bench-regress-pr9:
 	$(GO) run ./cmd/benchjson -in bench_pr9_current.out -out bench_pr9_current.json
 	$(GO) run ./tools/benchregress -baseline BENCH_PR9.json -current bench_pr9_current.json -tolerance 0.30
 
+# bench-pr10 captures the exact schedule-graph layer: the worst-case-delay
+# and response-time explorations with and without merging + dominance
+# pruning (the mode=naive vs mode=pruned pairs report both the ns/op
+# speedup and the states/op reduction the PR 10 acceptance bar — ≥10×
+# fewer explored states — is read from), the parallel-frontier scaling
+# ladder, and the content-addressed memoization pair.
+bench-pr10:
+	$(GO) test . -run '^$$' -bench 'Exact(Delay|SAG|Frontier|Memo)' -benchmem > bench_pr10.out
+	$(GO) run ./cmd/benchjson -in bench_pr10.out -out BENCH_PR10.json
+	@echo "wrote BENCH_PR10.json"
+
+# bench-regress-pr10 is bench-regress for the exact-exploration layer:
+# rerun the schedule-graph benchmarks and compare against the checked-in
+# BENCH_PR10.json baseline (machine-speed normalised).
+bench-regress-pr10:
+	$(GO) test . -run '^$$' -bench 'Exact(Delay|SAG|Frontier|Memo)' -benchtime 300ms -benchmem > bench_pr10_current.out
+	$(GO) run ./cmd/benchjson -in bench_pr10_current.out -out bench_pr10_current.json
+	$(GO) run ./tools/benchregress -baseline BENCH_PR10.json -current bench_pr10_current.json -tolerance 0.30
+
 # bench-regress is the CI tripwire: rerun the analysis-kernel benchmarks,
 # render a fresh report to bench_current.json (NOT the checked-in baseline
 # file, which bench-smoke overwrites) and compare, machine-speed normalised,
@@ -104,6 +123,15 @@ bench-regress:
 	$(GO) test . -run '^$$' -bench 'Figure5Sweep/kernel=|IndexedKernel' -benchtime 300ms -benchmem > bench_current.out
 	$(GO) run ./cmd/benchjson -in bench_current.out -out bench_current.json
 	$(GO) run ./tools/benchregress -baseline $(BENCH_JSON) -current bench_current.json -tolerance 0.30
+
+# nfr enforces the absolute wall-clock ceilings of docs/nfr.md: every
+# user-facing scenario in the table must finish inside its per-row budget.
+# Unlike the bench-regress tripwires (relative, machine-normalised), these
+# fail outright when a command stops fitting its budget. The build step
+# warms the cache so `go run` measures the scenario, not compilation.
+nfr:
+	$(GO) build ./...
+	$(GO) run ./tools/nfrcheck
 
 figures:
 	$(GO) run ./cmd/figures -fig all

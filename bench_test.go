@@ -24,6 +24,7 @@ import (
 	"fnpr/internal/core"
 	"fnpr/internal/delay"
 	"fnpr/internal/eval"
+	"fnpr/internal/exact"
 	"fnpr/internal/fixednpr"
 	"fnpr/internal/memo"
 	"fnpr/internal/npr"
@@ -732,7 +733,7 @@ func BenchmarkExactOracle(b *testing.B) {
 	}
 	var exact, bound float64
 	for i := 0; i < b.N; i++ {
-		e, err := core.ExactWorstCase(f, 10, 0)
+		e, err := core.ExactWorstCase(nil, f, 10, 0)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -900,5 +901,172 @@ func BenchmarkAnalyzeSetEdit(b *testing.B) {
 			}
 		}
 		b.ReportMetric(float64(recomputed)/float64(total), "recomputed_frac")
+	})
+}
+
+// exactBenchFunctions draws back-loaded piecewise delay curves — the family
+// where the schedule-graph exploration branches hardest (the adversary's
+// best strikes sit late in the job, so many candidate chains stay alive) —
+// sized so the naive enumeration still terminates within the state budget.
+func exactBenchFunctions(n int, c, q float64) []*delay.Piecewise {
+	r := rand.New(rand.NewSource(1004))
+	out := make([]*delay.Piecewise, 0, n)
+	for len(out) < n {
+		pieces := 10 + r.Intn(5)
+		xs := make([]float64, 0, pieces+1)
+		xs = append(xs, 0)
+		for i := 1; i < pieces; i++ {
+			xs = append(xs, c*(float64(i)+r.Float64()*0.6)/float64(pieces))
+		}
+		xs = append(xs, c)
+		maxV := q * (0.6 + 0.25*r.Float64())
+		vs := make([]float64, pieces)
+		for i := range vs {
+			frac := float64(i) / float64(pieces-1)
+			vs[i] = maxV * (0.1 + 0.9*frac) * (0.75 + 0.25*r.Float64())
+		}
+		p, err := delay.NewPiecewise(xs, vs)
+		if err != nil {
+			continue
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// BenchmarkExactDelay measures the exact worst-case cumulative-delay
+// exploration with and without interval merging + dominance pruning on the
+// same instances, with a reused (slab-pooled) Explorer. The states/op and
+// merges/op metrics quantify the reduction; the mode=naive vs mode=pruned
+// pair feeds the speedup table of BENCH_PR10.json.
+func BenchmarkExactDelay(b *testing.B) {
+	fns := exactBenchFunctions(16, 40, 6)
+	for _, m := range []struct {
+		name  string
+		naive bool
+	}{{"mode=naive", true}, {"mode=pruned", false}} {
+		b.Run(m.name, func(b *testing.B) {
+			ex := exact.NewExplorer()
+			var states, merges int
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				states, merges = 0, 0
+				for _, f := range fns {
+					res, err := ex.Delay(nil, f, 6, exact.Options{Naive: m.naive, MaxStates: -1})
+					if err != nil {
+						b.Fatal(err)
+					}
+					states += res.States
+					merges += res.Merges
+				}
+			}
+			b.ReportMetric(float64(states), "states/op")
+			b.ReportMetric(float64(merges), "merges/op")
+		})
+	}
+}
+
+// exactBenchSet builds the schedule-graph benchmark workload: a jittered
+// task set with execution-time intervals (BCET < C), which is what makes
+// availability intervals overlap and the merge rule pay off.
+func exactBenchSet(n int) task.Set {
+	r := rand.New(rand.NewSource(2010))
+	periods := []float64{10, 20, 40, 80}
+	ts := make(task.Set, 0, n)
+	for i := 0; i < n; i++ {
+		T := periods[i%len(periods)]
+		c := 0.4 + r.Float64()*0.12*T
+		ts = append(ts, task.Task{
+			Name: fmt.Sprintf("t%d", i), C: c, BCET: 0.7 * c,
+			T: T, Prio: i, Jitter: 0.05 * T,
+		})
+	}
+	return ts
+}
+
+// BenchmarkExactSAG measures the schedule-graph response-time exploration
+// with and without state merging on the same jittered task set. states/op
+// counts expanded states over the hyperperiod; the mode=naive vs
+// mode=pruned pair feeds BENCH_PR10.json.
+func BenchmarkExactSAG(b *testing.B) {
+	ts := exactBenchSet(5)
+	for _, m := range []struct {
+		name  string
+		naive bool
+	}{{"mode=naive", true}, {"mode=pruned", false}} {
+		b.Run(m.name, func(b *testing.B) {
+			var states, merges int
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := exact.ResponseTimes(nil, ts, exact.Options{Naive: m.naive, MaxStates: -1})
+				if err != nil {
+					b.Fatal(err)
+				}
+				states, merges = res.States, res.Merges
+			}
+			b.ReportMetric(float64(states), "states/op")
+			b.ReportMetric(float64(merges), "merges/op")
+		})
+	}
+}
+
+// BenchmarkExactFrontier measures parallel frontier expansion of the
+// schedule graph at several worker counts on a wide instance — the naive
+// (unmerged) exploration, whose 100k-state frontiers are what give the
+// shards enough contiguous work to amortize the fan-out. Results are
+// bit-identical for every worker count (contiguous shards, concatenated in
+// shard order); only the wall clock moves, and only on multi-core hosts —
+// on a single-CPU machine the workers>1 variants measure the sharding
+// overhead itself. The workers=1 vs workers=8 pair feeds BENCH_PR10.json.
+func BenchmarkExactFrontier(b *testing.B) {
+	ts := exactBenchSet(5)
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := exact.ResponseTimes(nil, ts, exact.Options{Naive: true, Workers: w, MaxStates: -1}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkExactMemo measures the content-addressed memoization of exact
+// explorations: cache=cold pays one full exploration per function into a
+// fresh cache, cache=warm answers every query by fingerprint lookup
+// (verify-on-use). The pair feeds BENCH_PR10.json.
+func BenchmarkExactMemo(b *testing.B) {
+	fns := exactBenchFunctions(16, 40, 6)
+	b.Run("cache=cold", func(b *testing.B) {
+		ex := exact.NewExplorer()
+		for i := 0; i < b.N; i++ {
+			c := memo.New(memo.Options{})
+			for _, f := range fns {
+				if _, err := ex.Delay(nil, f, 6, exact.Options{Memo: c, MaxStates: -1}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("cache=warm", func(b *testing.B) {
+		ex := exact.NewExplorer()
+		c := memo.New(memo.Options{})
+		for _, f := range fns {
+			if _, err := ex.Delay(nil, f, 6, exact.Options{Memo: c, MaxStates: -1}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, f := range fns {
+				res, err := ex.Delay(nil, f, 6, exact.Options{Memo: c, MaxStates: -1})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !res.Cached {
+					b.Fatal("warm lookup missed the cache")
+				}
+			}
+		}
 	})
 }

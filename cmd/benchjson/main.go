@@ -74,6 +74,7 @@ var pairs = []struct{ base, opt string }{
 	{"cache=cold", "cache=warm"},
 	{"mode=full", "mode=incremental"},
 	{"solver=monotone", "solver=cutting"},
+	{"mode=naive", "mode=pruned"},
 }
 
 var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)

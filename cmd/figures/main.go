@@ -154,6 +154,26 @@ func main() {
 		if err := emitWithSVG(tb, *out, *svg, *ascii, false, "Bound tightness vs Q"); err != nil {
 			fatal(err)
 		}
+	case "atlas":
+		// The pessimism atlas sweeps the synthetic delay-function families
+		// and tabulates exact-vs-Algorithm-1-vs-Equation-4 gaps; the exact
+		// engine runs under the -states budget and the table is
+		// bit-identical for every -workers value.
+		ap := eval.DefaultAtlasParams()
+		ap.Seed = limits.Seed
+		ap.Workers = limits.Workers
+		ap.MaxStates = limits.States
+		ap.Obs = g.Obs()
+		tb, err := eval.Atlas(g, ap)
+		if err != nil {
+			fatal(err)
+		}
+		if err := eval.AtlasChecks(tb); err != nil {
+			fatal(err)
+		}
+		if err := emitWithSVG(tb, *out, *svg, *ascii, false, "Pessimism atlas — exact vs Algorithm 1 vs Equation 4"); err != nil {
+			fatal(err)
+		}
 	case "preemptions":
 		pp := eval.DefaultPreemptionParams()
 		tb, err := eval.Preemptions(pp)
@@ -171,7 +191,7 @@ func main() {
 			fatal(err)
 		}
 	default:
-		fatal(cli.Usagef("unknown figure %q (want 1, 2, 3, 4, 5, acceptance, preemptions, tightness or all)", *fig))
+		fatal(cli.Usagef("unknown figure %q (want 1, 2, 3, 4, 5, acceptance, atlas, preemptions, tightness or all)", *fig))
 	}
 	fatal(nil)
 }

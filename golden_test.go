@@ -77,6 +77,12 @@ func TestGoldenOutputs(t *testing.T) {
 			args:   []string{"-scenario", "bounds"},
 			golden: filepath.Join("internal", "eval", "testdata", "simulate_bounds.golden"),
 		},
+		{
+			name:   "simulate-exact",
+			bin:    "simulate",
+			args:   []string{"-scenario", "exact"},
+			golden: filepath.Join("internal", "eval", "testdata", "simulate_exact.golden"),
+		},
 	}
 	for _, c := range cases {
 		c := c
@@ -131,6 +137,48 @@ func TestGoldenAcceptance(t *testing.T) {
 		t.Fatalf("-workers 4 changed the output bytes\nserial:\n%s\nparallel:\n%s", serial, parallel)
 	}
 	golden := filepath.Join("internal", "eval", "testdata", "figures_acceptance.golden")
+	if *update {
+		if err := os.WriteFile(golden, []byte(serial), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden (regenerate with -update): %v", err)
+	}
+	if string(want) != serial {
+		t.Fatalf("output drifted from %s\ngolden:\n%s\ngot:\n%s", golden, want, serial)
+	}
+}
+
+// TestGoldenAtlas locks the pessimism-atlas CSV of `figures -fig atlas`
+// against a committed golden under both serial (-workers 1) and pooled
+// (-workers 4) schedule-graph exploration, asserting the two are
+// byte-identical — the exact engine's determinism contract (contiguous
+// frontier shards concatenated in shard order) checked at the CLI boundary.
+// Regenerate with `go test . -run TestGoldenAtlas -update` (the golden is
+// written from the serial run). Skipped with -short.
+func TestGoldenAtlas(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end CLI runs skipped in -short mode")
+	}
+	bin := buildCmd(t, t.TempDir(), "figures")
+	run := func(workers string) string {
+		cmd := exec.Command(bin, "-fig", "atlas", "-ascii=false", "-workers", workers)
+		var stdout, stderr strings.Builder
+		cmd.Stdout = &stdout
+		cmd.Stderr = &stderr
+		if err := cmd.Run(); err != nil {
+			t.Fatalf("figures -fig atlas -workers %s: %v\nstderr: %s", workers, err, stderr.String())
+		}
+		return stdout.String()
+	}
+	serial := run("1")
+	parallel := run("4")
+	if serial != parallel {
+		t.Fatalf("-workers 4 changed the output bytes\nserial:\n%s\nparallel:\n%s", serial, parallel)
+	}
+	golden := filepath.Join("internal", "eval", "testdata", "figures_atlas.golden")
 	if *update {
 		if err := os.WriteFile(golden, []byte(serial), 0o644); err != nil {
 			t.Fatal(err)

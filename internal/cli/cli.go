@@ -160,6 +160,12 @@ type Limits struct {
 	// trades iteration counts.
 	Solver core.Solver
 
+	// States bounds each exact schedule-graph exploration (-states), also
+	// registered by SweepFlags: 0 = the engine default
+	// (exact.DefaultMaxStates), negative = unbounded. Only the exact
+	// scenarios consume it.
+	States int
+
 	// cache is the handle OpenCache built; SweepOptions attaches it and
 	// Exit persists it to CacheFile.
 	cache *memo.Cache
@@ -202,6 +208,7 @@ func (l *Limits) SweepFlags() *Limits {
 	flag.StringVar(&l.CacheFile, "cache-file", "", "warm the result cache from this snapshot file and persist it back at exit (implies -cache)")
 	flag.IntVar(&l.CacheSize, "cache-size", 0, "result cache entry bound (0 = default, negative = unbounded)")
 	flag.Var(solverFlag{&l.Solver}, "solver", "fixpoint solver: auto, monotone or cutting (results are identical; cutting needs far fewer iterations)")
+	flag.IntVar(&l.States, "states", 0, "state budget per exact schedule-graph exploration (0 = engine default, negative = unbounded)")
 	return l
 }
 

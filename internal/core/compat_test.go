@@ -1,0 +1,65 @@
+package core
+
+import (
+	"fnpr/internal/delay"
+	"fnpr/internal/guard"
+)
+
+// Test-local shims over Analyze, standing in for the pre-Analyze entry-point
+// ladder whose deprecation window closed. The extensive in-package suites
+// were written against these names; keeping the thin adapters here preserves
+// that coverage verbatim while the exported surface stays consolidated
+// (tools/lintapi ignores _test.go files).
+
+func UpperBound(f delay.Function, q float64) (float64, error) {
+	return UpperBoundCtx(nil, f, q)
+}
+
+func UpperBoundCtx(g *guard.Ctx, f delay.Function, q float64) (float64, error) {
+	r, err := Analyze(g, f, q, Options{})
+	return r.TotalDelay, err
+}
+
+func UpperBoundTrace(f delay.Function, q float64) (Result, error) {
+	return UpperBoundTraceCtx(nil, f, q)
+}
+
+func UpperBoundTraceCtx(g *guard.Ctx, f delay.Function, q float64) (Result, error) {
+	return Analyze(g, f, q, Options{Trace: true})
+}
+
+func StateOfTheArt(f delay.Function, q float64) (float64, error) {
+	return StateOfTheArtCtx(nil, f, q)
+}
+
+func StateOfTheArtCtx(g *guard.Ctx, f delay.Function, q float64) (float64, error) {
+	r, err := Analyze(g, f, q, Options{Method: Equation4})
+	return r.TotalDelay, err
+}
+
+func StateOfTheArtRaw(c, q, maxDelay float64) (float64, error) {
+	return Eq4Fixpoint(nil, c, q, maxDelay)
+}
+
+func NaivePointSelection(f *delay.Piecewise, q float64) (float64, error) {
+	return NaivePointSelectionCtx(nil, f, q)
+}
+
+func NaivePointSelectionCtx(g *guard.Ctx, f *delay.Piecewise, q float64) (float64, error) {
+	r, err := Analyze(g, f, q, Options{Method: NaiveUnsound})
+	return r.TotalDelay, err
+}
+
+func RemainingBound(f *delay.Piecewise, q, p float64) (float64, error) {
+	r, err := Analyze(nil, f, q, Options{Remaining: true, From: p})
+	return r.TotalDelay, err
+}
+
+func UpperBoundLimited(f delay.Function, q float64, maxPreemptions int) (float64, error) {
+	return UpperBoundLimitedCtx(nil, f, q, maxPreemptions)
+}
+
+func UpperBoundLimitedCtx(g *guard.Ctx, f delay.Function, q float64, maxPreemptions int) (float64, error) {
+	r, err := Analyze(g, f, q, Options{Limited: maxPreemptions >= 0, MaxPreemptions: maxPreemptions})
+	return r.TotalDelay, err
+}

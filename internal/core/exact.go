@@ -23,13 +23,9 @@ import (
 // worst-case scenario exists in which each preemption is left-aligned either
 // to the spacing boundary or to a piece start. The search branches over
 // exactly these candidates.
-func ExactWorstCase(f *delay.Piecewise, q float64, maxNodes int) (float64, error) {
-	return ExactWorstCaseCtx(nil, f, q, maxNodes)
-}
-
-// ExactWorstCaseCtx is ExactWorstCase under a guard scope; the search charges
-// one guard step per explored node, in addition to the local node budget.
-func ExactWorstCaseCtx(g *guard.Ctx, f *delay.Piecewise, q float64, maxNodes int) (float64, error) {
+// The search runs under the guard scope g (nil-safe), charging one guard
+// step per explored node in addition to the local node budget.
+func ExactWorstCase(g *guard.Ctx, f *delay.Piecewise, q float64, maxNodes int) (float64, error) {
 	if f == nil {
 		return 0, guard.Invalidf("core: nil delay function")
 	}

@@ -12,7 +12,7 @@ func TestExactWorstCaseConstant(t *testing.T) {
 	// f = 2, C = 50, Q = 10: strikes at progressions 10, 18, 26, 34, 42
 	// -> 5 x 2 = 10, and that IS the worst case.
 	f := delay.Constant(2, 50)
-	exact, err := ExactWorstCase(f, 10, 0)
+	exact, err := ExactWorstCase(nil, f, 10, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -31,7 +31,7 @@ func TestExactWorstCaseSinglePeak(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	exact, err := ExactWorstCase(f, 20, 0)
+	exact, err := ExactWorstCase(nil, f, 20, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -42,7 +42,7 @@ func TestExactWorstCaseSinglePeak(t *testing.T) {
 
 func TestExactWorstCaseDivergent(t *testing.T) {
 	f := delay.Constant(10, 100)
-	exact, err := ExactWorstCase(f, 10, 0)
+	exact, err := ExactWorstCase(nil, f, 10, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -52,10 +52,10 @@ func TestExactWorstCaseDivergent(t *testing.T) {
 }
 
 func TestExactWorstCaseValidation(t *testing.T) {
-	if _, err := ExactWorstCase(nil, 10, 0); err == nil {
+	if _, err := ExactWorstCase(nil, nil, 10, 0); err == nil {
 		t.Fatal("accepted nil function")
 	}
-	if _, err := ExactWorstCase(delay.Constant(1, 10), 0, 0); err == nil {
+	if _, err := ExactWorstCase(nil, delay.Constant(1, 10), 0, 0); err == nil {
 		t.Fatal("accepted Q=0")
 	}
 }
@@ -64,7 +64,7 @@ func TestExactWorstCaseNodeBudget(t *testing.T) {
 	// Many pieces and tiny Q relative to C blow up the search; the budget
 	// must trip rather than hang.
 	f := delay.Step(0.1, 0.9, 400, 16)
-	if _, err := ExactWorstCase(f, 2, 1000); err == nil {
+	if _, err := ExactWorstCase(nil, f, 2, 1000); err == nil {
 		t.Fatal("expected node-budget error")
 	}
 }
@@ -95,7 +95,7 @@ func TestExactSandwich(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		exact, err := ExactWorstCase(f, q, 5_000_000)
+		exact, err := ExactWorstCase(nil, f, q, 5_000_000)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -124,7 +124,7 @@ func TestExactQuantifiesFigure2(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	exact, err := ExactWorstCase(f, 10, 0)
+	exact, err := ExactWorstCase(nil, f, 10, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -10,34 +10,35 @@ import (
 // The motivating example of Section III: a task that loads a working set
 // (expensive to preempt), processes it, then computes on a small subset
 // (cheap to preempt).
-func ExampleUpperBound() {
+func ExampleAnalyze() {
 	f, _ := delay.NewPiecewise(
 		[]float64{0, 20, 35, 100}, // C = 100
 		[]float64{12, 6, 1},
 	)
-	bound, _ := core.UpperBound(f, 25) // Q = 25
-	soa, _ := core.StateOfTheArt(f, 25)
-	fmt.Printf("Algorithm 1: %.0f\n", bound)
-	fmt.Printf("Equation 4:  %.0f\n", soa)
+	bound, _ := core.Analyze(nil, f, 25, core.Options{}) // Q = 25
+	soa, _ := core.Analyze(nil, f, 25, core.Options{Method: core.Equation4})
+	fmt.Printf("Algorithm 1: %.0f\n", bound.TotalDelay)
+	fmt.Printf("Equation 4:  %.0f\n", soa.TotalDelay)
 	// Output:
 	// Algorithm 1: 9
 	// Equation 4:  96
 }
 
-func ExampleUpperBoundTrace() {
+func ExampleAnalyze_trace() {
 	f := delay.Constant(2, 50)
-	res, _ := core.UpperBoundTrace(f, 10)
+	res, _ := core.Analyze(nil, f, 10, core.Options{Trace: true})
 	fmt.Printf("%d preemptions charged, total %.0f, C' = %.0f\n",
 		res.Preemptions, res.TotalDelay, res.EffectiveWCET(50))
 	// Output:
 	// 5 preemptions charged, total 10, C' = 60
 }
 
-func ExampleUpperBoundLimited() {
+func ExampleAnalyze_limited() {
 	f := delay.Constant(2, 100)
-	full, _ := core.UpperBound(f, 10)
-	limited, _ := core.UpperBoundLimited(f, 10, 3) // at most 3 preemptions
-	fmt.Printf("unlimited: %.0f, at most 3 preemptions: %.0f\n", full, limited)
+	full, _ := core.Analyze(nil, f, 10, core.Options{})
+	limited, _ := core.Analyze(nil, f, 10, core.Options{Limited: true, MaxPreemptions: 3})
+	fmt.Printf("unlimited: %.0f, at most 3 preemptions: %.0f\n",
+		full.TotalDelay, limited.TotalDelay)
 	// Output:
 	// unlimited: 24, at most 3 preemptions: 6
 }
@@ -45,8 +46,8 @@ func ExampleUpperBoundLimited() {
 func ExampleGreedyScenario() {
 	f := delay.Constant(2, 50)
 	_, run := core.GreedyScenario(f, 10)
-	bound, _ := core.UpperBound(f, 10)
-	fmt.Printf("simulated %.0f <= bound %.0f\n", run.TotalDelay, bound)
+	bound, _ := core.Analyze(nil, f, 10, core.Options{})
+	fmt.Printf("simulated %.0f <= bound %.0f\n", run.TotalDelay, bound.TotalDelay)
 	// Output:
 	// simulated 10 <= bound 10
 }

@@ -70,7 +70,7 @@ func TestExactWorstCaseCtxCanceled(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	g := guard.New(ctx)
-	_, err := ExactWorstCaseCtx(g, fig2Function(t), 10, 1_000_000)
+	_, err := ExactWorstCase(g, fig2Function(t), 10, 1_000_000)
 	if !errors.Is(err, guard.ErrCanceled) {
 		t.Fatalf("canceled context: got %v, want ErrCanceled", err)
 	}

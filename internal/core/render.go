@@ -40,16 +40,16 @@ type QSweep struct {
 func SweepQ(f delay.Function, qs []float64) (*QSweep, error) {
 	out := &QSweep{Q: append([]float64(nil), qs...)}
 	for _, q := range qs {
-		alg, err := UpperBound(f, q)
+		alg, err := Analyze(nil, f, q, Options{})
 		if err != nil {
 			return nil, err
 		}
-		soa, err := StateOfTheArt(f, q)
+		soa, err := Analyze(nil, f, q, Options{Method: Equation4})
 		if err != nil {
 			return nil, err
 		}
-		out.Algorithm1 = append(out.Algorithm1, alg)
-		out.Equation4 = append(out.Equation4, soa)
+		out.Algorithm1 = append(out.Algorithm1, alg.TotalDelay)
+		out.Equation4 = append(out.Equation4, soa.TotalDelay)
 	}
 	return out, nil
 }

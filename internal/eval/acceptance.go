@@ -205,7 +205,7 @@ type acceptanceVerdict struct {
 // non-negative, so the no-delay response times lower-bound every delay-aware
 // variant, and Algorithm 1's response times lower-bound Equation 4's (its C'
 // vector is pointwise smaller). Seeding is sound in that direction and keeps
-// every result bit-identical (see sched.FNPRAnalysis.Warm); it only trims
+// every result bit-identical (see sched.Options.Warm); it only trims
 // fixpoint iterations.
 func acceptanceTrial(g *guard.Ctx, p AcceptanceParams, point int, u float64, trial int) (acceptanceVerdict, error) {
 	var v acceptanceVerdict

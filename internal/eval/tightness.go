@@ -6,6 +6,7 @@ import (
 
 	"fnpr/internal/core"
 	"fnpr/internal/delay"
+	"fnpr/internal/exact"
 	"fnpr/internal/guard"
 	"fnpr/internal/sim"
 	"fnpr/internal/task"
@@ -89,18 +90,18 @@ func Tightness(g *guard.Ctx, p TightnessParams) (*textplot.Table, error) {
 		tbl.Series[0].Y = append(tbl.Series[0].Y, bound)
 		tbl.Series[1].Y = append(tbl.Series[1].Y, peak.TotalDelay)
 		tbl.Series[2].Y = append(tbl.Series[2].Y, res.Tasks[2].MaxDelayPerJob)
-		// The exact oracle is exponential; where its node budget trips
-		// (very small Q) the point is omitted (NaN renders as a gap),
-		// but caller aborts and global budget exhaustion still stop the
-		// sweep.
-		exact, err := core.ExactWorstCaseCtx(g, f, q, 3_000_000)
+		// The exact engine explores a merged pareto frontier; where even
+		// that trips its state budget (very small Q) the point is omitted
+		// (NaN renders as a gap), but caller aborts still stop the sweep.
+		ex, err := exact.Delay(g, f, q, exact.Options{MaxStates: 3_000_000})
+		oracle := ex.Delay
 		if err != nil {
 			if guard.Abortive(err) {
 				return nil, err
 			}
-			exact = math.NaN()
+			oracle = math.NaN()
 		}
-		tbl.Series[3].Y = append(tbl.Series[3].Y, exact)
+		tbl.Series[3].Y = append(tbl.Series[3].Y, oracle)
 	}
 	if err := tbl.Validate(); err != nil {
 		return nil, err

@@ -147,7 +147,7 @@ func SelectPoints(t Task, qmax float64) (*Selection, error) {
 // equivalent to the linear task: while execution is inside chunk i (or at
 // its boundary), a preemption costs the boundary cost of the chunk the task
 // is currently in. This lets the same task be analysed under both models:
-// fixed (SelectPoints) and floating (core.UpperBound on this function).
+// fixed (SelectPoints) and floating (core.Analyze on this function).
 func (t Task) DelayFunction() (*delay.Piecewise, error) {
 	if err := t.Validate(); err != nil {
 		return nil, err

@@ -53,8 +53,16 @@ type Options struct {
 
 	// Method selects the per-task cumulative-delay bound used for the
 	// effective WCETs when Delay is set: Algorithm1 (default, the paper's
-	// contribution) or Equation4 (the state-of-the-art baseline).
+	// contribution), Equation4 (the state-of-the-art baseline) or Exact
+	// (the schedule-graph exploration of internal/exact, with per-task
+	// degradation to Algorithm 1 where the state budget trips).
 	Method DelayMethod
+
+	// ExactStates caps the exact exploration's state count per task when
+	// Method is Exact: zero selects exact.DefaultMaxStates, negative means
+	// unbounded. Tasks over the budget degrade to Algorithm 1 (see
+	// Result.Degraded).
+	ExactStates int
 
 	// Delay holds one preemption-delay function per task (nil entries =
 	// no delay for that task; nil slice = classic analysis without
@@ -108,6 +116,9 @@ type Result struct {
 	// refined fixpoint (-1 where no delay function applies); nil unless
 	// Options.Limited.
 	PreemptionLimit []int
+	// Degraded, non-nil only for Method Exact, flags tasks whose exact
+	// exploration was infeasible and whose bound fell back to Algorithm 1.
+	Degraded []bool
 	// Schedulable is the verdict: every deadline met.
 	Schedulable bool
 }
@@ -148,7 +159,7 @@ func Analyze(g *guard.Ctx, ts task.Set, opts Options) (*Result, error) {
 	}
 
 	if opts.Policy == EDF {
-		cp, err := effectiveWCETs(g, sc, ts, opts)
+		cp, degraded, err := effectiveWCETs(g, sc, ts, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -156,7 +167,7 @@ func Analyze(g *guard.Ctx, ts task.Set, opts Options) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		res := &Result{Schedulable: ok}
+		res := &Result{Schedulable: ok, Degraded: degraded}
 		if opts.Delay != nil {
 			res.EffectiveC = cp
 		}
@@ -196,7 +207,7 @@ func Analyze(g *guard.Ctx, ts task.Set, opts Options) (*Result, error) {
 		return &Result{Response: rts, Schedulable: Schedulable(ts, rts)}, nil
 	}
 
-	cp, err := effectiveWCETs(g, sc, ts, opts)
+	cp, degraded, err := effectiveWCETs(g, sc, ts, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -208,5 +219,6 @@ func Analyze(g *guard.Ctx, ts task.Set, opts Options) (*Result, error) {
 		Response:    rts,
 		EffectiveC:  cp,
 		Schedulable: Schedulable(ts, rts),
+		Degraded:    degraded,
 	}, nil
 }

@@ -11,21 +11,18 @@ import (
 // Delay-aware response-time analysis under floating non-preemptive regions:
 // the same set analysed with the paper's Algorithm 1 and with the Equation 4
 // state of the art.
-func ExampleFNPRAnalysis_ResponseTimesFP() {
+func ExampleAnalyze() {
 	ts := task.Set{
 		{Name: "hi", C: 10, T: 100, Q: 10, Prio: 0},
 		{Name: "lo", C: 40, T: 200, Q: 8, Prio: 1},
 	}
 	fns := []delay.Function{nil, delay.Constant(2, 40)}
 
-	a := sched.FNPRAnalysis{Tasks: ts, Delay: fns, Method: sched.Algorithm1}
-	r1, _ := a.ResponseTimesFP()
+	r1, _ := sched.Analyze(nil, ts, sched.Options{Delay: fns})
+	r4, _ := sched.Analyze(nil, ts, sched.Options{Delay: fns, Method: sched.Equation4})
 
-	a.Method = sched.Equation4
-	r4, _ := a.ResponseTimesFP()
-
-	fmt.Printf("lo with Algorithm 1: R = %.0f\n", r1[1])
-	fmt.Printf("lo with Equation 4:  R = %.0f\n", r4[1])
+	fmt.Printf("lo with Algorithm 1: R = %.0f\n", r1.Response[1])
+	fmt.Printf("lo with Equation 4:  R = %.0f\n", r4.Response[1])
 	// Output:
 	// lo with Algorithm 1: R = 62
 	// lo with Equation 4:  R = 64
@@ -33,17 +30,35 @@ func ExampleFNPRAnalysis_ResponseTimesFP() {
 
 // The preemption-count refinement (the paper's future work (ii)) recovers
 // finite bounds even when the per-window delay equals Q.
-func ExampleFNPRAnalysis_ResponseTimesFPLimited() {
+func ExampleAnalyze_limited() {
 	ts := task.Set{
 		{Name: "hi", C: 5, T: 100, Q: 5, Prio: 0},
 		{Name: "lo", C: 40, T: 400, D: 300, Q: 4, Prio: 1},
 	}
 	fns := []delay.Function{nil, delay.Constant(4, 40)} // delay == Q!
-	a := sched.FNPRAnalysis{Tasks: ts, Delay: fns, Method: sched.Algorithm1}
+	lim, _ := sched.Analyze(nil, ts, sched.Options{Delay: fns, Limited: true})
 
-	lim, _ := a.ResponseTimesFPLimited()
 	fmt.Printf("lo: at most %d preemption(s), C' = %.0f, R = %.0f\n",
 		lim.PreemptionLimit[1], lim.EffectiveC[1], lim.Response[1])
 	// Output:
 	// lo: at most 1 preemption(s), C' = 44, R = 49
+}
+
+// The exact schedule-graph method replaces the Algorithm 1 bound with the
+// true worst-case cumulative delay; the bound ordering exact <= Algorithm 1
+// <= Equation 4 carries through the response-time analysis. On a constant
+// delay function Algorithm 1 is tight, so the exact method matches it here
+// (a front-loaded curve would separate them).
+func ExampleAnalyze_exact() {
+	ts := task.Set{
+		{Name: "hi", C: 10, T: 100, Q: 10, Prio: 0},
+		{Name: "lo", C: 40, T: 200, Q: 8, Prio: 1},
+	}
+	fns := []delay.Function{nil, delay.Constant(2, 40)}
+
+	rx, _ := sched.Analyze(nil, ts, sched.Options{Delay: fns, Method: sched.Exact})
+	fmt.Printf("lo exact: C' = %.0f, R = %.0f, degraded: %v\n",
+		rx.EffectiveC[1], rx.Response[1], rx.Degraded[1])
+	// Output:
+	// lo exact: C' = 52, R = 62, degraded: false
 }

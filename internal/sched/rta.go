@@ -14,10 +14,13 @@
 package sched
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
 	"fnpr/internal/core"
+	"fnpr/internal/delay"
+	"fnpr/internal/exact"
 	"fnpr/internal/guard"
 	"fnpr/internal/obs"
 	"fnpr/internal/task"
@@ -98,6 +101,12 @@ const (
 	Algorithm1 DelayMethod = iota
 	// Equation4 uses the state-of-the-art iterative bound.
 	Equation4
+	// Exact uses the schedule-graph exploration of internal/exact — the
+	// true worst-case cumulative delay rather than an upper bound. Bounded
+	// by Options.ExactStates; tasks whose exploration exceeds the budget
+	// (or whose delay function is not piecewise-constant) degrade to
+	// Algorithm 1, reported per task in Result.Degraded.
+	Exact
 )
 
 // String implements fmt.Stringer.
@@ -107,6 +116,8 @@ func (m DelayMethod) String() string {
 		return "algorithm1"
 	case Equation4:
 		return "equation4"
+	case Exact:
+		return "exact"
 	default:
 		return fmt.Sprintf("DelayMethod(%d)", int(m))
 	}
@@ -292,45 +303,68 @@ func HyperbolicTest(ts task.Set) bool {
 
 // effectiveWCETs computes C'i = Ci + delay_bound(fi, Qi) for every task
 // (Equation 5 of the paper). A nil Delay slice means no task suffers
-// preemption delay. Per-task bounds run through core.Analyze, so
-// Options.Memo makes them content-addressed: re-analysing a task set after a
-// single-task edit recomputes only the edited task's bound (counted by
-// sched.cprime.cached / sched.cprime.computed).
-func effectiveWCETs(g *guard.Ctx, sc *obs.Scope, ts task.Set, opts Options) ([]float64, error) {
+// preemption delay. Per-task bounds run through core.Analyze (or the exact
+// engine for Method Exact), so Options.Memo makes them content-addressed:
+// re-analysing a task set after a single-task edit recomputes only the
+// edited task's bound (counted by sched.cprime.cached /
+// sched.cprime.computed).
+//
+// The second return is non-nil only for Method Exact: degraded[i] reports
+// that task i's exact exploration was infeasible (state budget exceeded, or
+// a delay function the exact engine cannot lower) and its bound fell back
+// to Algorithm 1 — still sound, just an upper bound instead of the exact
+// value. Degradations are counted by exact.degraded.
+func effectiveWCETs(g *guard.Ctx, sc *obs.Scope, ts task.Set, opts Options) ([]float64, []bool, error) {
 	out := make([]float64, len(ts))
 	if opts.Delay == nil {
 		for i, tk := range ts {
 			out[i] = tk.C
 		}
-		return out, nil
+		return out, nil, nil
 	}
 	if len(opts.Delay) != len(ts) {
-		return nil, guard.Invalidf("sched: %d delay functions for %d tasks", len(opts.Delay), len(ts))
+		return nil, nil, guard.Invalidf("sched: %d delay functions for %d tasks", len(opts.Delay), len(ts))
 	}
 	cached := sc.Counter("sched.cprime.cached")
 	computed := sc.Counter("sched.cprime.computed")
+	var degraded []bool
+	if opts.Method == Exact {
+		degraded = make([]bool, len(ts))
+	}
 	for i, tk := range ts {
 		if opts.Delay[i] == nil {
 			out[i] = tk.C
 			continue
 		}
 		if d := opts.Delay[i].Domain(); math.Abs(d-tk.C) > 1e-9 {
-			return nil, guard.Invalidf("sched: task %s has C=%g but delay function domain %g", tk.Name, tk.C, d)
+			return nil, nil, guard.Invalidf("sched: task %s has C=%g but delay function domain %g", tk.Name, tk.C, d)
 		}
 		if tk.Q <= 0 {
-			return nil, guard.Invalidf("sched: task %s has no NPR length Q", tk.Name)
+			return nil, nil, guard.Invalidf("sched: task %s has no NPR length Q", tk.Name)
 		}
 		copts := core.Options{Solver: opts.Solver, Obs: sc, Memo: opts.Memo}
 		switch opts.Method {
 		case Algorithm1:
 		case Equation4:
 			copts.Method = core.Equation4
+		case Exact:
+			d, ok, err := exactDelay(g, sc, tk, opts.Delay[i], opts)
+			if err != nil {
+				return nil, nil, fmt.Errorf("sched: task %s: %w", tk.Name, err)
+			}
+			if ok {
+				out[i] = tk.C + d
+				continue
+			}
+			// Degrade this task to Algorithm 1 (copts is already set up).
+			degraded[i] = true
+			sc.Counter("exact.degraded").Inc()
 		default:
-			return nil, guard.Invalidf("sched: unknown delay method %v", opts.Method)
+			return nil, nil, guard.Invalidf("sched: unknown delay method %v", opts.Method)
 		}
 		r, err := core.Analyze(g, opts.Delay[i], tk.Q, copts)
 		if err != nil {
-			return nil, fmt.Errorf("sched: task %s: %w", tk.Name, err)
+			return nil, nil, fmt.Errorf("sched: task %s: %w", tk.Name, err)
 		}
 		if r.Cached {
 			cached.Inc()
@@ -339,7 +373,31 @@ func effectiveWCETs(g *guard.Ctx, sc *obs.Scope, ts task.Set, opts Options) ([]f
 		}
 		out[i] = tk.C + r.TotalDelay
 	}
-	return out, nil
+	return out, degraded, nil
+}
+
+// exactDelay runs one task's delay function through the exact engine. The
+// second return is false where the exact method cannot apply — a
+// non-piecewise-constant function, or a state space above the budget — and
+// the caller degrades to Algorithm 1.
+func exactDelay(g *guard.Ctx, sc *obs.Scope, tk task.Task, f delay.Function, opts Options) (float64, bool, error) {
+	p, ok := exact.AsPiecewise(f)
+	if !ok {
+		return 0, false, nil
+	}
+	res, err := exact.Delay(g, p, tk.Q, exact.Options{
+		MaxStates: opts.ExactStates,
+		Memo:      opts.Memo,
+		Obs:       sc,
+	})
+	if err != nil {
+		var sse *exact.StateSpaceError
+		if errors.As(err, &sse) {
+			return 0, false, nil
+		}
+		return 0, false, err
+	}
+	return res.Delay, true, nil
 }
 
 // inflate clones ts with C replaced by the effective WCETs; a divergent

@@ -31,6 +31,7 @@ func (s *Server) routes() *http.ServeMux {
 	mux.Handle("POST /v1/analyzeset", s.instrument("analyzeset", s.handleAnalyzeSet))
 	mux.Handle("POST /v1/campaign/acceptance", s.instrument("campaign", s.handleCampaignAcceptance))
 	mux.Handle("POST /v1/campaign/montecarlo", s.instrument("campaign", s.handleCampaignMonteCarlo))
+	mux.Handle("POST /v1/campaign/atlas", s.instrument("campaign", s.handleCampaignAtlas))
 	mux.Handle("GET /v1/jobs", s.instrument("jobs", s.handleJobs))
 	mux.Handle("GET /v1/jobs/{id}", s.instrument("jobs", s.handleJob))
 	mux.Handle("/debug/", obs.DebugMux(s.cfg.Registry))
@@ -451,6 +452,51 @@ func (s *Server) handleCampaignMonteCarlo(w http.ResponseWriter, r *http.Request
 		return
 	}
 	p, err := s.monteCarloFromJSON(body)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	s.submitCampaign(w, r, p, body, "", false)
+}
+
+// atlasRequest is the wire form of a pessimism-atlas campaign submission.
+// Omitted fields keep the eval.DefaultAtlasParams values.
+type atlasRequest struct {
+	Seed         int64     `json:"seed"`
+	Qs           []float64 `json:"qs,omitempty"`
+	FuncsPerCell int       `json:"funcs_per_cell"`
+	C            float64   `json:"c"`
+	MaxStates    int       `json:"max_states,omitempty"`
+	Workers      int       `json:"workers,omitempty"`
+}
+
+// atlasFromJSON decodes a submission body (live request or persisted
+// manifest record) into validated atlas parameters.
+func (s *Server) atlasFromJSON(body []byte) (eval.AtlasParams, error) {
+	d := eval.DefaultAtlasParams()
+	req := atlasRequest{
+		Seed: d.Seed, Qs: d.Qs, FuncsPerCell: d.FuncsPerCell, C: d.C,
+	}
+	if err := decodeStrict(body, &req); err != nil {
+		return eval.AtlasParams{}, err
+	}
+	p := eval.AtlasParams{
+		Seed: req.Seed, Qs: req.Qs, FuncsPerCell: req.FuncsPerCell, C: req.C,
+		MaxStates: req.MaxStates, Workers: req.Workers, Obs: s.sc,
+	}
+	if err := p.Validate(); err != nil {
+		return eval.AtlasParams{}, err
+	}
+	return p, nil
+}
+
+func (s *Server) handleCampaignAtlas(w http.ResponseWriter, r *http.Request) {
+	body, err := readBody(r)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	p, err := s.atlasFromJSON(body)
 	if err != nil {
 		s.fail(w, err)
 		return

@@ -149,6 +149,9 @@ func (s *Server) rebuildCampaign(kind string, params json.RawMessage) (eval.Camp
 	case "montecarlo":
 		p, err := s.monteCarloFromJSON(params)
 		return p, err
+	case "atlas":
+		p, err := s.atlasFromJSON(params)
+		return p, err
 	}
 	return nil, guard.Invalidf("server: unknown campaign kind %q in job store", kind)
 }

@@ -223,9 +223,27 @@ func TestCampaignJobs(t *testing.T) {
 		t.Fatalf("montecarlo violations: %v", rep)
 	}
 
+	st, _, v = doJSON(t, "POST", base+"/v1/campaign/atlas", map[string]any{
+		"seed": 3, "qs": []float64{4, 8}, "funcs_per_cell": 4, "c": 30,
+	})
+	if st != http.StatusAccepted {
+		t.Fatalf("atlas submit: status %d body %v", st, v)
+	}
+	job = waitJob(t, base, v["id"].(string))
+	if job["state"] != "done" || job["kind"] != "atlas" {
+		t.Fatalf("atlas job: %v", job)
+	}
+	if _, ok := job["result"].(map[string]any); !ok {
+		t.Fatalf("atlas job result: %v", job["result"])
+	}
+
 	// Validation failures are refused at submit time, not queued.
 	if st, _, v := doJSON(t, "POST", base+"/v1/campaign/montecarlo", map[string]any{"trials": -1}); st != 400 || v["code"] != "invalid" {
 		t.Fatalf("invalid campaign: %d %v", st, v)
+	}
+	// Atlas validation: Q at or above C is invalid input.
+	if st, _, v := doJSON(t, "POST", base+"/v1/campaign/atlas", map[string]any{"qs": []float64{50}, "c": 30}); st != 400 || v["code"] != "invalid" {
+		t.Fatalf("invalid atlas campaign: %d %v", st, v)
 	}
 	// Journal requests against a server without a journal dir are invalid.
 	if st, _, _ := doJSON(t, "POST", base+"/v1/campaign/acceptance", map[string]any{"journal": "a.j"}); st != 400 {

@@ -32,7 +32,6 @@ import (
 // "pkgdir:Recv.Name" for methods, with pkgdir relative to the module root.
 // Do not add entries for new code; deprecate the old name instead.
 var allowlist = map[string]bool{
-	"internal/core:ExactWorstCaseCtx":      true,
 	"internal/npr:AssignQCtx":              true,
 	"internal/npr:EDFBlockingToleranceCtx": true,
 	"internal/npr:EDFSchedulableCtx":       true,
